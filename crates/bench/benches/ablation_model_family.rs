@@ -1,0 +1,32 @@
+//! Ablation: is `a·f^b + c` actually the right family? AIC model selection
+//! against polynomials on both chips' measured curves (the selection step
+//! the paper delegates to the MATLAB toolbox).
+
+use lcpio_bench::banner;
+use lcpio_fit::polynomial::select_model;
+use lcpio_powersim::{simulate, Chip, Machine, WorkProfile};
+
+fn main() {
+    banner(
+        "ABLATION — model-family selection (AIC): power law vs polynomials",
+        "the toolbox 'finds the most optimal model'; Eqn 2 should win on knee data",
+    );
+    let job = WorkProfile { compute_cycles: 30e9, memory_bytes: 160e9, ..Default::default() };
+    for chip in Chip::ALL {
+        let m = Machine::for_chip(chip);
+        let xs: Vec<f64> = m.cpu.ladder().collect();
+        let pmax = simulate(&m, m.cpu.f_max_ghz, &job).avg_power_w;
+        let ys: Vec<f64> =
+            xs.iter().map(|&f| simulate(&m, f, &job).avg_power_w / pmax).collect();
+        let ranked = select_model(&xs, &ys).expect("selection");
+        println!("\n{} scaled-power curve, families ranked by AIC:", chip.name());
+        for f in &ranked {
+            println!(
+                "  {:<24} AIC {:>9.1}   SSE {:.3e}",
+                f.name(),
+                f.aic(),
+                f.gof().sse
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation: SZ predictor choice (DESIGN.md §5, item 3).
+//!
+//! Compares the SZ2-style block-adaptive predictor against pure Lorenzo on
+//! every dataset and bound: compression ratio and the share of blocks that
+//! chose regression.
+
+use lcpio_bench::banner;
+use lcpio_datagen::Dataset;
+use lcpio_sz::{compress, ErrorBound, PredictorMode, SzConfig};
+
+fn main() {
+    banner(
+        "ABLATION — SZ predictor: block-adaptive (SZ2) vs global Lorenzo (SZ1.4)",
+        "regression wins on tilted smooth regions; Lorenzo on fine texture",
+    );
+    println!(
+        "{:<10} {:>8} {:>14} {:>14} {:>12}",
+        "dataset", "eb", "lorenzo ratio", "adaptive ratio", "reg blocks"
+    );
+    for ds in Dataset::MODEL_SETS {
+        let field = ds.generate(2048, 3);
+        let dims: Vec<usize> = field.dims().extents().to_vec();
+        for eb in [1e-2, 1e-4] {
+            let lor = compress(
+                &field.data,
+                &dims,
+                &SzConfig::new(ErrorBound::Absolute(eb)).with_mode(PredictorMode::Lorenzo),
+            )
+            .expect("compress");
+            let ada = compress(
+                &field.data,
+                &dims,
+                &SzConfig::new(ErrorBound::Absolute(eb)).with_mode(PredictorMode::BlockAdaptive),
+            )
+            .expect("compress");
+            let total_blocks = ada.stats.regression_blocks + ada.stats.lorenzo_blocks;
+            let share = if total_blocks > 0 {
+                ada.stats.regression_blocks as f64 / total_blocks as f64 * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "{:<10} {:>8.0e} {:>13.2}x {:>13.2}x {:>11.1}%",
+                ds.name(),
+                eb,
+                lor.stats.ratio(),
+                ada.stats.ratio(),
+                share
+            );
+        }
+    }
+}

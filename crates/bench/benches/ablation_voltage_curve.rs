@@ -1,0 +1,45 @@
+//! Ablation: the voltage-curve form drives the fitted exponent b.
+//! (DESIGN.md §5, item 1.)
+//!
+//! Replaces each chip's V(f) curve with a linear ramp (no knee) and refits
+//! Table IV. The knee is what produces the paper's extreme Skylake
+//! exponent; without it both chips regress to small b.
+
+use lcpio_bench::banner;
+use lcpio_fit::powerlaw::fit_power_law;
+use lcpio_powersim::{simulate, Chip, CpuSpec, Machine, VfCurve, WorkProfile};
+
+fn table_row(name: &str, spec: CpuSpec) {
+    let machine = Machine::new(spec);
+    let job = WorkProfile { compute_cycles: 30e9, memory_bytes: 160e9, ..Default::default() };
+    let xs: Vec<f64> = spec.ladder().collect();
+    let pmax = simulate(&machine, spec.f_max_ghz, &job).avg_power_w;
+    let ys: Vec<f64> = xs.iter().map(|&f| simulate(&machine, f, &job).avg_power_w / pmax).collect();
+    let fit = fit_power_law(&xs, &ys).expect("fit");
+    println!(
+        "{:<22} b = {:>6.2}   (SSE {:.2e}, RMSE {:.4})",
+        name, fit.b, fit.gof.sse, fit.gof.rmse
+    );
+}
+
+fn main() {
+    banner(
+        "ABLATION — voltage-curve form vs fitted exponent b",
+        "knee-shaped V(f) is what regresses to the paper's b~5.3 / b~23.3 split",
+    );
+    for chip in Chip::ALL {
+        let spec = chip.spec();
+        table_row(&format!("{} (calibrated)", chip.name()), spec);
+
+        let mut linear = spec;
+        // Same endpoint voltages, no knee.
+        let v_hi = spec.voltage(spec.f_max_ghz);
+        linear.vf = VfCurve {
+            v_base: spec.vf.v_base,
+            slope: (v_hi - spec.vf.v_base) / (spec.f_max_ghz - spec.f_min_ghz),
+            knee_ghz: spec.f_max_ghz + 1.0,
+            knee_slope: 0.0,
+        };
+        table_row(&format!("{} (linear V, no knee)", chip.name()), linear);
+    }
+}

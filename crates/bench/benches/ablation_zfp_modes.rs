@@ -1,0 +1,41 @@
+//! Ablation: ZFP rate-control policy (DESIGN.md §5, item 4).
+//!
+//! Fixed-accuracy (the paper's mode) vs fixed-precision vs fixed-rate on
+//! the same field: achieved error and size.
+
+use lcpio_bench::banner;
+use lcpio_datagen::nyx;
+use lcpio_zfp::{compress, decompress, ZfpMode};
+
+fn max_err(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (*x as f64 - *y as f64).abs()).fold(0.0, f64::max)
+}
+
+fn main() {
+    banner(
+        "ABLATION — ZFP rate control: fixed-accuracy vs fixed-precision vs fixed-rate",
+        "fixed-accuracy guarantees the bound; the others trade error for size control",
+    );
+    let field = nyx::velocity_x(48, 9);
+    let dims: Vec<usize> = field.dims().extents().to_vec();
+    let modes: Vec<(String, ZfpMode)> = vec![
+        ("accuracy 1e-1".into(), ZfpMode::FixedAccuracy(1e-1)),
+        ("accuracy 1e-3".into(), ZfpMode::FixedAccuracy(1e-3)),
+        ("precision 16".into(), ZfpMode::FixedPrecision(16)),
+        ("precision 28".into(), ZfpMode::FixedPrecision(28)),
+        ("rate 4 bpv".into(), ZfpMode::FixedRate(4.0)),
+        ("rate 12 bpv".into(), ZfpMode::FixedRate(12.0)),
+    ];
+    println!("{:<16} {:>8} {:>10} {:>14}", "mode", "ratio", "bpv", "max error");
+    for (name, mode) in modes {
+        let out = compress(&field.data, &dims, &mode).expect("compress");
+        let (rec, _) = decompress(&out.bytes).expect("decompress");
+        println!(
+            "{:<16} {:>7.2}x {:>10.2} {:>14.3e}",
+            name,
+            out.stats.ratio(),
+            out.stats.bits_per_element(),
+            max_err(&field.data, &rec)
+        );
+    }
+}

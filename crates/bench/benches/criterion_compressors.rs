@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of both codecs: compression and
+//! decompression throughput on a NYX-like field at two error bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcpio_datagen::nyx;
+use lcpio_sz::{self as sz, ErrorBound, SzConfig};
+use lcpio_zfp::{self as zfp, ZfpMode};
+
+fn bench_compressors(c: &mut Criterion) {
+    let field = nyx::velocity_x(48, 11);
+    let dims: Vec<usize> = field.dims().extents().to_vec();
+    let bytes = field.data.len() as u64 * 4;
+
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(bytes));
+    for eb in [1e-2f64, 1e-4] {
+        group.bench_with_input(BenchmarkId::new("sz", format!("{eb:e}")), &eb, |b, &eb| {
+            let cfg = SzConfig::new(ErrorBound::Absolute(eb));
+            b.iter(|| sz::compress(&field.data, &dims, &cfg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("zfp", format!("{eb:e}")), &eb, |b, &eb| {
+            let mode = ZfpMode::FixedAccuracy(eb);
+            b.iter(|| zfp::compress(&field.data, &dims, &mode).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    for eb in [1e-2f64, 1e-4] {
+        let sz_stream = sz::compress(
+            &field.data,
+            &dims,
+            &SzConfig::new(ErrorBound::Absolute(eb)),
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("sz", format!("{eb:e}")),
+            &sz_stream.bytes,
+            |b, bytes| b.iter(|| sz::decompress(bytes).unwrap()),
+        );
+        let zfp_stream =
+            zfp::compress(&field.data, &dims, &ZfpMode::FixedAccuracy(eb)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("zfp", format!("{eb:e}")),
+            &zfp_stream.bytes,
+            |b, bytes| b.iter(|| zfp::decompress(bytes).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compressors
+}
+criterion_main!(benches);

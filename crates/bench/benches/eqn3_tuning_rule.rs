@@ -1,0 +1,34 @@
+//! Eqn 3 and the §V-A3 savings numbers.
+//!
+//! Paper: f_IO = 0.875 f_max (compression) / 0.85 f_max (writing), giving
+//! 19.4% / 11.2% power savings, +7.5% / +9.3% runtime, 14.3% combined
+//! savings at +8.4% combined runtime.
+
+use lcpio_bench::{banner, paper_sweep};
+use lcpio_core::characteristics::{
+    compression_power_curves, compression_runtime_curves, transit_power_curves,
+    transit_runtime_curves,
+};
+use lcpio_core::report::render_tuning;
+use lcpio_core::tuning::{derive_rule, evaluate_rule, TuningRule};
+
+fn main() {
+    banner(
+        "EQN 3 — frequency tuning rule evaluation",
+        "19.4%/11.2% power savings, +7.5%/+9.3% runtime, 14.3% combined",
+    );
+    let sweep = paper_sweep();
+    let cp = compression_power_curves(&sweep.compression);
+    let cr = compression_runtime_curves(&sweep.compression);
+    let wp = transit_power_curves(&sweep.transit);
+    let wr = transit_runtime_curves(&sweep.transit);
+
+    let report = evaluate_rule(TuningRule::PAPER, &cp, &cr, &wp, &wr);
+    println!("{}", render_tuning(&report));
+
+    let derived = derive_rule(&cp, &cr, &wp, &wr);
+    println!(
+        "energy-optimal fractions derived from the measured curves (<=10% runtime):\n  compression {:.3}, writing {:.3}   (paper Eqn 3: 0.875 / 0.850)",
+        derived.compression_fraction, derived.writing_fraction
+    );
+}

@@ -1,0 +1,32 @@
+//! Extension: the paper's future work — do the trends hold on a different
+//! CPU? Sweeps the EPYC-like part, fits the same model family, and
+//! compares Eqn 3 against a natively derived rule.
+
+use lcpio_bench::banner;
+use lcpio_core::experiment::ExperimentConfig;
+use lcpio_core::generalization::run_generalization;
+
+fn main() {
+    banner(
+        "EXTENSION — generalization to a third CPU (EPYC-like)",
+        "paper §VI-B: 'whether these trends hold on different CPUs' (future work)",
+    );
+    let mut cfg = ExperimentConfig::paper();
+    cfg.scale = cfg.scale.max(1024); // the study needs breadth, not sample size
+    cfg.reps = 5;
+    let r = run_generalization(&cfg);
+    println!("fitted model: P(f) = {}   (RMSE {:.4})", r.model.fit.equation(), r.model.fit.gof.rmse);
+    println!(
+        "paper Eqn 3 applied blindly:  power savings {:>5.1}%, runtime +{:>4.1}%, energy savings {:>5.1}%",
+        r.paper_rule.compression_power_savings * 100.0,
+        r.paper_rule.compression_runtime_increase * 100.0,
+        r.paper_rule.compression_energy_savings * 100.0
+    );
+    println!(
+        "native rule ({:.3}·f_max):    power savings {:>5.1}%, runtime +{:>4.1}%, energy savings {:>5.1}%",
+        r.native_rule.compression_fraction,
+        r.native_report.compression_power_savings * 100.0,
+        r.native_report.compression_runtime_increase * 100.0,
+        r.native_report.compression_energy_savings * 100.0
+    );
+}

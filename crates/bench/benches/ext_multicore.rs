@@ -1,0 +1,51 @@
+//! Extension: node-level (multi-core) scaling of the paper's conclusion.
+//!
+//! At node scale the dump becomes bandwidth-bound, so DVFS tuning costs
+//! even less runtime than the single-core +7.5% — the regime the paper's
+//! exascale motivation points at.
+
+use lcpio_bench::banner;
+use lcpio_powersim::multicore::NodeSpec;
+use lcpio_powersim::{simulate, Chip, Machine, WorkProfile};
+
+fn main() {
+    banner(
+        "EXTENSION — node-level (multi-core) tuning",
+        "single-core: 19% power / +7.5% runtime; saturated nodes do better",
+    );
+    let job = WorkProfile { compute_cycles: 240e9, memory_bytes: 1280e9, ..Default::default() };
+    for chip in Chip::ALL {
+        let m = Machine::for_chip(chip);
+        let fmax = m.cpu.f_max_ghz;
+        let tuned_f = m.cpu.snap(0.875 * fmax);
+        println!("\n{} (f_max {fmax:.2} GHz, tuned {tuned_f:.2} GHz):", chip.name());
+        println!(
+            "{:>7} {:>12} {:>12} {:>14} {:>16}",
+            "cores", "base s", "base kJ", "energy saved", "runtime cost"
+        );
+        // cores = 1 uses the plain single-core model for reference.
+        let base1 = simulate(&m, fmax, &job);
+        let tuned1 = simulate(&m, tuned_f, &job);
+        println!(
+            "{:>7} {:>12.1} {:>12.2} {:>13.1}% {:>15.1}%",
+            1,
+            base1.runtime_s,
+            base1.energy_j / 1e3,
+            (1.0 - tuned1.energy_j / base1.energy_j) * 100.0,
+            (tuned1.runtime_s / base1.runtime_s - 1.0) * 100.0
+        );
+        for cores in [4u32, 8, 16] {
+            let node = NodeSpec::for_machine(&m, cores);
+            let base = node.simulate(&m, fmax, &job, cores);
+            let tuned = node.simulate(&m, tuned_f, &job, cores);
+            println!(
+                "{:>7} {:>12.1} {:>12.2} {:>13.1}% {:>15.1}%",
+                cores,
+                base.runtime_s,
+                base.energy_j / 1e3,
+                (1.0 - tuned.energy_j / base.energy_j) * 100.0,
+                (tuned.runtime_s / base.runtime_s - 1.0) * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 2 — compression scaled runtime characteristics.
+//!
+//! Paper shape: runtime is minimal at f_max (scaled 1.0) and grows toward
+//! low frequency; SZ and ZFP overlap; −12.5% frequency costs ≈ +7.5%.
+
+use lcpio_bench::{banner, paper_sweep};
+use lcpio_core::characteristics::compression_runtime_curves;
+use lcpio_core::report::render_curves;
+
+fn main() {
+    banner(
+        "FIGURE 2 — compression scaled runtime characteristics",
+        "best runtime at max clock; SZ and ZFP overlap; +7.5% at -12.5% frequency",
+    );
+    let sweep = paper_sweep();
+    let curves = compression_runtime_curves(&sweep.compression);
+    println!("{}", render_curves("scaled runtime vs frequency (95% CI)", &curves));
+    for c in &curves {
+        let fmax = c.chip.spec().f_max_ghz;
+        let at_tuned = c.value_at(0.875 * fmax);
+        println!("{:<16} runtime at 0.875 f_max: {:.3} (paper: ~1.075)", c.label, at_tuned);
+    }
+}

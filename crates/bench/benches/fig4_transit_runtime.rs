@@ -1,0 +1,28 @@
+//! Figure 4 — data transit scaled runtime characteristics.
+//!
+//! Paper shape: lowest runtime at max clock; Broadwell is clearly
+//! frequency-sensitive (+9.3% at −15%) while Skylake's write runtime is
+//! nearly stagnant across the ladder.
+
+use lcpio_bench::{banner, paper_sweep};
+use lcpio_core::characteristics::transit_runtime_curves;
+use lcpio_core::report::render_curves;
+
+fn main() {
+    banner(
+        "FIGURE 4 — data transit scaled runtime characteristics",
+        "+9.3% at -15% frequency on Broadwell; Skylake stagnant",
+    );
+    let sweep = paper_sweep();
+    let curves = transit_runtime_curves(&sweep.transit);
+    println!("{}", render_curves("scaled runtime vs frequency (95% CI)", &curves));
+    for c in &curves {
+        let fmax = c.chip.spec().f_max_ghz;
+        println!(
+            "{:<12} runtime at 0.85 f_max: {:.3}   at f_min: {:.3}",
+            c.label,
+            c.value_at(0.85 * fmax),
+            c.floor()
+        );
+    }
+}

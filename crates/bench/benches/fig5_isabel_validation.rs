@@ -1,0 +1,36 @@
+//! Figure 5 — Broadwell power-consumption model validated on data it never
+//! saw: six Hurricane-ISABEL fields at error bound 1e-4.
+//!
+//! Paper: SSE = 0.1463, RMSE = 0.0256 — "the model estimates power
+//! behavior well, even with data not factored into our model."
+
+use lcpio_bench::{banner, paper_sweep};
+use lcpio_core::models::{compression_model_table, row};
+use lcpio_core::report::render_curves;
+use lcpio_core::validation::{validate_on_isabel, ValidationConfig};
+
+fn main() {
+    banner(
+        "FIGURE 5 — Broadwell chip model for power consumption (ISABEL validation)",
+        "SSE 0.1463, RMSE 0.0256 on unseen Hurricane-ISABEL fields",
+    );
+    println!("fitting the Broadwell model on CESM/HACC/NYX...");
+    let sweep = paper_sweep();
+    let t4 = compression_model_table(&sweep.compression);
+    let bd = row(&t4, "Broadwell").expect("table IV always has a Broadwell row");
+    println!("  model: P(f) = {}\n", bd.fit.equation());
+
+    println!("validating on ISABEL (PRECIP, P, TC, U, V, W at eb 1e-4, SZ + ZFP)...");
+    let result = validate_on_isabel(&ValidationConfig::paper(), &bd.fit);
+    println!(
+        "  SSE = {:.4}   RMSE = {:.4}   (paper: 0.1463 / 0.0256)\n",
+        result.gof.sse, result.gof.rmse
+    );
+    println!(
+        "{}",
+        render_curves(
+            "measured vs predicted scaled power",
+            &[result.measured, result.predicted]
+        )
+    );
+}

@@ -1,0 +1,36 @@
+//! Table II — the hardware utilized, as simulated CPU specifications.
+
+use lcpio_bench::banner;
+use lcpio_powersim::Chip;
+
+fn main() {
+    banner(
+        "TABLE II — hardware utilized",
+        "m510 Xeon D-1548 0.8-2.0GHz Broadwell; c220g5 Xeon Silver 4114 0.8-2.2GHz Skylake",
+    );
+    println!(
+        "{:<10} {:<18} {:<22} {:<10} {:>6} {:>8}",
+        "CloudLab", "CPU", "CPU Min - Base Clock", "Series", "TDP", "steps"
+    );
+    for (node, chip) in [("m510", Chip::Broadwell), ("c220g5", Chip::Skylake)] {
+        let s = chip.spec();
+        println!(
+            "{:<10} {:<18} {:<22} {:<10} {:>5}W {:>8}",
+            node,
+            s.model,
+            format!("{:.1}GHz - {:.1}GHz", s.f_min_ghz, s.f_max_ghz),
+            chip.name(),
+            s.tdp_w,
+            s.ladder_len()
+        );
+    }
+    println!("\nvoltage-frequency curves (the architectural difference behind Table IV):");
+    for chip in Chip::ALL {
+        let s = chip.spec();
+        print!("  {:<10}", chip.name());
+        for f in s.ladder().step_by(4) {
+            print!(" {:.2}GHz:{:.3}V", f, s.voltage(f));
+        }
+        println!();
+    }
+}

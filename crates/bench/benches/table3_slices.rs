@@ -1,0 +1,33 @@
+//! Table III — the model slices and the record counts they regress on.
+
+use lcpio_bench::{banner, paper_sweep};
+use lcpio_core::slicing::{CompressionSlice, TransitSlice};
+
+fn main() {
+    banner(
+        "TABLE III — models produced for tuning",
+        "five compression slices (Total/SZ/ZFP/Broadwell/Skylake), three transit slices",
+    );
+    let sweep = paper_sweep();
+    println!("{:<11} {:<24} {:<22} {:>8}", "Model Data", "Compressor(s)", "CPU(s)", "records");
+    for slice in CompressionSlice::ALL {
+        let (comps, cpus) = match slice {
+            CompressionSlice::Total => ("SZ, ZFP", "Broadwell, Skylake"),
+            CompressionSlice::Sz => ("SZ", "Broadwell, Skylake"),
+            CompressionSlice::Zfp => ("ZFP", "Broadwell, Skylake"),
+            CompressionSlice::Broadwell => ("SZ, ZFP", "Broadwell"),
+            CompressionSlice::Skylake => ("SZ, ZFP", "Skylake"),
+        };
+        println!(
+            "{:<11} {:<24} {:<22} {:>8}",
+            slice.name(),
+            comps,
+            cpus,
+            slice.filter(&sweep.compression).len()
+        );
+    }
+    println!("\ndata-transit slices:");
+    for slice in TransitSlice::ALL {
+        println!("{:<11} {:>8} records", slice.name(), slice.filter(&sweep.transit).len());
+    }
+}

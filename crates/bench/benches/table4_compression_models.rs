@@ -1,0 +1,28 @@
+//! Table IV — model equations and goodness of fit for compression.
+//!
+//! Paper values for comparison:
+//! ```text
+//! Total      0.0086f^4.038  + 0.757    SSE 11.407  RMSE 0.0442  R2 0.5771
+//! SZ         0.0107f^3.788  + 0.754    SSE  5.964  RMSE 0.0441  R2 0.5864
+//! ZFP        0.0062f^4.414  + 0.7589   SSE  5.359  RMSE 0.0440  R2 0.5725
+//! Broadwell  0.0064f^5.315  + 0.7429   SSE  2.463  RMSE 0.0279  R2 0.8731
+//! Skylake    2.235e-9f^23.31+ 0.7941   SSE  1.372  RMSE 0.0226  R2 0.8185
+//! ```
+
+use lcpio_bench::{banner, paper_sweep};
+use lcpio_core::models::{compression_model_table, hardware_dominates};
+use lcpio_core::report::render_model_table;
+
+fn main() {
+    banner(
+        "TABLE IV — model equations and GF for compression",
+        "per-chip fits beat pooled fits; Skylake exponent >> Broadwell exponent",
+    );
+    let sweep = paper_sweep();
+    let table = compression_model_table(&sweep.compression);
+    println!("{}", render_model_table("measured:", &table));
+    println!(
+        "hardware dominates fit quality (paper's key finding): {}",
+        hardware_dominates(&table)
+    );
+}

@@ -1,0 +1,26 @@
+//! Table V — model equations and goodness of fit for data transit.
+//!
+//! Paper values for comparison:
+//! ```text
+//! Total      0.0133f^3.379 + 0.7985   SSE 0.8446   RMSE 0.05631  R2 0.4361
+//! Broadwell  0.0261f^3.395 + 0.7097   SSE 0.03423  RMSE 0.01675  R2 0.9578
+//! Skylake    9.095e-9f^20.9 + 0.888   SSE 0.07875  RMSE 0.02355  R2 0.5992
+//! ```
+
+use lcpio_bench::{banner, paper_sweep};
+use lcpio_core::models::{hardware_dominates, transit_model_table};
+use lcpio_core::report::render_model_table;
+
+fn main() {
+    banner(
+        "TABLE V — models and GF, data transit",
+        "per-chip transit fits beat the pooled fit (SSE/RMSE minimized per CPU)",
+    );
+    let sweep = paper_sweep();
+    let table = transit_model_table(&sweep.transit);
+    println!("{}", render_model_table("measured:", &table));
+    println!(
+        "hardware dominates fit quality (paper's key finding): {}",
+        hardware_dominates(&table)
+    );
+}

@@ -1,0 +1,264 @@
+//! Scaled characteristic curves — Figures 1–4.
+//!
+//! §V-A: to compare chips with different TDPs, every measurement group is
+//! normalized by its own value at the chip's maximum clock. A group is one
+//! (chip, compressor, dataset, error-bound) combination for compression,
+//! or one (chip, payload size) for transit. The figures then plot the
+//! mean scaled value per frequency with a 95% confidence band across the
+//! group members — which is also why the error-bound curves in Figure 1
+//! are "close to indiscernible": scaling factors out the magnitude
+//! differences between bounds.
+
+use crate::records::{CompressionRecord, TransitRecord};
+use lcpio_powersim::Chip;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One point of a characteristic curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Core clock (GHz).
+    pub f_ghz: f64,
+    /// Mean scaled value across the group members.
+    pub mean: f64,
+    /// 95% CI half-width across the group members.
+    pub ci95: f64,
+}
+
+/// One labelled curve (e.g. "Broadwell-SZ").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveSeries {
+    /// Display label.
+    pub label: String,
+    /// Chip the frequency axis belongs to.
+    pub chip: Chip,
+    /// Points ordered by frequency.
+    pub points: Vec<CurvePoint>,
+}
+
+impl CurveSeries {
+    /// Scaled value at the lowest frequency (the curve's floor).
+    pub fn floor(&self) -> f64 {
+        self.points.first().map(|p| p.mean).unwrap_or(f64::NAN)
+    }
+
+    /// Scaled value at the highest frequency (≈1 by construction).
+    pub fn at_fmax(&self) -> f64 {
+        self.points.last().map(|p| p.mean).unwrap_or(f64::NAN)
+    }
+
+    /// Linear interpolation of the curve at `f_ghz`.
+    pub fn value_at(&self, f_ghz: f64) -> f64 {
+        if self.points.is_empty() {
+            return f64::NAN;
+        }
+        if f_ghz <= self.points[0].f_ghz {
+            return self.points[0].mean;
+        }
+        for w in self.points.windows(2) {
+            if f_ghz <= w[1].f_ghz {
+                let t = (f_ghz - w[0].f_ghz) / (w[1].f_ghz - w[0].f_ghz);
+                return w[0].mean + t * (w[1].mean - w[0].mean);
+            }
+        }
+        self.points.last().unwrap().mean
+    }
+}
+
+fn freq_key(f: f64) -> i64 {
+    (f * 1000.0).round() as i64
+}
+
+fn mean_ci(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * var.sqrt() / n.sqrt())
+}
+
+/// Generic scaled-curve builder: `group(record)` identifies the scaling
+/// group, `series(record)` the output curve, `value(record)` the quantity.
+fn build_curves<R>(
+    recs: &[R],
+    group: impl Fn(&R) -> u64,
+    series: impl Fn(&R) -> (String, Chip),
+    f_of: impl Fn(&R) -> f64,
+    value: impl Fn(&R) -> f64,
+) -> Vec<CurveSeries> {
+    // Scaling baseline: the group's value at its maximum frequency.
+    let mut group_fmax: HashMap<u64, (f64, f64)> = HashMap::new(); // (fmax, value)
+    for r in recs {
+        let g = group(r);
+        let f = f_of(r);
+        let e = group_fmax.entry(g).or_insert((f64::NEG_INFINITY, 1.0));
+        if f > e.0 {
+            *e = (f, value(r));
+        }
+    }
+    // Accumulate scaled values per (series, frequency).
+    let mut acc: HashMap<(String, i64), Vec<f64>> = HashMap::new();
+    let mut chips: HashMap<String, Chip> = HashMap::new();
+    for r in recs {
+        let (label, chip) = series(r);
+        chips.insert(label.clone(), chip);
+        let base = group_fmax[&group(r)].1;
+        if base > 0.0 {
+            acc.entry((label, freq_key(f_of(r)))).or_default().push(value(r) / base);
+        }
+    }
+    // Assemble ordered series.
+    let mut out: Vec<CurveSeries> = chips
+        .into_iter()
+        .map(|(label, chip)| {
+            let mut points: Vec<CurvePoint> = acc
+                .iter()
+                .filter(|((l, _), _)| *l == label)
+                .map(|((_, fk), vals)| {
+                    let (mean, ci95) = mean_ci(vals);
+                    CurvePoint { f_ghz: *fk as f64 / 1000.0, mean, ci95 }
+                })
+                .collect();
+            points.sort_by(|a, b| a.f_ghz.partial_cmp(&b.f_ghz).unwrap());
+            CurveSeries { label, chip, points }
+        })
+        .collect();
+    out.sort_by(|a, b| a.label.cmp(&b.label));
+    out
+}
+
+fn comp_group_key(r: &CompressionRecord) -> u64 {
+    let chip = r.chip as u64;
+    let comp = r.compressor as u64;
+    let ds = r.dataset as u64;
+    (chip << 60) ^ (comp << 56) ^ (ds << 50) ^ r.error_bound.to_bits()
+}
+
+/// Figure 1: compression scaled power, one curve per (chip, compressor).
+pub fn compression_power_curves(recs: &[CompressionRecord]) -> Vec<CurveSeries> {
+    build_curves(
+        recs,
+        comp_group_key,
+        |r| (format!("{}-{}", r.chip.name(), r.compressor.name()), r.chip),
+        |r| r.f_ghz,
+        |r| r.power_w,
+    )
+}
+
+/// Figure 2: compression scaled runtime.
+pub fn compression_runtime_curves(recs: &[CompressionRecord]) -> Vec<CurveSeries> {
+    build_curves(
+        recs,
+        comp_group_key,
+        |r| (format!("{}-{}", r.chip.name(), r.compressor.name()), r.chip),
+        |r| r.f_ghz,
+        |r| r.runtime_s,
+    )
+}
+
+fn transit_group_key(r: &TransitRecord) -> u64 {
+    ((r.chip as u64) << 60) ^ r.bytes.to_bits()
+}
+
+/// Figure 3: transit scaled power, one curve per chip (sizes are group
+/// members — the paper found no size dependence after scaling).
+pub fn transit_power_curves(recs: &[TransitRecord]) -> Vec<CurveSeries> {
+    build_curves(
+        recs,
+        transit_group_key,
+        |r| (r.chip.name().to_string(), r.chip),
+        |r| r.f_ghz,
+        |r| r.power_w,
+    )
+}
+
+/// Figure 4: transit scaled runtime.
+pub fn transit_runtime_curves(recs: &[TransitRecord]) -> Vec<CurveSeries> {
+    build_curves(
+        recs,
+        transit_group_key,
+        |r| (r.chip.name().to_string(), r.chip),
+        |r| r.f_ghz,
+        |r| r.runtime_s,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_compression_sweep, run_transit_sweep, ExperimentConfig};
+
+    fn quick_recs() -> Vec<CompressionRecord> {
+        run_compression_sweep(&ExperimentConfig::quick())
+    }
+
+    #[test]
+    fn four_compression_series_normalized_at_fmax() {
+        let curves = compression_power_curves(&quick_recs());
+        assert_eq!(curves.len(), 4, "{:?}", curves.iter().map(|c| &c.label).collect::<Vec<_>>());
+        for c in &curves {
+            assert!((c.at_fmax() - 1.0).abs() < 0.05, "{}: {}", c.label, c.at_fmax());
+            assert!(c.floor() < 1.0, "{}: floor {}", c.label, c.floor());
+        }
+    }
+
+    #[test]
+    fn power_floor_matches_paper_bands() {
+        // Figure 1: compression scaled power bottoms around 0.7–0.85.
+        for c in compression_power_curves(&quick_recs()) {
+            assert!((0.6..0.95).contains(&c.floor()), "{}: {}", c.label, c.floor());
+        }
+    }
+
+    #[test]
+    fn runtime_curves_peak_at_low_frequency() {
+        // Figure 2: runtime at f_min is the maximum (>1), at f_max = 1.
+        for c in compression_runtime_curves(&quick_recs()) {
+            assert!((c.at_fmax() - 1.0).abs() < 0.05);
+            assert!(c.floor() > 1.2, "{}: {}", c.label, c.floor());
+        }
+    }
+
+    #[test]
+    fn transit_power_range_is_narrower_than_compression() {
+        let cfg = ExperimentConfig::quick();
+        let comp = compression_power_curves(&run_compression_sweep(&cfg));
+        let tran = transit_power_curves(&run_transit_sweep(&cfg));
+        assert_eq!(tran.len(), 2);
+        let comp_floor: f64 =
+            comp.iter().map(|c| c.floor()).sum::<f64>() / comp.len() as f64;
+        let tran_floor: f64 =
+            tran.iter().map(|c| c.floor()).sum::<f64>() / tran.len() as f64;
+        assert!(
+            tran_floor > comp_floor,
+            "transit floor {tran_floor} should exceed compression floor {comp_floor}"
+        );
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let s = CurveSeries {
+            label: "t".into(),
+            chip: Chip::Broadwell,
+            points: vec![
+                CurvePoint { f_ghz: 1.0, mean: 0.8, ci95: 0.0 },
+                CurvePoint { f_ghz: 2.0, mean: 1.0, ci95: 0.0 },
+            ],
+        };
+        assert!((s.value_at(1.5) - 0.9).abs() < 1e-12);
+        assert_eq!(s.value_at(0.5), 0.8);
+        assert_eq!(s.value_at(2.5), 1.0);
+    }
+
+    #[test]
+    fn confidence_bands_exist_with_noise() {
+        let curves = compression_power_curves(&quick_recs());
+        let any_ci = curves
+            .iter()
+            .flat_map(|c| &c.points)
+            .any(|p| p.ci95 > 0.0);
+        assert!(any_ci, "noisy sweeps must produce nonzero CI bands");
+    }
+}

@@ -1,0 +1,218 @@
+//! Checkpoint/restart workflow energy — extension.
+//!
+//! The paper's related work (Morán et al., IEEE Access'19) optimizes
+//! checkpoint/restart energy with DVFS; the paper itself tunes the
+//! compress+dump pipeline those checkpoints are made of. This module puts
+//! the two together: a long-running simulation that periodically dumps a
+//! compressed checkpoint, with Eqn-3 tuning applied *only* during the dump
+//! phases (the simulation itself keeps the full clock — §I: "when a user
+//! runs simulations, one needs the full CPU power").
+
+use crate::records::Compressor;
+use crate::tuning::TuningRule;
+use crate::workmap::CostModel;
+use lcpio_datagen::nyx;
+use lcpio_powersim::{simulate, Chip, Machine, WorkProfile};
+use lcpio_sz as sz;
+use lcpio_zfp as zfp;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the checkpointing job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Simulation compute between checkpoints (cycles).
+    pub step_cycles: f64,
+    /// Simulation memory traffic between checkpoints (bytes).
+    pub step_memory_bytes: f64,
+    /// Number of checkpoints over the job.
+    pub checkpoints: u32,
+    /// Uncompressed size of one checkpoint (bytes).
+    pub checkpoint_bytes: f64,
+    /// Error bound for checkpoint compression.
+    pub error_bound: f64,
+    /// Chip running the job.
+    pub chip: Chip,
+    /// Compressor for the checkpoints.
+    pub compressor: Compressor,
+    /// Sample cube side for work characterization.
+    pub sample_side: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Tuning rule applied during dump phases.
+    pub rule: TuningRule,
+    /// Cost-model constants.
+    pub cost_model: CostModel,
+}
+
+impl CheckpointConfig {
+    /// A HACC-like job: ~30 min of simulation per 64 GB checkpoint, ×10.
+    pub fn paper_like() -> Self {
+        CheckpointConfig {
+            step_cycles: 3.6e12,       // ~30 min at 2 GHz
+            step_memory_bytes: 1.5e13, // heavily memory-traffic-bound steps
+            checkpoints: 10,
+            checkpoint_bytes: 64e9,
+            error_bound: 1e-3,
+            chip: Chip::Broadwell,
+            compressor: Compressor::Sz,
+            sample_side: 64,
+            seed: 0xC4EC,
+            rule: TuningRule::PAPER,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Small settings for tests.
+    pub fn quick() -> Self {
+        CheckpointConfig {
+            checkpoints: 3,
+            sample_side: 24,
+            step_cycles: 1e11,
+            step_memory_bytes: 4e11,
+            ..Self::paper_like()
+        }
+    }
+}
+
+/// Energy/runtime breakdown of the whole job under one policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Simulation-phase energy (J).
+    pub simulation_j: f64,
+    /// Checkpoint compression energy (J).
+    pub compression_j: f64,
+    /// Checkpoint write energy (J).
+    pub writing_j: f64,
+    /// Total runtime (s).
+    pub runtime_s: f64,
+}
+
+impl JobOutcome {
+    /// Total energy (J).
+    pub fn total_j(&self) -> f64 {
+        self.simulation_j + self.compression_j + self.writing_j
+    }
+}
+
+/// Result of the checkpoint study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointResult {
+    /// Everything at base clock.
+    pub base: JobOutcome,
+    /// Dump phases tuned by Eqn 3 (simulation stays at f_max).
+    pub tuned: JobOutcome,
+    /// Compression ratio of the checkpoints.
+    pub ratio: f64,
+}
+
+impl CheckpointResult {
+    /// Whole-job energy savings from dump-phase tuning.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.tuned.total_j() / self.base.total_j()
+    }
+
+    /// Whole-job runtime cost of the tuning.
+    pub fn runtime_increase(&self) -> f64 {
+        self.tuned.runtime_s / self.base.runtime_s - 1.0
+    }
+
+    /// Share of base-clock energy spent in dump (compress+write) phases.
+    pub fn dump_share(&self) -> f64 {
+        (self.base.compression_j + self.base.writing_j) / self.base.total_j()
+    }
+}
+
+/// Run the study.
+pub fn run_checkpoint_study(cfg: &CheckpointConfig) -> CheckpointResult {
+    let machine = Machine::for_chip(cfg.chip);
+    let fmax = machine.cpu.f_max_ghz;
+    let f_comp = machine.cpu.snap(cfg.rule.compression_fraction * fmax);
+    let f_write = machine.cpu.snap(cfg.rule.writing_fraction * fmax);
+
+    // Characterize checkpoint compression on a sample field.
+    let field = nyx::velocity_x(cfg.sample_side, cfg.seed);
+    let dims: Vec<usize> = field.dims().extents().to_vec();
+    let scale = cfg.checkpoint_bytes / field.sample_bytes() as f64;
+    let (comp_profile, ratio) = match cfg.compressor {
+        Compressor::Sz => {
+            let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(cfg.error_bound));
+            let out = sz::compress(&field.data, &dims, &sc).expect("samples compress");
+            (cfg.cost_model.sz_profile(&out.stats, scale), out.stats.ratio())
+        }
+        Compressor::Zfp => {
+            let out =
+                zfp::compress(&field.data, &dims, &zfp::ZfpMode::FixedAccuracy(cfg.error_bound))
+                    .expect("samples compress");
+            (cfg.cost_model.zfp_profile(&out.stats, scale), out.stats.ratio())
+        }
+    };
+    let write_profile = machine.nfs.write_profile(cfg.checkpoint_bytes / ratio);
+    let sim_profile = WorkProfile {
+        compute_cycles: cfg.step_cycles,
+        memory_bytes: cfg.step_memory_bytes,
+        ..Default::default()
+    };
+
+    let n = cfg.checkpoints as f64;
+    let outcome = |fc: f64, fw: f64| -> JobOutcome {
+        let sim = simulate(&machine, fmax, &sim_profile); // simulation never tuned
+        let comp = simulate(&machine, fc, &comp_profile);
+        let write = simulate(&machine, fw, &write_profile);
+        JobOutcome {
+            simulation_j: sim.energy_j * n,
+            compression_j: comp.energy_j * n,
+            writing_j: write.energy_j * n,
+            runtime_s: (sim.runtime_s + comp.runtime_s + write.runtime_s) * n,
+        }
+    };
+    CheckpointResult { base: outcome(fmax, fmax), tuned: outcome(f_comp, f_write), ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_tuning_saves_whole_job_energy() {
+        let r = run_checkpoint_study(&CheckpointConfig::quick());
+        assert!(r.savings() > 0.0, "savings {}", r.savings());
+        assert!(r.ratio > 1.0);
+    }
+
+    #[test]
+    fn simulation_phase_is_untouched() {
+        let r = run_checkpoint_study(&CheckpointConfig::quick());
+        assert_eq!(r.base.simulation_j, r.tuned.simulation_j);
+    }
+
+    #[test]
+    fn whole_job_runtime_cost_is_diluted() {
+        // Tuning only the dump phases: the whole-job runtime increase must
+        // be smaller than the dump-phase-only increase (~8%).
+        let r = run_checkpoint_study(&CheckpointConfig::paper_like());
+        assert!(
+            r.runtime_increase() < 0.08,
+            "whole-job runtime increase {}",
+            r.runtime_increase()
+        );
+        assert!(r.runtime_increase() > 0.0);
+    }
+
+    #[test]
+    fn savings_scale_with_dump_share() {
+        // More frequent checkpoints → dump phases dominate → bigger savings.
+        let rare = CheckpointConfig { step_cycles: 1e12, ..CheckpointConfig::quick() };
+        let frequent = CheckpointConfig { step_cycles: 1e10, ..CheckpointConfig::quick() };
+        let r_rare = run_checkpoint_study(&rare);
+        let r_freq = run_checkpoint_study(&frequent);
+        assert!(r_freq.dump_share() > r_rare.dump_share());
+        assert!(r_freq.savings() > r_rare.savings());
+    }
+
+    #[test]
+    fn zfp_checkpoints_also_save() {
+        let cfg = CheckpointConfig { compressor: Compressor::Zfp, ..CheckpointConfig::quick() };
+        let r = run_checkpoint_study(&cfg);
+        assert!(r.savings() > 0.0);
+    }
+}

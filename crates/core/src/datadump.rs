@@ -1,0 +1,235 @@
+//! The 512 GB data-dump use case — Figure 6 (§VI-B).
+//!
+//! The paper compresses a 512 GB NYX `velocity_x` field with SZ at four
+//! error bounds and writes the result to NFS over 10 GbE, once at the base
+//! clock and once with Eqn-3 tuning (−12.5% for compression, −15% for the
+//! write). Tuning saves 6.5 kJ (13%) on average across the bounds.
+
+use crate::records::Compressor;
+use crate::tuning::TuningRule;
+use crate::workmap::CostModel;
+use lcpio_datagen::nyx;
+use lcpio_powersim::{simulate, Chip, Machine};
+use lcpio_sz as sz;
+use lcpio_zfp as zfp;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the dump experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataDumpConfig {
+    /// Total uncompressed volume (bytes); the paper uses 512 GB.
+    pub total_bytes: f64,
+    /// Error bounds to sweep (paper: 1e-1 … 1e-4).
+    pub error_bounds: Vec<f64>,
+    /// Chip to run on.
+    pub chip: Chip,
+    /// Compressor (paper: SZ; ZFP supported as an extension).
+    pub compressor: Compressor,
+    /// Side length of the NYX sample cube used to characterize the work.
+    pub sample_side: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// The tuning rule to compare against the base clock.
+    pub rule: TuningRule,
+    /// Cost-model constants.
+    pub cost_model: CostModel,
+}
+
+impl DataDumpConfig {
+    /// The paper's experiment.
+    pub fn paper() -> Self {
+        DataDumpConfig {
+            total_bytes: 512e9,
+            error_bounds: crate::experiment::PAPER_ERROR_BOUNDS.to_vec(),
+            chip: Chip::Broadwell,
+            compressor: Compressor::Sz,
+            sample_side: 64,
+            seed: 0x512,
+            rule: TuningRule::PAPER,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Small settings for tests.
+    pub fn quick() -> Self {
+        DataDumpConfig { sample_side: 24, error_bounds: vec![1e-1, 1e-4], ..Self::paper() }
+    }
+}
+
+/// Energy breakdown of one (error bound, policy) cell of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseEnergy {
+    /// Compression energy (J).
+    pub compression_j: f64,
+    /// Data-writing energy (J).
+    pub writing_j: f64,
+    /// Compression runtime (s).
+    pub compression_s: f64,
+    /// Writing runtime (s).
+    pub writing_s: f64,
+}
+
+impl PhaseEnergy {
+    /// Total energy (J).
+    pub fn total_j(&self) -> f64 {
+        self.compression_j + self.writing_j
+    }
+
+    /// Total runtime (s).
+    pub fn total_s(&self) -> f64 {
+        self.compression_s + self.writing_s
+    }
+}
+
+/// One error-bound row of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DumpRow {
+    /// Error bound.
+    pub error_bound: f64,
+    /// Compression ratio achieved on the sample.
+    pub ratio: f64,
+    /// Base-clock energies.
+    pub base: PhaseEnergy,
+    /// Eqn-3-tuned energies.
+    pub tuned: PhaseEnergy,
+}
+
+impl DumpRow {
+    /// Energy saved by tuning (J).
+    pub fn saved_j(&self) -> f64 {
+        self.base.total_j() - self.tuned.total_j()
+    }
+
+    /// Fractional savings.
+    pub fn savings(&self) -> f64 {
+        self.saved_j() / self.base.total_j()
+    }
+}
+
+/// Aggregate over the error bounds (the paper's "6.5 kJ, or 13%").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DumpSummary {
+    /// Mean energy saved (J).
+    pub mean_saved_j: f64,
+    /// Mean fractional savings.
+    pub mean_savings: f64,
+}
+
+/// Run the Figure 6 experiment.
+pub fn run_data_dump(cfg: &DataDumpConfig) -> (Vec<DumpRow>, DumpSummary) {
+    let machine = Machine::for_chip(cfg.chip);
+    let fmax = machine.cpu.f_max_ghz;
+    let f_comp = machine.cpu.snap(cfg.rule.compression_fraction * fmax);
+    let f_write = machine.cpu.snap(cfg.rule.writing_fraction * fmax);
+
+    let field = nyx::velocity_x(cfg.sample_side, cfg.seed);
+    let dims: Vec<usize> = field.dims().extents().to_vec();
+    let scale_factor = cfg.total_bytes / field.sample_bytes() as f64;
+
+    let mut rows = Vec::new();
+    for &eb in &cfg.error_bounds {
+        let (profile, ratio) = match cfg.compressor {
+            Compressor::Sz => {
+                let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(eb));
+                let out =
+                    sz::compress(&field.data, &dims, &sc).expect("NYX samples always compress");
+                (cfg.cost_model.sz_profile(&out.stats, scale_factor), out.stats.ratio())
+            }
+            Compressor::Zfp => {
+                let out = zfp::compress(&field.data, &dims, &zfp::ZfpMode::FixedAccuracy(eb))
+                    .expect("NYX samples always compress");
+                (cfg.cost_model.zfp_profile(&out.stats, scale_factor), out.stats.ratio())
+            }
+        };
+        let compressed_bytes = cfg.total_bytes / ratio;
+        let write = machine.nfs.write_profile(compressed_bytes);
+
+        let energy_at = |fc: f64, fw: f64| -> PhaseEnergy {
+            let c = simulate(&machine, fc, &profile);
+            let w = simulate(&machine, fw, &write);
+            PhaseEnergy {
+                compression_j: c.energy_j,
+                writing_j: w.energy_j,
+                compression_s: c.runtime_s,
+                writing_s: w.runtime_s,
+            }
+        };
+        rows.push(DumpRow {
+            error_bound: eb,
+            ratio,
+            base: energy_at(fmax, fmax),
+            tuned: energy_at(f_comp, f_write),
+        });
+    }
+    let n = rows.len().max(1) as f64;
+    let summary = DumpSummary {
+        mean_saved_j: rows.iter().map(|r| r.saved_j()).sum::<f64>() / n,
+        mean_savings: rows.iter().map(|r| r.savings()).sum::<f64>() / n,
+    };
+    (rows, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuning_always_saves_energy() {
+        let (rows, summary) = run_data_dump(&DataDumpConfig::quick());
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.saved_j() > 0.0, "eb {}: no savings", r.error_bound);
+        }
+        assert!(summary.mean_saved_j > 0.0);
+    }
+
+    #[test]
+    fn savings_fraction_matches_paper_band() {
+        // Paper: 13% on average (6.5 kJ of ~50 kJ).
+        let (_, summary) = run_data_dump(&DataDumpConfig::paper());
+        assert!(
+            (0.06..0.20).contains(&summary.mean_savings),
+            "savings {}",
+            summary.mean_savings
+        );
+    }
+
+    #[test]
+    fn absolute_energy_is_tens_of_kilojoules() {
+        // 512 GB of compression + writing lands in the 10–200 kJ decade —
+        // same order as Figure 6's tens of kJ.
+        let (rows, _) = run_data_dump(&DataDumpConfig::paper());
+        for r in &rows {
+            let kj = r.base.total_j() / 1e3;
+            assert!((10.0..400.0).contains(&kj), "eb {}: {kj} kJ", r.error_bound);
+        }
+    }
+
+    #[test]
+    fn finer_bounds_cost_more_energy_and_compress_less() {
+        let (rows, _) = run_data_dump(&DataDumpConfig::paper());
+        // rows are ordered 1e-1 → 1e-4.
+        assert!(rows.first().unwrap().ratio > rows.last().unwrap().ratio);
+        assert!(rows.first().unwrap().base.total_j() < rows.last().unwrap().base.total_j());
+    }
+
+    #[test]
+    fn writing_shrinks_with_compression_ratio() {
+        let (rows, _) = run_data_dump(&DataDumpConfig::paper());
+        for r in &rows {
+            // Compressed write must be much cheaper than compression for
+            // high ratios.
+            assert!(r.base.writing_j < r.base.compression_j, "eb {}", r.error_bound);
+        }
+    }
+
+    #[test]
+    fn zfp_variant_also_saves() {
+        let cfg = DataDumpConfig {
+            compressor: Compressor::Zfp,
+            ..DataDumpConfig::quick()
+        };
+        let (_, summary) = run_data_dump(&cfg);
+        assert!(summary.mean_savings > 0.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! The experiment pipeline: the sweeps behind every table and figure.
+//!
+//! §IV's methodology, end to end: generate (synthetic) fields, really
+//! compress them with SZ and ZFP at four error bounds, convert the
+//! measured operation counts into work profiles, then sweep the DVFS
+//! ladder of both chips measuring energy and runtime with 10 noisy
+//! repetitions per point. Compression jobs fan out across worker threads
+//! (crossbeam scoped threads); results are deterministic because every
+//! combination derives its own RNG seed from its identity, not from
+//! scheduling order.
+
+use crate::records::{CompressionRecord, Compressor, TransitRecord};
+use crate::workmap::CostModel;
+use lcpio_datagen::Dataset;
+use lcpio_powersim::{Chip, Machine, Perf};
+use lcpio_sz as sz;
+use lcpio_zfp as zfp;
+use serde::{Deserialize, Serialize};
+
+/// The paper's four error bounds (§III-A).
+pub const PAPER_ERROR_BOUNDS: [f64; 4] = [1e-1, 1e-2, 1e-3, 1e-4];
+
+/// The paper's data-transit sizes: 1–16 GB (§IV-B).
+pub const PAPER_TRANSIT_GB: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Everything needed to reproduce one full sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Element-count divisor for dataset samples (1 = full size).
+    pub scale: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Repetitions per (config, frequency) point; the paper uses 10.
+    pub reps: u32,
+    /// Absolute error bounds to compress at.
+    pub error_bounds: Vec<f64>,
+    /// Datasets to compress.
+    pub datasets: Vec<Dataset>,
+    /// Chips to sweep.
+    pub chips: Vec<Chip>,
+    /// Compressors to run.
+    pub compressors: Vec<Compressor>,
+    /// Cost-model constants (see [`CostModel`]).
+    pub cost_model: CostModel,
+    /// Measurement noise σ.
+    pub noise_sigma: f64,
+    /// Transit payload sizes in GB.
+    pub transit_gb: Vec<f64>,
+}
+
+impl ExperimentConfig {
+    /// Full paper configuration on moderately sized samples (≈0.5–1 M
+    /// elements per dataset). Runs in seconds in release mode.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            scale: 256,
+            seed: 20220530, // IPDPS-W 2022
+            reps: 10,
+            error_bounds: PAPER_ERROR_BOUNDS.to_vec(),
+            datasets: Dataset::MODEL_SETS.to_vec(),
+            chips: Chip::ALL.to_vec(),
+            compressors: Compressor::ALL.to_vec(),
+            cost_model: CostModel::default(),
+            noise_sigma: lcpio_powersim::DEFAULT_NOISE_SIGMA,
+            transit_gb: PAPER_TRANSIT_GB.to_vec(),
+        }
+    }
+
+    /// Small configuration for unit tests and debug builds.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            scale: 16384,
+            reps: 3,
+            error_bounds: vec![1e-2, 1e-4],
+            ..Self::paper()
+        }
+    }
+
+    /// Deterministic per-combination seed.
+    fn combo_seed(&self, comp: Compressor, ds: Dataset, eb_idx: usize) -> u64 {
+        let c = match comp {
+            Compressor::Sz => 1u64,
+            Compressor::Zfp => 2,
+        };
+        let d = match ds {
+            Dataset::CesmAtm => 1u64,
+            Dataset::Hacc => 2,
+            Dataset::Nyx => 3,
+            Dataset::Isabel => 4,
+        };
+        self.seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(c * 1_000_003 + d * 10_007 + eb_idx as u64)
+    }
+}
+
+/// Output of one compression run prior to the frequency sweep.
+#[derive(Debug, Clone)]
+struct CompressedJob {
+    compressor: Compressor,
+    dataset: Dataset,
+    error_bound: f64,
+    profile: lcpio_powersim::WorkProfile,
+    ratio: f64,
+    seed: u64,
+}
+
+/// Results of the full sweep (the paper's raw dataset).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// One record per (chip, compressor, dataset, eb, frequency).
+    pub compression: Vec<CompressionRecord>,
+    /// One record per (chip, size, frequency).
+    pub transit: Vec<TransitRecord>,
+}
+
+impl SweepResult {
+    /// Serialize to pretty JSON (for EXPERIMENTS.md provenance).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep serialization cannot fail")
+    }
+}
+
+/// Really compress one dataset sample and derive its work profile.
+fn run_compression_job(
+    cfg: &ExperimentConfig,
+    comp: Compressor,
+    ds: Dataset,
+    eb: f64,
+    seed: u64,
+) -> CompressedJob {
+    let field = ds.generate(cfg.scale, cfg.seed ^ 0xD5);
+    let dims: Vec<usize> = field.dims().extents().to_vec();
+    let scale_factor = field.scale_factor();
+    let (profile, ratio) = match comp {
+        Compressor::Sz => {
+            let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(eb));
+            let out = sz::compress(&field.data, &dims, &sc)
+                .expect("generated fields always compress");
+            (cfg.cost_model.sz_profile(&out.stats, scale_factor), out.stats.ratio())
+        }
+        Compressor::Zfp => {
+            let out = zfp::compress(&field.data, &dims, &zfp::ZfpMode::FixedAccuracy(eb))
+                .expect("generated fields always compress");
+            (cfg.cost_model.zfp_profile(&out.stats, scale_factor), out.stats.ratio())
+        }
+    };
+    CompressedJob { compressor: comp, dataset: ds, error_bound: eb, profile, ratio, seed }
+}
+
+/// Run the full compression sweep of §IV-A.
+pub fn run_compression_sweep(cfg: &ExperimentConfig) -> Vec<CompressionRecord> {
+    // Enumerate combinations with their deterministic seeds.
+    let combos: Vec<(Compressor, Dataset, f64, u64)> = cfg
+        .compressors
+        .iter()
+        .flat_map(|&comp| {
+            cfg.datasets.iter().flat_map(move |&ds| {
+                cfg.error_bounds
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, &eb)| (comp, ds, eb, 0u64.wrapping_add(i as u64)))
+            })
+        })
+        .map(|(comp, ds, eb, i)| (comp, ds, eb, cfg.combo_seed(comp, ds, i as usize)))
+        .collect();
+
+    // Fan the (real) compression work out over scoped worker threads.
+    let jobs: Vec<CompressedJob> = {
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(combos.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<parking_lot::Mutex<Option<CompressedJob>>> =
+            (0..combos.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..n_workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= combos.len() {
+                        break;
+                    }
+                    let (comp, ds, eb, seed) = combos[i];
+                    let job = run_compression_job(cfg, comp, ds, eb, seed);
+                    *slots[i].lock() = Some(job);
+                });
+            }
+        })
+        .expect("compression workers must not panic");
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("every combo filled"))
+            .collect()
+    };
+
+    // Frequency sweep: cheap, deterministic, sequential.
+    let mut records = Vec::new();
+    for job in &jobs {
+        for &chip in &cfg.chips {
+            let machine = Machine::for_chip(chip);
+            let mut perf = Perf::with_sigma(job.seed ^ (chip as u64) << 32, cfg.noise_sigma);
+            for f in machine.cpu.ladder() {
+                let stat = perf.measure(&machine, f, &job.profile, cfg.reps);
+                records.push(CompressionRecord {
+                    chip,
+                    compressor: job.compressor,
+                    dataset: job.dataset,
+                    error_bound: job.error_bound,
+                    f_ghz: f,
+                    power_w: stat.power_w,
+                    runtime_s: stat.runtime_s,
+                    energy_j: stat.energy_j,
+                    power_ci95_w: stat.power_ci95_w,
+                    ratio: job.ratio,
+                });
+            }
+        }
+    }
+    records
+}
+
+/// Run the data-transit sweep of §IV-B.
+pub fn run_transit_sweep(cfg: &ExperimentConfig) -> Vec<TransitRecord> {
+    let mut records = Vec::new();
+    for &chip in &cfg.chips {
+        let machine = Machine::for_chip(chip);
+        for (si, &gb) in cfg.transit_gb.iter().enumerate() {
+            let bytes = gb * 1e9;
+            let profile = machine.nfs.write_profile(bytes);
+            let mut perf = Perf::with_sigma(
+                cfg.seed ^ ((chip as u64) << 24) ^ ((si as u64) << 8),
+                cfg.noise_sigma,
+            );
+            for f in machine.cpu.ladder() {
+                let stat = perf.measure(&machine, f, &profile, cfg.reps);
+                records.push(TransitRecord {
+                    chip,
+                    bytes,
+                    f_ghz: f,
+                    power_w: stat.power_w,
+                    runtime_s: stat.runtime_s,
+                    energy_j: stat.energy_j,
+                    power_ci95_w: stat.power_ci95_w,
+                });
+            }
+        }
+    }
+    records
+}
+
+/// Run both sweeps.
+pub fn run_full_sweep(cfg: &ExperimentConfig) -> SweepResult {
+    SweepResult {
+        compression: run_compression_sweep(cfg),
+        transit: run_transit_sweep(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_all_combinations() {
+        let cfg = ExperimentConfig::quick();
+        let recs = run_compression_sweep(&cfg);
+        // 2 compressors × 3 datasets × 2 ebs × (25 + 29) frequencies.
+        assert_eq!(recs.len(), 2 * 3 * 2 * (25 + 29));
+        // All records carry positive physical quantities.
+        for r in &recs {
+            assert!(r.power_w > 0.0 && r.runtime_s > 0.0 && r.energy_j > 0.0);
+            assert!(r.ratio > 1.0, "{:?} ratio {}", r.dataset, r.ratio);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let cfg = ExperimentConfig::quick();
+        let a = run_compression_sweep(&cfg);
+        let b = run_compression_sweep(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.power_w, y.power_w);
+            assert_eq!(x.energy_j, y.energy_j);
+        }
+    }
+
+    #[test]
+    fn transit_sweep_shape() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.transit_gb = vec![1.0, 4.0];
+        let recs = run_transit_sweep(&cfg);
+        assert_eq!(recs.len(), 2 * (25 + 29));
+        // Bigger payloads take longer at the same frequency.
+        let at = |chip: Chip, gb: f64| {
+            recs.iter()
+                .find(|r| r.chip == chip && (r.bytes - gb * 1e9).abs() < 1.0 && r.f_ghz > 1.99)
+                .unwrap()
+                .runtime_s
+        };
+        assert!(at(Chip::Broadwell, 4.0) > 3.0 * at(Chip::Broadwell, 1.0));
+    }
+
+    #[test]
+    fn finer_error_bound_costs_more_energy() {
+        let cfg = ExperimentConfig::quick();
+        let recs = run_compression_sweep(&cfg);
+        // Compare mean energy at the two bounds for SZ on NYX, Broadwell.
+        let mean_energy = |eb: f64| {
+            let sel: Vec<f64> = recs
+                .iter()
+                .filter(|r| {
+                    r.chip == Chip::Broadwell
+                        && r.compressor == Compressor::Sz
+                        && r.dataset == Dataset::Nyx
+                        && (r.error_bound - eb).abs() < 1e-12
+                })
+                .map(|r| r.energy_j)
+                .collect();
+            sel.iter().sum::<f64>() / sel.len() as f64
+        };
+        assert!(mean_energy(1e-4) > mean_energy(1e-2));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.datasets = vec![Dataset::Nyx];
+        cfg.compressors = vec![Compressor::Sz];
+        cfg.error_bounds = vec![1e-2];
+        let res = run_full_sweep(&cfg);
+        let json = res.to_json();
+        let back: SweepResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.compression.len(), res.compression.len());
+        assert_eq!(back.transit.len(), res.transit.len());
+    }
+}

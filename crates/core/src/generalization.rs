@@ -1,0 +1,110 @@
+//! Generalization study (extension): does the tuning methodology hold on a
+//! CPU outside the regression set?
+//!
+//! The paper closes §VI-B with "future studies will strive to address
+//! whether these trends hold on different CPUs". The simulator makes that
+//! study runnable today: sweep the same workloads on the hypothetical
+//! [`Chip::EpycLike`] part, fit the same model family, derive a rule from
+//! *that chip's own curves*, and compare it against blindly applying the
+//! paper's Eqn 3.
+
+use crate::characteristics::{compression_power_curves, compression_runtime_curves};
+use crate::experiment::{run_compression_sweep, ExperimentConfig};
+use crate::models::ModelRow;
+use crate::tuning::{evaluate_rule, optimal_fraction, TuningReport, TuningRule};
+use lcpio_fit::powerlaw::fit_power_law;
+use lcpio_powersim::Chip;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the generalization study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneralizationResult {
+    /// Power model fitted on the new chip's sweep.
+    pub model: ModelRow,
+    /// What the paper's Eqn 3 achieves on the new chip.
+    pub paper_rule: TuningReport,
+    /// The rule derived from the new chip's own curves.
+    pub native_rule: TuningRule,
+    /// What the native rule achieves.
+    pub native_report: TuningReport,
+}
+
+/// Run the study: sweep [`Chip::EpycLike`] with the given experiment
+/// settings (datasets, bounds, reps are reused; chips are overridden).
+pub fn run_generalization(base_cfg: &ExperimentConfig) -> GeneralizationResult {
+    let mut cfg = base_cfg.clone();
+    cfg.chips = vec![Chip::EpycLike];
+    let recs = run_compression_sweep(&cfg);
+
+    // Fit the scaled power curve of the new chip.
+    let curves = compression_power_curves(&recs);
+    let runtime = compression_runtime_curves(&recs);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for c in &curves {
+        for p in &c.points {
+            xs.push(p.f_ghz);
+            ys.push(p.mean);
+        }
+    }
+    let fit = fit_power_law(&xs, &ys).expect("sweep produces fittable data");
+
+    let paper_rule = evaluate_rule(TuningRule::PAPER, &curves, &runtime, &[], &[]);
+    let native_fraction = optimal_fraction(&curves, &runtime, 0.10);
+    let native_rule = TuningRule {
+        compression_fraction: native_fraction,
+        writing_fraction: TuningRule::PAPER.writing_fraction,
+    };
+    let native_report = evaluate_rule(native_rule, &curves, &runtime, &[], &[]);
+
+    GeneralizationResult {
+        model: ModelRow { name: Chip::EpycLike.name().to_string(), fit },
+        paper_rule,
+        native_rule,
+        native_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_result() -> GeneralizationResult {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.datasets = vec![lcpio_datagen::Dataset::Nyx];
+        run_generalization(&cfg)
+    }
+
+    #[test]
+    fn model_family_fits_the_new_chip() {
+        let r = quick_result();
+        // Same functional form applies: finite parameters, sane offset,
+        // low residual error.
+        assert!(r.model.fit.b > 1.0, "b={}", r.model.fit.b);
+        assert!((0.3..1.0).contains(&r.model.fit.c), "c={}", r.model.fit.c);
+        assert!(r.model.fit.gof.rmse < 0.06, "rmse={}", r.model.fit.gof.rmse);
+    }
+
+    #[test]
+    fn paper_rule_transfers_with_positive_savings() {
+        let r = quick_result();
+        assert!(
+            r.paper_rule.compression_power_savings > 0.03,
+            "savings {}",
+            r.paper_rule.compression_power_savings
+        );
+        assert!(r.paper_rule.compression_runtime_increase < 0.12);
+    }
+
+    #[test]
+    fn native_rule_is_at_least_as_good_as_paper_rule() {
+        let r = quick_result();
+        assert!(
+            r.native_report.compression_energy_savings
+                >= r.paper_rule.compression_energy_savings - 0.01,
+            "native {} vs paper {}",
+            r.native_report.compression_energy_savings,
+            r.paper_rule.compression_energy_savings
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Read-side workflow energy (extension).
+//!
+//! The paper models the *write* path: compress → dump to NFS. Scientific
+//! workflows also pay the mirror-image cost at analysis time: fetch the
+//! compressed file from NFS and decompress it. This module extends the
+//! Eqn-3 treatment to that read path, reusing the paper's observation that
+//! I/O phases tolerate lower clocks.
+
+use crate::datadump::PhaseEnergy;
+use crate::records::Compressor;
+use crate::tuning::TuningRule;
+use crate::workmap::CostModel;
+use lcpio_datagen::nyx;
+use lcpio_powersim::{simulate, Chip, Machine};
+use lcpio_sz as sz;
+use lcpio_zfp as zfp;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the read-back experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadbackConfig {
+    /// Uncompressed volume being read back (bytes).
+    pub total_bytes: f64,
+    /// Error bound the data was compressed at.
+    pub error_bound: f64,
+    /// Chip performing the read + decompress.
+    pub chip: Chip,
+    /// Compressor that produced the file.
+    pub compressor: Compressor,
+    /// NYX sample cube side used to characterize the work.
+    pub sample_side: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Tuning rule: the *writing* fraction is applied to the network read,
+    /// the *compression* fraction to decompression.
+    pub rule: TuningRule,
+    /// Cost-model constants.
+    pub cost_model: CostModel,
+}
+
+impl ReadbackConfig {
+    /// 512 GB read-back mirroring the paper's §VI-B dump.
+    pub fn paper() -> Self {
+        ReadbackConfig {
+            total_bytes: 512e9,
+            error_bound: 1e-3,
+            chip: Chip::Broadwell,
+            compressor: Compressor::Sz,
+            sample_side: 64,
+            seed: 0x0EAD,
+            rule: TuningRule::PAPER,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Small settings for tests.
+    pub fn quick() -> Self {
+        ReadbackConfig { sample_side: 24, ..Self::paper() }
+    }
+}
+
+/// Result of the read-back study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadbackResult {
+    /// Compression ratio of the stored file.
+    pub ratio: f64,
+    /// Base-clock energies (fetch = "writing" slot, decompress =
+    /// "compression" slot of [`PhaseEnergy`]).
+    pub base: PhaseEnergy,
+    /// Tuned energies.
+    pub tuned: PhaseEnergy,
+}
+
+impl ReadbackResult {
+    /// Fractional energy savings from tuning.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.tuned.total_j() / self.base.total_j()
+    }
+}
+
+/// Run the read-back experiment.
+pub fn run_readback(cfg: &ReadbackConfig) -> ReadbackResult {
+    let machine = Machine::for_chip(cfg.chip);
+    let fmax = machine.cpu.f_max_ghz;
+    let f_fetch = machine.cpu.snap(cfg.rule.writing_fraction * fmax);
+    let f_decomp = machine.cpu.snap(cfg.rule.compression_fraction * fmax);
+
+    let field = nyx::velocity_x(cfg.sample_side, cfg.seed);
+    let dims: Vec<usize> = field.dims().extents().to_vec();
+    let scale_factor = cfg.total_bytes / field.sample_bytes() as f64;
+
+    let (decomp_profile, ratio) = match cfg.compressor {
+        Compressor::Sz => {
+            let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(cfg.error_bound));
+            let out = sz::compress(&field.data, &dims, &sc).expect("NYX samples compress");
+            (
+                cfg.cost_model.sz_decompress_profile(&out.stats, scale_factor),
+                out.stats.ratio(),
+            )
+        }
+        Compressor::Zfp => {
+            let out =
+                zfp::compress(&field.data, &dims, &zfp::ZfpMode::FixedAccuracy(cfg.error_bound))
+                    .expect("NYX samples compress");
+            // ZFP decompression mirrors compression closely; reuse the 0.7
+            // decompression discount via the SZ helper convention.
+            (cfg.cost_model.zfp_profile(&out.stats, scale_factor).scaled(0.7), out.stats.ratio())
+        }
+    };
+    let compressed_bytes = cfg.total_bytes / ratio;
+    // Reading from NFS exercises the same single-core copy path as writing.
+    let fetch_profile = machine.nfs.write_profile(compressed_bytes);
+
+    let energy_at = |ff: f64, fd: f64| -> PhaseEnergy {
+        let fetch = simulate(&machine, ff, &fetch_profile);
+        let dec = simulate(&machine, fd, &decomp_profile);
+        PhaseEnergy {
+            compression_j: dec.energy_j,
+            writing_j: fetch.energy_j,
+            compression_s: dec.runtime_s,
+            writing_s: fetch.runtime_s,
+        }
+    };
+    ReadbackResult {
+        ratio,
+        base: energy_at(fmax, fmax),
+        tuned: energy_at(f_fetch, f_decomp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readback_tuning_saves_energy() {
+        let r = run_readback(&ReadbackConfig::quick());
+        assert!(r.savings() > 0.0, "savings {}", r.savings());
+        assert!(r.ratio > 1.0);
+    }
+
+    #[test]
+    fn decompression_is_cheaper_than_compression_side() {
+        use crate::datadump::{run_data_dump, DataDumpConfig};
+        let rb = run_readback(&ReadbackConfig::quick());
+        let mut dump_cfg = DataDumpConfig::quick();
+        dump_cfg.error_bounds = vec![1e-3];
+        let (rows, _) = run_data_dump(&dump_cfg);
+        assert!(
+            rb.base.compression_j < rows[0].base.compression_j,
+            "decompress {} !< compress {}",
+            rb.base.compression_j,
+            rows[0].base.compression_j
+        );
+    }
+
+    #[test]
+    fn zfp_readback_also_saves() {
+        let cfg = ReadbackConfig { compressor: Compressor::Zfp, ..ReadbackConfig::quick() };
+        let r = run_readback(&cfg);
+        assert!(r.savings() > 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Measurement records: the rows every table and figure is built from.
+
+use lcpio_datagen::Dataset;
+use lcpio_powersim::Chip;
+use serde::{Deserialize, Serialize};
+
+/// Which lossy compressor produced a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Compressor {
+    /// The SZ-style prediction/quantization codec.
+    Sz,
+    /// The ZFP-style transform codec.
+    Zfp,
+}
+
+impl Compressor {
+    /// Both compressors, in the paper's order.
+    pub const ALL: [Compressor; 2] = [Compressor::Sz, Compressor::Zfp];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Compressor::Sz => "SZ",
+            Compressor::Zfp => "ZFP",
+        }
+    }
+}
+
+/// One averaged measurement of a compression job at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionRecord {
+    /// CPU architecture.
+    pub chip: Chip,
+    /// Compressor used.
+    pub compressor: Compressor,
+    /// Dataset compressed.
+    pub dataset: Dataset,
+    /// Absolute error bound.
+    pub error_bound: f64,
+    /// Core clock (GHz).
+    pub f_ghz: f64,
+    /// Mean average power (W) over the repetitions.
+    pub power_w: f64,
+    /// Mean runtime (s) for the full-size field.
+    pub runtime_s: f64,
+    /// Mean energy (J) for the full-size field.
+    pub energy_j: f64,
+    /// 95% CI half-width on power (W).
+    pub power_ci95_w: f64,
+    /// Compression ratio achieved on the sample.
+    pub ratio: f64,
+}
+
+/// One averaged measurement of an NFS write at one frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitRecord {
+    /// CPU architecture.
+    pub chip: Chip,
+    /// Payload size (bytes).
+    pub bytes: f64,
+    /// Core clock (GHz).
+    pub f_ghz: f64,
+    /// Mean average power (W).
+    pub power_w: f64,
+    /// Mean runtime (s).
+    pub runtime_s: f64,
+    /// Mean energy (J).
+    pub energy_j: f64,
+    /// 95% CI half-width on power (W).
+    pub power_ci95_w: f64,
+}
+
+/// Identity of one compression measurement *group*: all frequencies of the
+/// same (chip, compressor, dataset, error bound) share a scaling baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupKey {
+    /// CPU architecture.
+    pub chip: Chip,
+    /// Compressor.
+    pub compressor: Compressor,
+    /// Dataset.
+    pub dataset: Dataset,
+    /// Error bound.
+    pub error_bound: f64,
+}
+
+impl CompressionRecord {
+    /// Group key of this record.
+    pub fn group(&self) -> GroupKey {
+        GroupKey {
+            chip: self.chip,
+            compressor: self.compressor,
+            dataset: self.dataset,
+            error_bound: self.error_bound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressor_names() {
+        assert_eq!(Compressor::Sz.name(), "SZ");
+        assert_eq!(Compressor::Zfp.name(), "ZFP");
+        assert_eq!(Compressor::ALL.len(), 2);
+    }
+
+    #[test]
+    fn group_key_ignores_frequency() {
+        let mk = |f: f64| CompressionRecord {
+            chip: Chip::Broadwell,
+            compressor: Compressor::Sz,
+            dataset: Dataset::Nyx,
+            error_bound: 1e-3,
+            f_ghz: f,
+            power_w: 10.0,
+            runtime_s: 1.0,
+            energy_j: 10.0,
+            power_ci95_w: 0.1,
+            ratio: 5.0,
+        };
+        assert_eq!(mk(0.8).group(), mk(2.0).group());
+    }
+}

@@ -1,0 +1,165 @@
+//! Table III: the data slices each power model is regressed on.
+//!
+//! The paper fits five compression models — pooled, per-compressor, and
+//! per-chip — and three transit models. Slicing the same sweep different
+//! ways is what reveals that *hardware* dominates the fit quality (§IV-A:
+//! "power consumption is less dependent on the choice of lossy
+//! compressor").
+
+use crate::records::{CompressionRecord, Compressor, TransitRecord};
+use lcpio_powersim::Chip;
+use serde::{Deserialize, Serialize};
+
+/// The five compression model slices of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompressionSlice {
+    /// SZ + ZFP on Broadwell + Skylake.
+    Total,
+    /// SZ on both chips.
+    Sz,
+    /// ZFP on both chips.
+    Zfp,
+    /// Both compressors on Broadwell.
+    Broadwell,
+    /// Both compressors on Skylake.
+    Skylake,
+}
+
+impl CompressionSlice {
+    /// All five, in the paper's Table III/IV order.
+    pub const ALL: [CompressionSlice; 5] = [
+        CompressionSlice::Total,
+        CompressionSlice::Sz,
+        CompressionSlice::Zfp,
+        CompressionSlice::Broadwell,
+        CompressionSlice::Skylake,
+    ];
+
+    /// Row label as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressionSlice::Total => "Total",
+            CompressionSlice::Sz => "SZ",
+            CompressionSlice::Zfp => "ZFP",
+            CompressionSlice::Broadwell => "Broadwell",
+            CompressionSlice::Skylake => "Skylake",
+        }
+    }
+
+    /// Whether a record belongs to this slice.
+    pub fn contains(self, r: &CompressionRecord) -> bool {
+        match self {
+            CompressionSlice::Total => true,
+            CompressionSlice::Sz => r.compressor == Compressor::Sz,
+            CompressionSlice::Zfp => r.compressor == Compressor::Zfp,
+            CompressionSlice::Broadwell => r.chip == Chip::Broadwell,
+            CompressionSlice::Skylake => r.chip == Chip::Skylake,
+        }
+    }
+
+    /// Filter a sweep down to this slice.
+    pub fn filter(self, recs: &[CompressionRecord]) -> Vec<&CompressionRecord> {
+        recs.iter().filter(|r| self.contains(r)).collect()
+    }
+}
+
+/// The three transit model slices (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransitSlice {
+    /// Both chips pooled.
+    Total,
+    /// Broadwell only.
+    Broadwell,
+    /// Skylake only.
+    Skylake,
+}
+
+impl TransitSlice {
+    /// All three, in Table V order.
+    pub const ALL: [TransitSlice; 3] =
+        [TransitSlice::Total, TransitSlice::Broadwell, TransitSlice::Skylake];
+
+    /// Row label as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransitSlice::Total => "Total",
+            TransitSlice::Broadwell => "Broadwell",
+            TransitSlice::Skylake => "Skylake",
+        }
+    }
+
+    /// Whether a record belongs to this slice.
+    pub fn contains(self, r: &TransitRecord) -> bool {
+        match self {
+            TransitSlice::Total => true,
+            TransitSlice::Broadwell => r.chip == Chip::Broadwell,
+            TransitSlice::Skylake => r.chip == Chip::Skylake,
+        }
+    }
+
+    /// Filter a sweep down to this slice.
+    pub fn filter(self, recs: &[TransitRecord]) -> Vec<&TransitRecord> {
+        recs.iter().filter(|r| self.contains(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcpio_datagen::Dataset;
+
+    fn rec(chip: Chip, comp: Compressor) -> CompressionRecord {
+        CompressionRecord {
+            chip,
+            compressor: comp,
+            dataset: Dataset::Nyx,
+            error_bound: 1e-3,
+            f_ghz: 1.0,
+            power_w: 1.0,
+            runtime_s: 1.0,
+            energy_j: 1.0,
+            power_ci95_w: 0.0,
+            ratio: 2.0,
+        }
+    }
+
+    #[test]
+    fn slice_membership_matches_table3() {
+        let bd_sz = rec(Chip::Broadwell, Compressor::Sz);
+        let sk_zfp = rec(Chip::Skylake, Compressor::Zfp);
+        assert!(CompressionSlice::Total.contains(&bd_sz));
+        assert!(CompressionSlice::Total.contains(&sk_zfp));
+        assert!(CompressionSlice::Sz.contains(&bd_sz));
+        assert!(!CompressionSlice::Sz.contains(&sk_zfp));
+        assert!(CompressionSlice::Zfp.contains(&sk_zfp));
+        assert!(CompressionSlice::Broadwell.contains(&bd_sz));
+        assert!(!CompressionSlice::Broadwell.contains(&sk_zfp));
+        assert!(CompressionSlice::Skylake.contains(&sk_zfp));
+    }
+
+    #[test]
+    fn filters_partition_correctly() {
+        let recs = vec![
+            rec(Chip::Broadwell, Compressor::Sz),
+            rec(Chip::Broadwell, Compressor::Zfp),
+            rec(Chip::Skylake, Compressor::Sz),
+            rec(Chip::Skylake, Compressor::Zfp),
+        ];
+        assert_eq!(CompressionSlice::Total.filter(&recs).len(), 4);
+        assert_eq!(CompressionSlice::Sz.filter(&recs).len(), 2);
+        assert_eq!(CompressionSlice::Broadwell.filter(&recs).len(), 2);
+        // SZ ∪ ZFP = Total; Broadwell ∪ Skylake = Total.
+        assert_eq!(
+            CompressionSlice::Sz.filter(&recs).len() + CompressionSlice::Zfp.filter(&recs).len(),
+            4
+        );
+    }
+
+    #[test]
+    fn table_order_names() {
+        let names: Vec<_> = CompressionSlice::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["Total", "SZ", "ZFP", "Broadwell", "Skylake"]);
+        let tnames: Vec<_> = TransitSlice::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(tnames, vec!["Total", "Broadwell", "Skylake"]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Model validation on unseen data — Figure 5 (§VI-A).
+//!
+//! The paper tests its Broadwell power model against Hurricane-ISABEL: six
+//! 95 MB fields (PRECIP, P, TC, U, V, W), compressed with SZ and ZFP at a
+//! 1e-4 error bound — data never used in the regression. It reports
+//! SSE = 0.1463 and RMSE = 0.0256 for the model over the new measurements.
+
+use crate::characteristics::{CurvePoint, CurveSeries};
+use crate::records::Compressor;
+use crate::workmap::CostModel;
+use lcpio_datagen::isabel::{self, IsabelField};
+use lcpio_fit::powerlaw::PowerLawFit;
+use lcpio_fit::GoodnessOfFit;
+use lcpio_powersim::{Chip, Machine, Perf};
+use lcpio_sz as sz;
+use lcpio_zfp as zfp;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the ISABEL validation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationConfig {
+    /// Element-count divisor for the ISABEL sample fields.
+    pub scale: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Repetitions per frequency point.
+    pub reps: u32,
+    /// Error bound (paper: 1e-4).
+    pub error_bound: f64,
+    /// Measurement noise σ.
+    pub noise_sigma: f64,
+    /// Cost-model constants.
+    pub cost_model: CostModel,
+}
+
+impl ValidationConfig {
+    /// Paper settings on a fast sample size. `scale` is the linear divisor
+    /// applied to ISABEL's horizontal extents (4 ⇒ 100×125×125 samples).
+    pub fn paper() -> Self {
+        ValidationConfig {
+            scale: 4,
+            seed: 0x15ABE1,
+            reps: 10,
+            error_bound: 1e-4,
+            noise_sigma: lcpio_powersim::DEFAULT_NOISE_SIGMA,
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Small settings for tests (25×31×31 samples).
+    pub fn quick() -> Self {
+        ValidationConfig { scale: 16, reps: 3, ..Self::paper() }
+    }
+}
+
+/// Outcome of validating a fitted model on the ISABEL sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationResult {
+    /// GF of the model against the new measurements (the paper's
+    /// SSE = 0.1463, RMSE = 0.0256).
+    pub gof: GoodnessOfFit,
+    /// Mean measured scaled-power curve across fields/compressors.
+    pub measured: CurveSeries,
+    /// The model's predicted curve over the same ladder.
+    pub predicted: CurveSeries,
+}
+
+/// Run the §VI-A experiment: sweep the six ISABEL fields on Broadwell with
+/// both compressors, scale the power, and score `model` on the result.
+pub fn validate_on_isabel(cfg: &ValidationConfig, model: &PowerLawFit) -> ValidationResult {
+    let machine = Machine::for_chip(Chip::Broadwell);
+    let spec = machine.cpu;
+    let ladder: Vec<f64> = spec.ladder().collect();
+
+    let lin = cfg.scale.max(1);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut sums = vec![0.0f64; ladder.len()];
+    let mut count = 0usize;
+
+    for (fi, field_id) in IsabelField::ALL.iter().enumerate() {
+        let field = isabel::generate_scaled(lin, cfg.seed ^ fi as u64, *field_id);
+        let dims: Vec<usize> = field.dims().extents().to_vec();
+        // The paper's six 95 MB fields.
+        let full_bytes = 100.0 * 500.0 * 500.0 * 4.0;
+        let scale_factor = full_bytes / field.sample_bytes() as f64;
+        for comp in Compressor::ALL {
+            let profile = match comp {
+                Compressor::Sz => {
+                    let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(cfg.error_bound));
+                    let out = sz::compress(&field.data, &dims, &sc)
+                        .expect("ISABEL fields always compress");
+                    cfg.cost_model.sz_profile(&out.stats, scale_factor)
+                }
+                Compressor::Zfp => {
+                    let out = zfp::compress(
+                        &field.data,
+                        &dims,
+                        &zfp::ZfpMode::FixedAccuracy(cfg.error_bound),
+                    )
+                    .expect("ISABEL fields always compress");
+                    cfg.cost_model.zfp_profile(&out.stats, scale_factor)
+                }
+            };
+            let mut perf = Perf::with_sigma(
+                cfg.seed ^ ((fi as u64) << 16) ^ (comp as u64),
+                cfg.noise_sigma,
+            );
+            let stats: Vec<f64> = ladder
+                .iter()
+                .map(|&f| perf.measure(&machine, f, &profile, cfg.reps).power_w)
+                .collect();
+            let base = *stats.last().expect("ladder is nonempty");
+            for (i, (&f, &p)) in ladder.iter().zip(&stats).enumerate() {
+                let scaled = p / base;
+                xs.push(f);
+                ys.push(scaled);
+                sums[i] += scaled;
+            }
+            count += 1;
+        }
+    }
+
+    let gof = model.validate(&xs, &ys);
+    let measured = CurveSeries {
+        label: "ISABEL measured".to_string(),
+        chip: Chip::Broadwell,
+        points: ladder
+            .iter()
+            .zip(&sums)
+            .map(|(&f, &s)| CurvePoint { f_ghz: f, mean: s / count as f64, ci95: 0.0 })
+            .collect(),
+    };
+    let predicted = CurveSeries {
+        label: "Broadwell model".to_string(),
+        chip: Chip::Broadwell,
+        points: ladder
+            .iter()
+            .map(|&f| CurvePoint { f_ghz: f, mean: model.eval(f), ci95: 0.0 })
+            .collect(),
+    };
+    ValidationResult { gof, measured, predicted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_compression_sweep, ExperimentConfig};
+    use crate::models::{compression_model_table, row};
+
+    #[test]
+    fn broadwell_model_generalizes_to_isabel() {
+        // Fit on CESM/HACC/NYX, validate on ISABEL — like the paper.
+        let sweep = run_compression_sweep(&ExperimentConfig::quick());
+        let t4 = compression_model_table(&sweep);
+        let bd = row(&t4, "Broadwell").unwrap();
+        let result = validate_on_isabel(&ValidationConfig::quick(), &bd.fit);
+        // Paper: SSE 0.1463, RMSE 0.0256 — "estimates the data well with
+        // little error". Require the same order of magnitude.
+        assert!(result.gof.rmse < 0.08, "rmse {}", result.gof.rmse);
+        assert!(result.gof.sse < 1.0, "sse {}", result.gof.sse);
+    }
+
+    #[test]
+    fn measured_and_predicted_curves_cover_the_ladder() {
+        let sweep = run_compression_sweep(&ExperimentConfig::quick());
+        let t4 = compression_model_table(&sweep);
+        let bd = row(&t4, "Broadwell").unwrap();
+        let result = validate_on_isabel(&ValidationConfig::quick(), &bd.fit);
+        assert_eq!(result.measured.points.len(), 25);
+        assert_eq!(result.predicted.points.len(), 25);
+        // Measured curve is normalized at f_max.
+        assert!((result.measured.at_fmax() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn a_wrong_model_scores_much_worse() {
+        let sweep = run_compression_sweep(&ExperimentConfig::quick());
+        let t4 = compression_model_table(&sweep);
+        let good = row(&t4, "Broadwell").unwrap().fit;
+        let bad = lcpio_fit::PowerLawFit { a: 0.5, b: 1.0, c: 0.2, ..good };
+        let cfg = ValidationConfig::quick();
+        let g = validate_on_isabel(&cfg, &good).gof;
+        let b = validate_on_isabel(&cfg, &bad).gof;
+        assert!(b.sse > 5.0 * g.sse, "good {} bad {}", g.sse, b.sse);
+    }
+}

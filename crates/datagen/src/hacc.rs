@@ -1,0 +1,100 @@
+//! HACC-like 1-D particle data.
+//!
+//! HACC snapshots are per-particle arrays (positions `xx/yy/zz`, velocities
+//! `vx/vy/vz`) of ~281 M particles. Positions are *not* spatially smooth in
+//! array order — particles are laid out in the order the simulation tracks
+//! them — but they are strongly *clustered* (particles fall into halos), so
+//! consecutive array entries are often close in space. SZ's 1-D Lorenzo
+//! predictor exploits exactly this partial correlation, giving HACC its
+//! characteristic "hard to compress" behaviour relative to gridded fields.
+//!
+//! We model this with a halo mixture: a particle either continues a random
+//! walk inside the current halo (correlated with its predecessor) or jumps
+//! to a new halo center (decorrelated).
+
+use crate::field::{Dims, Field};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Full-size element count from Table I.
+pub const FULL_LEN: usize = 280_953_867;
+
+/// Box size (Mpc/h-like units) for the particle coordinates.
+pub const BOX_SIZE: f32 = 256.0;
+
+/// Generate a HACC-like coordinate array of `FULL_LEN / scale` particles.
+pub fn generate_scaled(scale: usize, seed: u64) -> Field {
+    let n = (FULL_LEN / scale.max(1)).clamp(4096, FULL_LEN);
+    generate(n, seed)
+}
+
+/// Generate `n` clustered particle coordinates.
+pub fn generate(n: usize, seed: u64) -> Field {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xd134_2543_de82_ef95).wrapping_add(1));
+    let mut data = Vec::with_capacity(n);
+    let mut halo_center = rng.gen::<f32>() * BOX_SIZE;
+    let mut pos = halo_center;
+    // Mean halo membership ≈ 64 consecutive particles.
+    let jump_prob = 1.0 / 64.0;
+    for _ in 0..n {
+        if rng.gen::<f32>() < jump_prob {
+            halo_center = rng.gen::<f32>() * BOX_SIZE;
+            pos = halo_center;
+        }
+        // Random walk around the halo center with reversion, keeping the
+        // particle within a ~1% halo radius.
+        let radius = BOX_SIZE * 0.01;
+        let step = (rng.gen::<f32>() - 0.5) * radius * 0.5;
+        pos += step + (halo_center - pos) * 0.1;
+        data.push(pos.rem_euclid(BOX_SIZE));
+    }
+    Field::new("hacc_xx", data, Dims::d1(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_stay_in_box() {
+        let f = generate(50_000, 4);
+        let (lo, hi) = f.value_range();
+        assert!(lo >= 0.0 && hi < BOX_SIZE, "range {lo}..{hi}");
+    }
+
+    #[test]
+    fn consecutive_particles_are_clustered() {
+        let f = generate(50_000, 4);
+        // Median |Δ| between consecutive entries should be far below the
+        // expectation for uniform data (BOX_SIZE/3).
+        let mut deltas: Vec<f32> =
+            f.data.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+        deltas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = deltas[deltas.len() / 2];
+        assert!(median < BOX_SIZE * 0.02, "median delta {median}");
+    }
+
+    #[test]
+    fn has_large_jumps_between_halos() {
+        let f = generate(50_000, 4);
+        let big = f
+            .data
+            .windows(2)
+            .filter(|w| (w[1] - w[0]).abs() > BOX_SIZE * 0.1)
+            .count();
+        // Roughly n/64 halo jumps expected; allow a broad band.
+        assert!(big > 200 && big < 3000, "jumps={big}");
+    }
+
+    #[test]
+    fn scaled_length_clamps() {
+        assert_eq!(generate_scaled(usize::MAX, 0).data.len(), 4096);
+        let f = generate_scaled(4096, 0);
+        assert_eq!(f.data.len(), FULL_LEN / 4096);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(10_000, 77).data, generate(10_000, 77).data);
+    }
+}

@@ -1,0 +1,145 @@
+//! Reconstruction-quality metrics.
+//!
+//! The standard scorecard for lossy scientific compression (used by
+//! SDRBench and the SZ/ZFP papers): maximum error, RMSE/NRMSE, and PSNR.
+//! These quantify what an error bound *buys* — the paper varies bounds
+//! 1e-1…1e-4 precisely because users pick them by reconstruction quality.
+
+use serde::{Deserialize, Serialize};
+
+/// Error statistics between an original and a reconstructed field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityMetrics {
+    /// Maximum absolute pointwise error.
+    pub max_abs_error: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// RMSE normalized by the original value range.
+    pub nrmse: f64,
+    /// Peak signal-to-noise ratio in dB (∞ for exact reconstruction).
+    pub psnr_db: f64,
+    /// Pearson correlation between original and reconstruction.
+    pub correlation: f64,
+    /// Number of elements compared.
+    pub n: usize,
+}
+
+/// Compute the scorecard. Non-finite pairs are skipped (NaN-preserving
+/// codecs would otherwise poison every aggregate).
+pub fn quality(original: &[f32], reconstructed: &[f32]) -> Option<QualityMetrics> {
+    if original.len() != reconstructed.len() || original.is_empty() {
+        return None;
+    }
+    let mut n = 0usize;
+    let mut max_err = 0.0f64;
+    let mut sq_sum = 0.0f64;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    for (&a, &b) in original.iter().zip(reconstructed) {
+        let (a, b) = (a as f64, b as f64);
+        if !a.is_finite() || !b.is_finite() {
+            continue;
+        }
+        n += 1;
+        let e = (a - b).abs();
+        max_err = max_err.max(e);
+        sq_sum += e * e;
+        lo = lo.min(a);
+        hi = hi.max(a);
+        sa += a;
+        sb += b;
+        saa += a * a;
+        sbb += b * b;
+        sab += a * b;
+    }
+    if n == 0 {
+        return None;
+    }
+    let nf = n as f64;
+    let rmse = (sq_sum / nf).sqrt();
+    let range = hi - lo;
+    let nrmse = if range > 0.0 { rmse / range } else { 0.0 };
+    let psnr_db = if rmse == 0.0 {
+        f64::INFINITY
+    } else if range > 0.0 {
+        20.0 * (range / rmse).log10()
+    } else {
+        f64::NAN
+    };
+    let cov = sab / nf - (sa / nf) * (sb / nf);
+    let va = saa / nf - (sa / nf).powi(2);
+    let vb = sbb / nf - (sb / nf).powi(2);
+    let correlation = if va > 0.0 && vb > 0.0 { cov / (va * vb).sqrt() } else { f64::NAN };
+    Some(QualityMetrics { max_abs_error: max_err, rmse, nrmse, psnr_db, correlation, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_reconstruction_is_perfect() {
+        let a: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let m = quality(&a, &a).expect("valid inputs");
+        assert_eq!(m.max_abs_error, 0.0);
+        assert_eq!(m.rmse, 0.0);
+        assert_eq!(m.psnr_db, f64::INFINITY);
+        assert!((m.correlation - 1.0).abs() < 1e-12);
+        assert_eq!(m.n, 100);
+    }
+
+    #[test]
+    fn known_uniform_error() {
+        let a = vec![0.0f32, 1.0, 2.0, 3.0]; // range 3
+        let b = vec![0.1f32, 1.1, 2.1, 3.1]; // error 0.1 everywhere
+        let m = quality(&a, &b).expect("valid inputs");
+        assert!((m.max_abs_error - 0.1).abs() < 1e-6);
+        assert!((m.rmse - 0.1).abs() < 1e-6);
+        assert!((m.nrmse - 0.1 / 3.0).abs() < 1e-6);
+        // PSNR = 20·log10(3/0.1) ≈ 29.54 dB.
+        assert!((m.psnr_db - 29.54).abs() < 0.05, "psnr {}", m.psnr_db);
+    }
+
+    #[test]
+    fn non_finite_pairs_are_skipped() {
+        let a = vec![1.0f32, f32::NAN, 3.0];
+        let b = vec![1.0f32, f32::NAN, 3.5];
+        let m = quality(&a, &b).expect("valid inputs");
+        assert_eq!(m.n, 2);
+        assert!((m.max_abs_error - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(quality(&[], &[]).is_none());
+        assert!(quality(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(quality(&[f32::NAN], &[f32::NAN]).is_none());
+    }
+
+    #[test]
+    fn tighter_bounds_score_higher_psnr() {
+        // End-to-end with the actual codec: PSNR must grow as eb shrinks.
+        let field = crate::nyx::velocity_x(20, 3);
+        let mut prev_psnr = 0.0;
+        for eb in [1e-1, 1e-2, 1e-3] {
+            let cfg = lcpio_szless_stub::roundtrip(&field.data, field.dims().extents(), eb);
+            let m = quality(&field.data, &cfg).expect("valid inputs");
+            assert!(m.max_abs_error <= eb * 1.01);
+            assert!(m.psnr_db > prev_psnr, "eb {eb}: psnr {}", m.psnr_db);
+            prev_psnr = m.psnr_db;
+        }
+    }
+
+    /// Tiny stand-in "codec" so datagen's tests need no circular dev-dep
+    /// on the real compressors: quantize to the bound.
+    mod lcpio_szless_stub {
+        pub fn roundtrip(data: &[f32], _dims: &[usize], eb: f64) -> Vec<f32> {
+            data.iter()
+                .map(|&v| {
+                    let q = (v as f64 / (2.0 * eb)).round() * 2.0 * eb;
+                    q as f32
+                })
+                .collect()
+        }
+    }
+}

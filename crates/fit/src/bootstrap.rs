@@ -1,0 +1,162 @@
+//! Residual-bootstrap confidence intervals for power-law parameters.
+//!
+//! The paper shades 95% confidence bands around its characteristic plots.
+//! For the fitted models themselves we go one step further and estimate
+//! parameter uncertainty by resampling residuals: refit on `y* = ŷ + r*`
+//! where `r*` is drawn with replacement from the original residuals, then
+//! take percentile intervals of the resampled parameters.
+
+use crate::powerlaw::{fit_power_law, FitError, PowerLawFit};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A two-sided percentile interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower bound (2.5th percentile for 95%).
+    pub lo: f64,
+    /// Upper bound (97.5th percentile for 95%).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// True if `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Bootstrap output: the base fit plus per-parameter intervals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BootstrapFit {
+    /// Fit on the original data.
+    pub fit: PowerLawFit,
+    /// 95% interval for `a`.
+    pub a: Interval,
+    /// 95% interval for `b`.
+    pub b: Interval,
+    /// 95% interval for `c`.
+    pub c: Interval,
+    /// Number of successful resamples.
+    pub resamples: usize,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Residual-bootstrap a power-law fit with `n_boot` resamples.
+pub fn bootstrap_power_law(
+    x: &[f64],
+    y: &[f64],
+    n_boot: usize,
+    seed: u64,
+) -> Result<BootstrapFit, FitError> {
+    let base = fit_power_law(x, y)?;
+    let residuals: Vec<f64> = x.iter().zip(y).map(|(&xi, &yi)| yi - base.eval(xi)).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut av = Vec::with_capacity(n_boot);
+    let mut bv = Vec::with_capacity(n_boot);
+    let mut cv = Vec::with_capacity(n_boot);
+    for _ in 0..n_boot {
+        let y_star: Vec<f64> = x
+            .iter()
+            .map(|&xi| base.eval(xi) + residuals[rng.gen_range(0..residuals.len())])
+            .collect();
+        if let Ok(f) = fit_power_law(x, &y_star) {
+            av.push(f.a);
+            bv.push(f.b);
+            cv.push(f.c);
+        }
+    }
+    let sortf = |v: &mut Vec<f64>| v.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    sortf(&mut av);
+    sortf(&mut bv);
+    sortf(&mut cv);
+    let iv = |v: &[f64]| Interval { lo: percentile(v, 0.025), hi: percentile(v, 0.975) };
+    Ok(BootstrapFit {
+        fit: base,
+        a: iv(&av),
+        b: iv(&bv),
+        c: iv(&cv),
+        resamples: av.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Vec<f64> {
+        (0..25).map(|i| 0.8 + 0.05 * i as f64).collect()
+    }
+
+    #[test]
+    fn noise_free_intervals_are_tight() {
+        let x = ladder();
+        let y: Vec<f64> = x.iter().map(|&v| 0.01 * v.powf(4.0) + 0.76).collect();
+        let bs = bootstrap_power_law(&x, &y, 30, 7).unwrap();
+        assert!(bs.b.width() < 0.5, "b interval {:?}", bs.b);
+        assert!(bs.b.contains(bs.fit.b));
+        assert_eq!(bs.resamples, 30);
+    }
+
+    #[test]
+    fn noisy_intervals_cover_truth() {
+        let x = ladder();
+        let mut state = 9u64;
+        let mut raw: Vec<f64> = (0..x.len())
+            .map(|_| {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.005
+            })
+            .collect();
+        // Center the noise so it cannot bias the offset estimate.
+        let mean = raw.iter().sum::<f64>() / raw.len() as f64;
+        for r in raw.iter_mut() {
+            *r -= mean;
+        }
+        let y: Vec<f64> = x
+            .iter()
+            .zip(&raw)
+            .map(|(&v, &n)| 0.01 * v.powf(4.0) + 0.76 + n)
+            .collect();
+        let bs = bootstrap_power_law(&x, &y, 60, 11).unwrap();
+        assert!(bs.b.contains(4.0), "b interval {:?} misses 4.0", bs.b);
+        assert!(bs.c.contains(0.76), "c interval {:?} misses 0.76", bs.c);
+        assert!(bs.b.width() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = ladder();
+        let y: Vec<f64> = x.iter().map(|&v| 0.01 * v.powf(4.0) + 0.76).collect();
+        let a = bootstrap_power_law(&x, &y, 10, 3).unwrap();
+        let b = bootstrap_power_law(&x, &y, 10, 3).unwrap();
+        assert_eq!(a.b, b.b);
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let iv = Interval { lo: 1.0, hi: 3.0 };
+        assert!(iv.contains(2.0));
+        assert!(!iv.contains(0.5));
+        assert_eq!(iv.width(), 2.0);
+    }
+
+    #[test]
+    fn propagates_fit_errors() {
+        assert!(bootstrap_power_law(&[1.0], &[1.0], 5, 0).is_err());
+    }
+}

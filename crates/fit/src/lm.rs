@@ -1,0 +1,306 @@
+//! Levenberg–Marquardt non-linear least squares.
+//!
+//! Stands in for the MATLAB Curve Fitting Toolbox the paper used: damped
+//! Gauss–Newton on the normal equations, with the damping factor adapted
+//! by step acceptance. Designed for the small problems this project needs
+//! (≤ [`MAX_PARAMS`] parameters, tens of observations), so the linear
+//! solve is a dense Gaussian elimination with partial pivoting.
+
+/// Maximum number of model parameters the solver supports.
+pub const MAX_PARAMS: usize = 6;
+
+/// A parametric scalar model `y = f(params, x)` with analytic gradient.
+pub trait Model {
+    /// Number of parameters.
+    fn n_params(&self) -> usize;
+    /// Evaluate the model.
+    fn eval(&self, params: &[f64], x: f64) -> f64;
+    /// Gradient ∂f/∂params at (params, x); writes into `out`.
+    fn grad(&self, params: &[f64], x: f64, out: &mut [f64]);
+    /// Clamp parameters into their feasible region after each step.
+    fn project(&self, _params: &mut [f64]) {}
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LmOptions {
+    /// Maximum LM iterations.
+    pub max_iters: usize,
+    /// Stop when the relative SSE improvement falls below this.
+    pub tol: f64,
+    /// Initial damping factor λ.
+    pub lambda0: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        LmOptions { max_iters: 200, tol: 1e-12, lambda0: 1e-3 }
+    }
+}
+
+/// Result of one LM run.
+#[derive(Debug, Clone)]
+pub struct LmResult {
+    /// Fitted parameters.
+    pub params: Vec<f64>,
+    /// Final sum of squared errors.
+    pub sse: f64,
+    /// Iterations used.
+    pub iters: usize,
+    /// True when the tolerance criterion stopped the run (vs iteration cap).
+    pub converged: bool,
+}
+
+/// Errors from the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmError {
+    /// x/y length mismatch or fewer points than parameters.
+    BadInput,
+    /// More parameters than [`MAX_PARAMS`].
+    TooManyParams,
+}
+
+impl std::fmt::Display for LmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LmError::BadInput => write!(f, "invalid observations"),
+            LmError::TooManyParams => write!(f, "too many parameters"),
+        }
+    }
+}
+
+impl std::error::Error for LmError {}
+
+fn sse_of(model: &dyn Model, params: &[f64], x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y)
+        .map(|(&xi, &yi)| {
+            let r = yi - model.eval(params, xi);
+            r * r
+        })
+        .sum()
+}
+
+/// Solve the damped normal equations `(JᵀJ + λ·diag(JᵀJ))·δ = Jᵀr`.
+/// Returns `None` when the system is singular.
+fn solve_damped(
+    jtj: &[[f64; MAX_PARAMS]; MAX_PARAMS],
+    jtr: &[f64; MAX_PARAMS],
+    lambda: f64,
+    p: usize,
+) -> Option<[f64; MAX_PARAMS]> {
+    let mut a = [[0.0f64; MAX_PARAMS + 1]; MAX_PARAMS];
+    for i in 0..p {
+        for j in 0..p {
+            a[i][j] = jtj[i][j];
+        }
+        // Marquardt scaling: damp by the diagonal, with a floor so zero
+        // curvature directions remain solvable.
+        a[i][i] += lambda * jtj[i][i].max(1e-12);
+        a[i][p] = jtr[i];
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..p {
+        let mut piv = col;
+        for row in col + 1..p {
+            if a[row][col].abs() > a[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if a[piv][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, piv);
+        let d = a[col][col];
+        for row in col + 1..p {
+            let f = a[row][col] / d;
+            for k in col..=p {
+                a[row][k] -= f * a[col][k];
+            }
+        }
+    }
+    let mut delta = [0.0f64; MAX_PARAMS];
+    for row in (0..p).rev() {
+        let mut s = a[row][p];
+        for k in row + 1..p {
+            s -= a[row][k] * delta[k];
+        }
+        delta[row] = s / a[row][row];
+    }
+    Some(delta)
+}
+
+/// Run Levenberg–Marquardt from `initial` parameters.
+pub fn fit(
+    model: &dyn Model,
+    x: &[f64],
+    y: &[f64],
+    initial: &[f64],
+    opts: &LmOptions,
+) -> Result<LmResult, LmError> {
+    let p = model.n_params();
+    if p > MAX_PARAMS {
+        return Err(LmError::TooManyParams);
+    }
+    if x.len() != y.len() || x.len() < p || initial.len() != p {
+        return Err(LmError::BadInput);
+    }
+    let mut params = initial.to_vec();
+    model.project(&mut params);
+    let mut sse = sse_of(model, &params, x, y);
+    let mut lambda = opts.lambda0;
+    let mut grad_buf = vec![0.0f64; p];
+    let mut iters = 0;
+    let mut converged = false;
+
+    while iters < opts.max_iters {
+        iters += 1;
+        // Assemble JᵀJ and Jᵀr.
+        let mut jtj = [[0.0f64; MAX_PARAMS]; MAX_PARAMS];
+        let mut jtr = [0.0f64; MAX_PARAMS];
+        for (&xi, &yi) in x.iter().zip(y) {
+            let r = yi - model.eval(&params, xi);
+            model.grad(&params, xi, &mut grad_buf);
+            for i in 0..p {
+                jtr[i] += grad_buf[i] * r;
+                for j in 0..p {
+                    jtj[i][j] += grad_buf[i] * grad_buf[j];
+                }
+            }
+        }
+        // Try steps with increasing damping until one improves the SSE.
+        let mut accepted = false;
+        for _ in 0..20 {
+            let Some(delta) = solve_damped(&jtj, &jtr, lambda, p) else {
+                lambda *= 10.0;
+                continue;
+            };
+            let mut trial = params.clone();
+            for i in 0..p {
+                trial[i] += delta[i];
+            }
+            model.project(&mut trial);
+            let trial_sse = sse_of(model, &trial, x, y);
+            if trial_sse.is_finite() && trial_sse < sse {
+                let improvement = (sse - trial_sse) / sse.max(1e-300);
+                params = trial;
+                sse = trial_sse;
+                lambda = (lambda * 0.3).max(1e-12);
+                accepted = true;
+                if improvement < opts.tol {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= 10.0;
+        }
+        if !accepted {
+            // No step improves: local minimum (or stuck); call it converged.
+            converged = true;
+            break;
+        }
+        if converged {
+            break;
+        }
+    }
+    Ok(LmResult { params, sse, iters, converged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = a·exp(b·x)
+    struct ExpModel;
+
+    impl Model for ExpModel {
+        fn n_params(&self) -> usize {
+            2
+        }
+        fn eval(&self, p: &[f64], x: f64) -> f64 {
+            p[0] * (p[1] * x).exp()
+        }
+        fn grad(&self, p: &[f64], x: f64, out: &mut [f64]) {
+            out[0] = (p[1] * x).exp();
+            out[1] = p[0] * x * (p[1] * x).exp();
+        }
+    }
+
+    /// y = m·x + b as a trivial LM sanity case.
+    struct LineModel;
+
+    impl Model for LineModel {
+        fn n_params(&self) -> usize {
+            2
+        }
+        fn eval(&self, p: &[f64], x: f64) -> f64 {
+            p[0] * x + p[1]
+        }
+        fn grad(&self, _p: &[f64], x: f64, out: &mut [f64]) {
+            out[0] = x;
+            out[1] = 1.0;
+        }
+    }
+
+    #[test]
+    fn fits_a_line_exactly() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v - 2.0).collect();
+        let r = fit(&LineModel, &x, &y, &[0.0, 0.0], &LmOptions::default()).unwrap();
+        assert!(r.converged);
+        assert!((r.params[0] - 3.0).abs() < 1e-8);
+        assert!((r.params[1] + 2.0).abs() < 1e-8);
+        assert!(r.sse < 1e-12);
+    }
+
+    #[test]
+    fn fits_exponential_from_rough_start() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2.0 * (1.5 * v).exp()).collect();
+        let r = fit(&ExpModel, &x, &y, &[1.0, 1.0], &LmOptions::default()).unwrap();
+        assert!((r.params[0] - 2.0).abs() < 1e-5, "{:?}", r.params);
+        assert!((r.params[1] - 1.5).abs() < 1e-5, "{:?}", r.params);
+    }
+
+    #[test]
+    fn noisy_data_still_converges_close() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64 * 0.05).collect();
+        // Deterministic "noise".
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 2.0 * (1.5 * v).exp() + 0.01 * ((i * 37 % 11) as f64 - 5.0))
+            .collect();
+        let r = fit(&ExpModel, &x, &y, &[1.0, 1.0], &LmOptions::default()).unwrap();
+        assert!((r.params[0] - 2.0).abs() < 0.05);
+        assert!((r.params[1] - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert_eq!(
+            fit(&LineModel, &[1.0], &[1.0, 2.0], &[0.0, 0.0], &LmOptions::default())
+                .unwrap_err(),
+            LmError::BadInput
+        );
+        assert_eq!(
+            fit(&LineModel, &[1.0], &[1.0], &[0.0, 0.0], &LmOptions::default()).unwrap_err(),
+            LmError::BadInput
+        );
+        assert_eq!(
+            fit(&LineModel, &[1.0, 2.0], &[1.0, 2.0], &[0.0], &LmOptions::default())
+                .unwrap_err(),
+            LmError::BadInput
+        );
+    }
+
+    #[test]
+    fn degenerate_jacobian_does_not_panic() {
+        // All-zero x makes the slope column of J zero for LineModel.
+        let x = vec![0.0; 5];
+        let y = vec![7.0; 5];
+        let r = fit(&LineModel, &x, &y, &[1.0, 0.0], &LmOptions::default()).unwrap();
+        // Intercept must be found even though slope is unidentifiable.
+        assert!((r.params[1] - 7.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,238 @@
+//! Polynomial least squares and model-family selection.
+//!
+//! The paper says the MATLAB Curve Fitting Toolbox "finds the most optimal
+//! model" before settling on `a·f^b + c`. This module reconstructs that
+//! selection step: fit polynomial alternatives of increasing degree by
+//! ordinary least squares (normal equations with Gaussian elimination) and
+//! compare families with AIC — which penalizes the extra parameters that
+//! raw SSE ignores.
+
+use crate::powerlaw::{fit_power_law, FitError, PowerLawFit};
+use crate::stats::GoodnessOfFit;
+use serde::{Deserialize, Serialize};
+
+/// A fitted polynomial `y = c0 + c1·x + … + ck·x^k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolynomialFit {
+    /// Coefficients, constant term first.
+    pub coeffs: Vec<f64>,
+    /// Fit quality.
+    pub gof: GoodnessOfFit,
+}
+
+impl PolynomialFit {
+    /// Evaluate the polynomial.
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+}
+
+/// Fit a degree-`k` polynomial by OLS. Needs at least `k + 1` points.
+pub fn fit_polynomial(x: &[f64], y: &[f64], degree: usize) -> Result<PolynomialFit, FitError> {
+    let p = degree + 1;
+    if x.len() != y.len() || x.len() < p || degree > 8 {
+        return Err(FitError::BadInput);
+    }
+    // Normal equations: (XᵀX) c = Xᵀy with X[i][j] = x_i^j.
+    let mut ata = vec![vec![0.0f64; p + 1]; p]; // augmented
+    for (&xi, &yi) in x.iter().zip(y) {
+        let mut powers = vec![1.0f64; 2 * p - 1];
+        for j in 1..2 * p - 1 {
+            powers[j] = powers[j - 1] * xi;
+        }
+        for r in 0..p {
+            for c in 0..p {
+                ata[r][c] += powers[r + c];
+            }
+            ata[r][p] += powers[r] * yi;
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..p {
+        let mut piv = col;
+        for row in col + 1..p {
+            if ata[row][col].abs() > ata[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if ata[piv][col].abs() < 1e-280 {
+            return Err(FitError::BadInput);
+        }
+        ata.swap(col, piv);
+        let d = ata[col][col];
+        for row in 0..p {
+            if row == col {
+                continue;
+            }
+            let f = ata[row][col] / d;
+            for k in col..=p {
+                ata[row][k] -= f * ata[col][k];
+            }
+        }
+    }
+    let coeffs: Vec<f64> = (0..p).map(|r| ata[r][p] / ata[r][r]).collect();
+    let fit = PolynomialFit { coeffs, gof: GoodnessOfFit { sse: 0.0, rmse: 0.0, r2: 0.0, n: 0 } };
+    let y_hat: Vec<f64> = x.iter().map(|&v| fit.eval(v)).collect();
+    let gof = GoodnessOfFit::compute(y, &y_hat, p);
+    Ok(PolynomialFit { gof, ..fit })
+}
+
+/// Akaike information criterion for a least-squares fit.
+pub fn aic(sse: f64, n: usize, n_params: usize) -> f64 {
+    let n = n as f64;
+    n * (sse.max(1e-300) / n).ln() + 2.0 * (n_params as f64 + 1.0)
+}
+
+/// A candidate model family for selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FittedModel {
+    /// `a·x^b + c` (the paper's Eqn 2).
+    PowerLaw(PowerLawFit),
+    /// Polynomial of the stored degree.
+    Polynomial(PolynomialFit),
+}
+
+impl FittedModel {
+    /// Family label.
+    pub fn name(&self) -> String {
+        match self {
+            FittedModel::PowerLaw(_) => "power-law a*x^b+c".to_string(),
+            FittedModel::Polynomial(p) => format!("polynomial deg {}", p.degree()),
+        }
+    }
+
+    /// Fit quality.
+    pub fn gof(&self) -> &GoodnessOfFit {
+        match self {
+            FittedModel::PowerLaw(f) => &f.gof,
+            FittedModel::Polynomial(f) => &f.gof,
+        }
+    }
+
+    /// Parameter count (for AIC).
+    pub fn n_params(&self) -> usize {
+        match self {
+            FittedModel::PowerLaw(_) => 3,
+            FittedModel::Polynomial(p) => p.coeffs.len(),
+        }
+    }
+
+    /// AIC score of this fit.
+    pub fn aic(&self) -> f64 {
+        aic(self.gof().sse, self.gof().n, self.n_params())
+    }
+}
+
+/// Fit the standard candidate set (power law + polynomials of degree 1–4)
+/// and return all fits sorted by AIC, best first.
+pub fn select_model(x: &[f64], y: &[f64]) -> Result<Vec<FittedModel>, FitError> {
+    let mut out: Vec<FittedModel> = Vec::new();
+    out.push(FittedModel::PowerLaw(fit_power_law(x, y)?));
+    for degree in 1..=4 {
+        if let Ok(p) = fit_polynomial(x, y, degree) {
+            out.push(FittedModel::Polynomial(p));
+        }
+    }
+    out.sort_by(|a, b| a.aic().partial_cmp(&b.aic()).expect("finite AIC"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Vec<f64> {
+        (0..25).map(|i| 0.8 + 0.05 * i as f64).collect()
+    }
+
+    #[test]
+    fn fits_exact_polynomials() {
+        let x = ladder();
+        let y: Vec<f64> = x.iter().map(|&v| 2.0 - 3.0 * v + 0.5 * v * v).collect();
+        let f = fit_polynomial(&x, &y, 2).expect("fit");
+        assert!((f.coeffs[0] - 2.0).abs() < 1e-8, "{:?}", f.coeffs);
+        assert!((f.coeffs[1] + 3.0).abs() < 1e-8);
+        assert!((f.coeffs[2] - 0.5).abs() < 1e-8);
+        assert!(f.gof.sse < 1e-12);
+    }
+
+    #[test]
+    fn higher_degree_never_fits_worse() {
+        let x = ladder();
+        let y: Vec<f64> = x.iter().map(|&v| 0.01 * v.powf(4.0) + 0.76).collect();
+        let mut prev = f64::MAX;
+        for deg in 1..=4 {
+            let f = fit_polynomial(&x, &y, deg).expect("fit");
+            assert!(f.gof.sse <= prev + 1e-12, "deg {deg}");
+            prev = f.gof.sse;
+        }
+    }
+
+    #[test]
+    fn eval_uses_horner_correctly() {
+        let f = PolynomialFit {
+            coeffs: vec![1.0, 2.0, 3.0],
+            gof: GoodnessOfFit { sse: 0.0, rmse: 0.0, r2: 1.0, n: 3 },
+        };
+        assert_eq!(f.eval(2.0), 1.0 + 4.0 + 12.0);
+        assert_eq!(f.degree(), 2);
+    }
+
+    #[test]
+    fn aic_penalizes_parameters() {
+        // Same SSE, more parameters → worse (higher) AIC.
+        assert!(aic(1.0, 25, 5) > aic(1.0, 25, 3));
+    }
+
+    #[test]
+    fn selection_prefers_power_law_on_knee_data() {
+        // Skylake-shaped data: flat then a sharp rise. Low-order
+        // polynomials cannot track it; the power law should win the AIC.
+        let x: Vec<f64> = (0..29).map(|i| 0.8 + 0.05 * i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&f| 2.235e-9 * f.powf(23.31) + 0.7941).collect();
+        let ranked = select_model(&x, &y).expect("selection");
+        assert_eq!(ranked.len(), 5);
+        match &ranked[0] {
+            FittedModel::PowerLaw(_) => {}
+            other => panic!("expected power law to win, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn selection_prefers_line_on_noisy_linear_data() {
+        // On *noisy* linear data every family reaches roughly the same
+        // SSE (a power law can imitate a line with b = 1), so AIC's
+        // parameter penalty must tip the ranking to the 2-parameter line.
+        // (On noise-free data the comparison degenerates: all families hit
+        // SSE ≈ 0 and floating-point dust decides.)
+        let x = ladder();
+        let mut noise: Vec<f64> = (0..x.len())
+            .map(|i| 0.004 * (((i * 37) % 11) as f64 - 5.0))
+            .collect();
+        let mean = noise.iter().sum::<f64>() / noise.len() as f64;
+        noise.iter_mut().for_each(|n| *n -= mean);
+        let y: Vec<f64> =
+            x.iter().zip(&noise).map(|(&v, &n)| 0.2 * v + 0.7 + n).collect();
+        let ranked = select_model(&x, &y).expect("selection");
+        match &ranked[0] {
+            FittedModel::Polynomial(p) => assert_eq!(p.degree(), 1, "degree {}", p.degree()),
+            other => panic!("expected degree-1 polynomial, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(fit_polynomial(&[1.0], &[1.0], 2).is_err());
+        assert!(fit_polynomial(&[1.0, 2.0], &[1.0], 1).is_err());
+        assert!(fit_polynomial(&ladder(), &ladder(), 9).is_err());
+    }
+}

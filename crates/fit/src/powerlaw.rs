@@ -1,0 +1,237 @@
+//! The paper's model family: `P(f) = a·f^b + c` (Eqn 2).
+//!
+//! Every power model in Tables IV and V has this shape. The exponent `b`
+//! varies enormously across slices (≈3.4 for pooled transit data, ≈23 for
+//! Skylake), so a single LM start is unreliable; [`fit_power_law`] runs a
+//! small grid of exponent starts and keeps the best SSE.
+
+use crate::lm::{self, LmOptions, Model};
+use crate::stats::GoodnessOfFit;
+use serde::{Deserialize, Serialize};
+
+/// `y = a·x^b + c` with a ≥ 0, b ≥ 0 (power draw grows with frequency).
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawModel;
+
+impl Model for PowerLawModel {
+    fn n_params(&self) -> usize {
+        3
+    }
+
+    fn eval(&self, p: &[f64], x: f64) -> f64 {
+        p[0] * x.powf(p[1]) + p[2]
+    }
+
+    fn grad(&self, p: &[f64], x: f64, out: &mut [f64]) {
+        let xb = x.powf(p[1]);
+        out[0] = xb;
+        out[1] = if x > 0.0 { p[0] * xb * x.ln() } else { 0.0 };
+        out[2] = 1.0;
+    }
+
+    fn project(&self, p: &mut [f64]) {
+        // Keep the curve physical: non-negative scale, bounded growth rate.
+        p[0] = p[0].max(1e-12);
+        p[1] = p[1].clamp(0.05, 40.0);
+    }
+}
+
+/// A fitted power law with its goodness of fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Scale `a`.
+    pub a: f64,
+    /// Exponent `b`.
+    pub b: f64,
+    /// Offset `c`.
+    pub c: f64,
+    /// Fit quality (SSE, RMSE, R² — the paper's GF columns).
+    pub gof: GoodnessOfFit,
+    /// Whether the underlying LM run converged.
+    pub converged: bool,
+}
+
+impl PowerLawFit {
+    /// Evaluate the fitted curve.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.a * x.powf(self.b) + self.c
+    }
+
+    /// Goodness of fit of THIS curve against a new dataset (the paper's
+    /// §VI-A validation: Broadwell model vs Hurricane-ISABEL data).
+    pub fn validate(&self, x: &[f64], y: &[f64]) -> GoodnessOfFit {
+        let y_hat: Vec<f64> = x.iter().map(|&v| self.eval(v)).collect();
+        GoodnessOfFit::compute(y, &y_hat, 3)
+    }
+
+    /// Format like the paper's Table IV entries, e.g. `0.0086f^4.038 + 0.757`.
+    pub fn equation(&self) -> String {
+        format!("{:.4}f^{:.3} + {:.4}", self.a, self.b, self.c)
+    }
+}
+
+/// Errors from power-law fitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than 4 observations or mismatched lengths.
+    BadInput,
+    /// x values must be positive (frequencies in GHz).
+    NonPositiveX,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::BadInput => write!(f, "need ≥4 (x, y) observations"),
+            FitError::NonPositiveX => write!(f, "x values must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fit `y = a·x^b + c` with multi-start Levenberg–Marquardt.
+pub fn fit_power_law(x: &[f64], y: &[f64]) -> Result<PowerLawFit, FitError> {
+    if x.len() != y.len() || x.len() < 4 {
+        return Err(FitError::BadInput);
+    }
+    if x.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return Err(FitError::NonPositiveX);
+    }
+    let y_min = y.iter().cloned().fold(f64::INFINITY, f64::min);
+    let y_max = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let x_max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let spread = (y_max - y_min).max(1e-9);
+
+    let opts = LmOptions::default();
+    let mut best: Option<lm::LmResult> = None;
+    // Exponent grid covers the paper's observed range (3.4 … 23.3) and
+    // beyond; `a` is initialized so a·x_max^b ≈ the observed spread.
+    for b0 in [0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 30.0] {
+        let a0 = spread / x_max.powf(b0).max(1e-12);
+        let c0 = y_min;
+        if let Ok(r) = lm::fit(&PowerLawModel, x, y, &[a0, b0, c0], &opts) {
+            if best.as_ref().is_none_or(|b| r.sse < b.sse) {
+                best = Some(r);
+            }
+        }
+    }
+    let best = best.ok_or(FitError::BadInput)?;
+    let (a, b, c) = (best.params[0], best.params[1], best.params[2]);
+    let y_hat: Vec<f64> = x.iter().map(|&v| a * v.powf(b) + c).collect();
+    Ok(PowerLawFit {
+        a,
+        b,
+        c,
+        gof: GoodnessOfFit::compute(y, &y_hat, 3),
+        converged: best.converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(a: f64, b: f64, c: f64, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| a * x.powf(b) + c).collect()
+    }
+
+    fn ladder(fmax: f64) -> Vec<f64> {
+        let mut v = Vec::new();
+        let mut f = 0.8;
+        while f <= fmax + 1e-9 {
+            v.push(f);
+            f += 0.05;
+        }
+        v
+    }
+
+    #[test]
+    fn recovers_broadwell_like_parameters() {
+        // Table IV Broadwell: 0.0064·f^5.315 + 0.7429.
+        let x = ladder(2.0);
+        let y = synth(0.0064, 5.315, 0.7429, &x);
+        let fit = fit_power_law(&x, &y).unwrap();
+        assert!((fit.b - 5.315).abs() < 0.1, "b={}", fit.b);
+        assert!((fit.c - 0.7429).abs() < 0.01, "c={}", fit.c);
+        assert!(fit.gof.sse < 1e-8);
+    }
+
+    #[test]
+    fn recovers_skylake_like_extreme_exponent() {
+        // Table IV Skylake: 2.235e-9·f^23.31 + 0.7941 — a brutal fit.
+        let x = ladder(2.2);
+        let y = synth(2.235e-9, 23.31, 0.7941, &x);
+        let fit = fit_power_law(&x, &y).unwrap();
+        // The (a, b) pair is poorly identified (a ~ e^{-b}), but the fitted
+        // curve must track the data closely and b must be clearly "large".
+        assert!(fit.b > 12.0, "b={}", fit.b);
+        assert!(fit.gof.sse < 1e-4, "sse={}", fit.gof.sse);
+    }
+
+    #[test]
+    fn fit_quality_reported_on_noisy_data() {
+        let x = ladder(2.0);
+        let clean = synth(0.01, 4.0, 0.76, &x);
+        let y: Vec<f64> = clean
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + 0.002 * (((i * 31) % 7) as f64 - 3.0))
+            .collect();
+        let fit = fit_power_law(&x, &y).unwrap();
+        assert!(fit.gof.sse > 0.0);
+        assert!(fit.gof.rmse < 0.01);
+        assert!((fit.b - 4.0).abs() < 1.5, "b={}", fit.b);
+    }
+
+    #[test]
+    fn eval_and_equation() {
+        let fit = PowerLawFit {
+            a: 2.0,
+            b: 3.0,
+            c: 1.0,
+            gof: GoodnessOfFit { sse: 0.0, rmse: 0.0, r2: 1.0, n: 5 },
+            converged: true,
+        };
+        assert_eq!(fit.eval(2.0), 17.0);
+        assert!(fit.equation().starts_with("2.0000f^3.000"));
+    }
+
+    #[test]
+    fn validate_against_new_data() {
+        let x = ladder(2.0);
+        let y = synth(0.0064, 5.315, 0.7429, &x);
+        let fit = fit_power_law(&x, &y).unwrap();
+        // Same-curve validation → near-zero SSE.
+        let gof = fit.validate(&x, &y);
+        assert!(gof.sse < 1e-8);
+        // Shifted data → visible error.
+        let shifted: Vec<f64> = y.iter().map(|v| v + 0.05).collect();
+        let gof2 = fit.validate(&x, &shifted);
+        assert!(gof2.sse > 1e-3);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert_eq!(fit_power_law(&[1.0, 2.0], &[1.0, 2.0]).unwrap_err(), FitError::BadInput);
+        assert_eq!(
+            fit_power_law(&[0.0, 1.0, 2.0, 3.0], &[1.0; 4]).unwrap_err(),
+            FitError::NonPositiveX
+        );
+        assert_eq!(
+            fit_power_law(&[-1.0, 1.0, 2.0, 3.0], &[1.0; 4]).unwrap_err(),
+            FitError::NonPositiveX
+        );
+    }
+
+    #[test]
+    fn flat_data_fits_offset() {
+        let x = ladder(2.0);
+        let y = vec![5.0; x.len()];
+        let fit = fit_power_law(&x, &y).unwrap();
+        // a·f^b must be negligible and c ≈ 5.
+        for &xi in &x {
+            assert!((fit.eval(xi) - 5.0).abs() < 1e-3);
+        }
+    }
+}

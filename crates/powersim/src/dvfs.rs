@@ -1,0 +1,153 @@
+//! DVFS control, mirroring `cpufreq-set`.
+//!
+//! The paper pins all cores to each ladder frequency with the Linux
+//! `cpufreq-set` call before every measurement. [`CpuFreqController`]
+//! plays that role for the simulated CPU: requests snap to the 50 MHz
+//! P-state grid and clamp to the supported range, and a userspace-style
+//! governor records the pinned frequency until the next request.
+
+use crate::cpu::CpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Errors from frequency control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DvfsError {
+    /// Requested frequency is not finite or not positive.
+    InvalidFrequency,
+}
+
+impl std::fmt::Display for DvfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DvfsError::InvalidFrequency => write!(f, "invalid frequency request"),
+        }
+    }
+}
+
+impl std::error::Error for DvfsError {}
+
+/// Scaling governor, following the Linux cpufreq names the paper's
+/// methodology depends on (`userspace` + explicit `cpufreq-set`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Governor {
+    /// Pin to an explicitly requested frequency.
+    Userspace,
+    /// Always run at `f_max`.
+    Performance,
+    /// Always run at `f_min`.
+    Powersave,
+}
+
+/// A `cpufreq`-like controller for one simulated CPU.
+#[derive(Debug, Clone)]
+pub struct CpuFreqController {
+    spec: CpuSpec,
+    governor: Governor,
+    pinned_ghz: f64,
+}
+
+impl CpuFreqController {
+    /// New controller; starts in `Performance` at `f_max`.
+    pub fn new(spec: CpuSpec) -> Self {
+        CpuFreqController { spec, governor: Governor::Performance, pinned_ghz: spec.f_max_ghz }
+    }
+
+    /// The controlled CPU.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Current governor.
+    pub fn governor(&self) -> Governor {
+        self.governor
+    }
+
+    /// Switch governor; `Performance`/`Powersave` re-pin immediately.
+    pub fn set_governor(&mut self, g: Governor) {
+        self.governor = g;
+        match g {
+            Governor::Performance => self.pinned_ghz = self.spec.f_max_ghz,
+            Governor::Powersave => self.pinned_ghz = self.spec.f_min_ghz,
+            Governor::Userspace => {}
+        }
+    }
+
+    /// `cpufreq-set -f <freq>`: pin all cores to `f_ghz` (snapped to the
+    /// P-state grid, clamped to range). Returns the effective frequency.
+    pub fn set_frequency(&mut self, f_ghz: f64) -> Result<f64, DvfsError> {
+        if !f_ghz.is_finite() || f_ghz <= 0.0 {
+            return Err(DvfsError::InvalidFrequency);
+        }
+        self.governor = Governor::Userspace;
+        self.pinned_ghz = self.spec.snap(f_ghz);
+        Ok(self.pinned_ghz)
+    }
+
+    /// Pin to a fraction of `f_max` (the paper's Eqn-3 style tuning).
+    pub fn set_relative(&mut self, fraction: f64) -> Result<f64, DvfsError> {
+        if !fraction.is_finite() || fraction <= 0.0 {
+            return Err(DvfsError::InvalidFrequency);
+        }
+        self.set_frequency(fraction * self.spec.f_max_ghz)
+    }
+
+    /// Currently pinned frequency (GHz).
+    pub fn frequency(&self) -> f64 {
+        self.pinned_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Chip;
+
+    #[test]
+    fn starts_at_performance_fmax() {
+        let c = CpuFreqController::new(Chip::Broadwell.spec());
+        assert_eq!(c.governor(), Governor::Performance);
+        assert_eq!(c.frequency(), 2.0);
+    }
+
+    #[test]
+    fn set_frequency_snaps_and_switches_to_userspace() {
+        let mut c = CpuFreqController::new(Chip::Broadwell.spec());
+        let eff = c.set_frequency(1.333).unwrap();
+        assert!((eff - 1.35).abs() < 1e-12);
+        assert_eq!(c.governor(), Governor::Userspace);
+        assert_eq!(c.frequency(), eff);
+    }
+
+    #[test]
+    fn set_frequency_clamps_to_range() {
+        let mut c = CpuFreqController::new(Chip::Skylake.spec());
+        assert!((c.set_frequency(0.1).unwrap() - 0.8).abs() < 1e-12);
+        assert!((c.set_frequency(9.9).unwrap() - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_tuning_matches_eqn3() {
+        // 0.875 · 2.0 GHz = 1.75 GHz — on the grid exactly.
+        let mut c = CpuFreqController::new(Chip::Broadwell.spec());
+        assert!((c.set_relative(0.875).unwrap() - 1.75).abs() < 1e-12);
+        // 0.85 · 2.0 GHz = 1.70 GHz.
+        assert!((c.set_relative(0.85).unwrap() - 1.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn governor_presets_pin_extremes() {
+        let mut c = CpuFreqController::new(Chip::Skylake.spec());
+        c.set_governor(Governor::Powersave);
+        assert_eq!(c.frequency(), 0.8);
+        c.set_governor(Governor::Performance);
+        assert_eq!(c.frequency(), 2.2);
+    }
+
+    #[test]
+    fn invalid_requests_rejected() {
+        let mut c = CpuFreqController::new(Chip::Broadwell.spec());
+        assert_eq!(c.set_frequency(f64::NAN).unwrap_err(), DvfsError::InvalidFrequency);
+        assert_eq!(c.set_frequency(-1.0).unwrap_err(), DvfsError::InvalidFrequency);
+        assert_eq!(c.set_relative(0.0).unwrap_err(), DvfsError::InvalidFrequency);
+    }
+}

@@ -1,0 +1,202 @@
+//! The energy model: (machine, frequency, work profile) → runtime & energy.
+//!
+//! A single-core job is modeled as three serialized phases:
+//!
+//! * **compute** — `compute_cycles / f`; draws static + dynamic power,
+//!   where dynamic power is `c_eff · V(f)² · f` (the CMOS switching law
+//!   that produces the paper's critical power slope);
+//! * **memory stall** — `memory_bytes / mem_bw`; frequency-invariant,
+//!   draws static + DRAM power;
+//! * **I/O wait** — `io_bytes / net_bw`; frequency-invariant, draws
+//!   static + NIC/storage power.
+//!
+//! Average power is total energy over total time, matching how the paper
+//! computes `P_avg = E_total / t_run` from `perf` samples (Eqn 1).
+
+use crate::cpu::CpuSpec;
+use crate::nfs::NfsSpec;
+use crate::workload::WorkProfile;
+use serde::{Deserialize, Serialize};
+
+/// A CPU plus the I/O path it writes through.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Machine {
+    /// The processor.
+    pub cpu: CpuSpec,
+    /// The NFS/network write path.
+    pub nfs: NfsSpec,
+}
+
+impl Machine {
+    /// A machine with the chip-calibrated 10 GbE NFS path.
+    pub fn new(cpu: CpuSpec) -> Self {
+        let nfs = NfsSpec::for_chip(cpu.chip);
+        Machine { cpu, nfs }
+    }
+
+    /// Shorthand for `Machine::new(chip.spec())`.
+    pub fn for_chip(chip: crate::cpu::Chip) -> Self {
+        Machine::new(chip.spec())
+    }
+}
+
+/// Noise-free outcome of running one profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Core clock used (GHz).
+    pub f_ghz: f64,
+    /// Wall time (s).
+    pub runtime_s: f64,
+    /// Total energy (J).
+    pub energy_j: f64,
+    /// Average power (W) = energy / runtime.
+    pub avg_power_w: f64,
+    /// Time in the compute phase (s).
+    pub compute_s: f64,
+    /// Time stalled on memory (s).
+    pub memory_s: f64,
+    /// Time waiting on I/O (s).
+    pub io_s: f64,
+}
+
+/// Simulate `profile` on `machine` at `f_ghz` (must be within the ladder
+/// range; callers typically use [`CpuSpec::snap`] first).
+pub fn simulate(machine: &Machine, f_ghz: f64, profile: &WorkProfile) -> Measurement {
+    let cpu = &machine.cpu;
+    debug_assert!(
+        f_ghz >= cpu.f_min_ghz - 1e-9 && f_ghz <= cpu.f_max_ghz + 1e-9,
+        "frequency {f_ghz} outside [{}, {}]",
+        cpu.f_min_ghz,
+        cpu.f_max_ghz
+    );
+    let t_c = profile.compute_cycles / (f_ghz * 1e9);
+    let t_m = profile.memory_bytes / (cpu.mem_bw_gbs * 1e9);
+    let t_io = profile.io_bytes / (machine.nfs.net_bw_gbs * 1e9);
+    let t = t_c + t_m + t_io;
+    let dyn_w = cpu.dynamic_power(f_ghz);
+    let e = cpu.p_static_w * t
+        + dyn_w * profile.compute_intensity * t_c
+        + (cpu.p_mem_w + cpu.uncore_dyn_frac * dyn_w) * t_m
+        + (cpu.p_io_w + cpu.uncore_dyn_frac * dyn_w) * t_io;
+    Measurement {
+        f_ghz,
+        runtime_s: t,
+        energy_j: e,
+        avg_power_w: if t > 0.0 { e / t } else { 0.0 },
+        compute_s: t_c,
+        memory_s: t_m,
+        io_s: t_io,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Chip;
+
+    fn compression_like() -> WorkProfile {
+        // ~0.52 compute fraction at f_max, like the paper's compression jobs.
+        WorkProfile { compute_cycles: 30e9, memory_bytes: 160e9, ..Default::default() }
+    }
+
+    #[test]
+    fn energy_equals_power_times_time() {
+        let m = Machine::new(Chip::Broadwell.spec());
+        let meas = simulate(&m, 1.5, &compression_like());
+        assert!((meas.energy_j - meas.avg_power_w * meas.runtime_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runtime_decreases_with_frequency() {
+        let m = Machine::new(Chip::Broadwell.spec());
+        let slow = simulate(&m, 0.8, &compression_like());
+        let fast = simulate(&m, 2.0, &compression_like());
+        assert!(fast.runtime_s < slow.runtime_s);
+    }
+
+    #[test]
+    fn power_increases_with_frequency() {
+        for chip in Chip::ALL {
+            let m = Machine::new(chip.spec());
+            let spec = m.cpu;
+            let slow = simulate(&m, spec.f_min_ghz, &compression_like());
+            let fast = simulate(&m, spec.f_max_ghz, &compression_like());
+            assert!(fast.avg_power_w > slow.avg_power_w, "{}", chip.name());
+        }
+    }
+
+    #[test]
+    fn broadwell_compression_scaled_power_matches_paper_range() {
+        // The paper's fitted Broadwell model (Table IV) evaluates to 0.745
+        // at f_min; Figure 1 bottoms out around 0.78. Accept that band.
+        let m = Machine::new(Chip::Broadwell.spec());
+        let lo = simulate(&m, 0.8, &compression_like()).avg_power_w;
+        let hi = simulate(&m, 2.0, &compression_like()).avg_power_w;
+        let scaled = lo / hi;
+        assert!((0.65..0.85).contains(&scaled), "scaled={scaled}");
+    }
+
+    #[test]
+    fn broadwell_power_savings_at_eqn3_frequency() {
+        // §V-A1: lowering Broadwell/compression frequency by 12.5% yields
+        // roughly 13–20% power savings (the paper quotes 19.4% from the
+        // figures, 13% from its own fitted model).
+        let m = Machine::new(Chip::Broadwell.spec());
+        let base = simulate(&m, 2.0, &compression_like()).avg_power_w;
+        let tuned = simulate(&m, 1.75, &compression_like()).avg_power_w;
+        let savings = 1.0 - tuned / base;
+        assert!((0.12..0.25).contains(&savings), "power savings {savings}");
+    }
+
+    #[test]
+    fn skylake_power_is_flat_then_jumps() {
+        // Figures 1/3: Skylake power barely moves below ~1.9 GHz, then
+        // rises sharply — the behaviour behind its b≈23 fitted exponent.
+        let m = Machine::new(Chip::Skylake.spec());
+        let p = |f: f64| simulate(&m, f, &compression_like()).avg_power_w;
+        let flat_rise = p(1.9) - p(0.8);
+        let jump = p(2.2) - p(1.9);
+        assert!(jump > flat_rise, "flat {flat_rise} jump {jump}");
+    }
+
+    #[test]
+    fn io_heavy_profile_has_narrower_power_range() {
+        // Figure 3 vs Figure 1: data writing scales to ~0.9, compression
+        // to ~0.8 — I/O waits dilute the frequency-sensitive phase.
+        let m = Machine::new(Chip::Broadwell.spec());
+        let comp = compression_like();
+        let write = m.nfs.write_profile(16e9);
+        let scaled = |p: &WorkProfile| {
+            simulate(&m, 0.8, p).avg_power_w / simulate(&m, 2.0, p).avg_power_w
+        };
+        assert!(scaled(&write) > scaled(&comp));
+    }
+
+    #[test]
+    fn runtime_sensitivity_matches_paper_tradeoff() {
+        // §V-A3: −12.5% frequency ⇒ ≈ +7.5% compression runtime.
+        let m = Machine::new(Chip::Broadwell.spec());
+        let p = compression_like();
+        let base = simulate(&m, 2.0, &p).runtime_s;
+        let tuned = simulate(&m, m.cpu.snap(0.875 * 2.0), &p).runtime_s;
+        let increase = tuned / base - 1.0;
+        assert!((0.04..0.11).contains(&increase), "runtime increase {increase}");
+    }
+
+    #[test]
+    fn zero_profile_zero_outcome() {
+        let m = Machine::new(Chip::Skylake.spec());
+        let meas = simulate(&m, 1.0, &WorkProfile::default());
+        assert_eq!(meas.runtime_s, 0.0);
+        assert_eq!(meas.energy_j, 0.0);
+        assert_eq!(meas.avg_power_w, 0.0);
+    }
+
+    #[test]
+    fn phases_sum_to_runtime() {
+        let m = Machine::new(Chip::Skylake.spec());
+        let p = WorkProfile { compute_cycles: 1e9, memory_bytes: 2e9, io_bytes: 3e9, ..Default::default() };
+        let meas = simulate(&m, 1.2, &p);
+        assert!((meas.compute_s + meas.memory_s + meas.io_s - meas.runtime_s).abs() < 1e-12);
+    }
+}

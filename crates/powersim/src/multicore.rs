@@ -1,0 +1,160 @@
+//! Node-level (multi-core) energy model — extension.
+//!
+//! The paper measures single-core compression and I/O, but its motivation
+//! is exascale: production dumps shard a field across every core of a
+//! node. This module scales the single-core model up: `n` cores execute
+//! equal shards of the compute work concurrently, memory bandwidth and the
+//! NIC are *shared* (and can saturate), package static power is paid once,
+//! and per-core dynamic power multiplies.
+//!
+//! The interesting consequence for the paper's story: with many cores the
+//! job becomes bandwidth-bound, the frequency-sensitive fraction shrinks,
+//! and DVFS tuning saves even more power for even less runtime cost —
+//! exactly the regime the paper's conclusions aim at.
+
+use crate::cpu::CpuSpec;
+use crate::energy::{Machine, Measurement};
+use crate::workload::WorkProfile;
+use serde::Serialize;
+
+/// Node-level parameters beyond the per-core spec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct NodeSpec {
+    /// The per-core CPU specification (and chip-level constants).
+    pub cpu: CpuSpec,
+    /// Physical cores available.
+    pub cores: u32,
+    /// Node memory bandwidth shared by all cores (GB/s). Typically well
+    /// below `cores × per-core bandwidth`.
+    pub node_mem_bw_gbs: f64,
+    /// Static power of the whole package+DRAM domain (W); replaces the
+    /// single-core attribution in [`CpuSpec::p_static_w`].
+    pub node_static_w: f64,
+}
+
+impl NodeSpec {
+    /// A node built from a chip preset with typical shared-resource caps.
+    pub fn for_machine(machine: &Machine, cores: u32) -> Self {
+        let cpu = machine.cpu;
+        NodeSpec {
+            cpu,
+            cores,
+            // Shared bandwidth: ~4× a single core's streaming share.
+            node_mem_bw_gbs: cpu.mem_bw_gbs * 4.0,
+            // The single-core attribution already contains the package
+            // floor; the whole node adds per-core leakage on top.
+            node_static_w: cpu.p_static_w + 1.2 * cores as f64,
+        }
+    }
+
+    /// Simulate `profile` split evenly across `active` cores at `f_ghz`,
+    /// with the node's shared NFS path (single 10 GbE link).
+    pub fn simulate(
+        &self,
+        machine: &Machine,
+        f_ghz: f64,
+        profile: &WorkProfile,
+        active: u32,
+    ) -> Measurement {
+        let active = active.clamp(1, self.cores) as f64;
+        // Per-core compute time on the shard.
+        let t_c = profile.compute_cycles / active / (f_ghz * 1e9);
+        // Memory: all cores stream concurrently into the shared controller.
+        let eff_bw = self.node_mem_bw_gbs.min(self.cpu.mem_bw_gbs * active);
+        let t_m = profile.memory_bytes / (eff_bw * 1e9);
+        // I/O: one NIC, shared.
+        let t_io = profile.io_bytes / (machine.nfs.net_bw_gbs * 1e9);
+        let t = t_c + t_m + t_io;
+        let dyn_w = self.cpu.dynamic_power(f_ghz) * profile.compute_intensity * active;
+        let e = self.node_static_w * t
+            + dyn_w * t_c
+            + self.cpu.p_mem_w * active.sqrt() * t_m
+            + self.cpu.p_io_w * t_io;
+        Measurement {
+            f_ghz,
+            runtime_s: t,
+            energy_j: e,
+            avg_power_w: if t > 0.0 { e / t } else { 0.0 },
+            compute_s: t_c,
+            memory_s: t_m,
+            io_s: t_io,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Chip;
+
+    fn job() -> WorkProfile {
+        WorkProfile { compute_cycles: 240e9, memory_bytes: 1280e9, ..Default::default() }
+    }
+
+    fn node(chip: Chip, cores: u32) -> (Machine, NodeSpec) {
+        let m = Machine::for_chip(chip);
+        let n = NodeSpec::for_machine(&m, cores);
+        (m, n)
+    }
+
+    #[test]
+    fn more_cores_run_faster() {
+        let (m, n) = node(Chip::Broadwell, 8);
+        let one = n.simulate(&m, 2.0, &job(), 1);
+        let eight = n.simulate(&m, 2.0, &job(), 8);
+        assert!(eight.runtime_s < one.runtime_s / 2.0, "{} vs {}", eight.runtime_s, one.runtime_s);
+    }
+
+    #[test]
+    fn speedup_saturates_at_shared_bandwidth() {
+        // Memory-heavy jobs stop scaling once the node controller is full.
+        let (m, n) = node(Chip::Broadwell, 16);
+        let s4 = n.simulate(&m, 2.0, &job(), 4).runtime_s;
+        let s16 = n.simulate(&m, 2.0, &job(), 16).runtime_s;
+        let scaling = s4 / s16;
+        assert!(scaling < 3.0, "4→16 cores gave {scaling}x — bandwidth cap missing");
+    }
+
+    #[test]
+    fn node_power_exceeds_single_core_power() {
+        let (m, n) = node(Chip::Skylake, 8);
+        let node_p = n.simulate(&m, 2.2, &job(), 8).avg_power_w;
+        let core_p = crate::energy::simulate(&m, 2.2, &job()).avg_power_w;
+        assert!(node_p > core_p);
+    }
+
+    #[test]
+    fn tuning_saves_more_on_saturated_nodes() {
+        // The paper's conclusion strengthens at node scale: once memory-
+        // bound, dropping the clock costs almost no runtime.
+        let (m, n) = node(Chip::Broadwell, 16);
+        let fmax = m.cpu.f_max_ghz;
+        let tuned_f = m.cpu.snap(0.875 * fmax);
+
+        let single_base = crate::energy::simulate(&m, fmax, &job());
+        let single_tuned = crate::energy::simulate(&m, tuned_f, &job());
+        let single_rt_cost = single_tuned.runtime_s / single_base.runtime_s - 1.0;
+
+        let node_base = n.simulate(&m, fmax, &job(), 16);
+        let node_tuned = n.simulate(&m, tuned_f, &job(), 16);
+        let node_rt_cost = node_tuned.runtime_s / node_base.runtime_s - 1.0;
+        let node_savings = 1.0 - node_tuned.energy_j / node_base.energy_j;
+
+        assert!(
+            node_rt_cost < single_rt_cost,
+            "node runtime cost {node_rt_cost} should undercut single-core {single_rt_cost}"
+        );
+        assert!(node_savings > 0.05, "node energy savings {node_savings}");
+    }
+
+    #[test]
+    fn active_core_count_is_clamped() {
+        let (m, n) = node(Chip::Broadwell, 4);
+        let a = n.simulate(&m, 1.5, &job(), 0);
+        let b = n.simulate(&m, 1.5, &job(), 1);
+        assert_eq!(a.runtime_s, b.runtime_s);
+        let c = n.simulate(&m, 1.5, &job(), 99);
+        let d = n.simulate(&m, 1.5, &job(), 4);
+        assert_eq!(c.runtime_s, d.runtime_s);
+    }
+}

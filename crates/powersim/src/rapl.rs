@@ -1,0 +1,137 @@
+//! RAPL-like energy counters.
+//!
+//! Intel's Running Average Power Limit exposes monotonically increasing
+//! energy counters per power domain (package, DRAM, …), which `perf stat`
+//! samples before and after a job to report `energy-pkg`. The simulated
+//! equivalent accumulates the joules produced by the energy model; it is
+//! thread-safe so concurrent sweep workers can share one meter.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A power domain, mirroring RAPL's split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Whole-package energy (cores + uncore).
+    Package,
+    /// DRAM energy.
+    Dram,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    package_j: f64,
+    dram_j: f64,
+}
+
+/// A shared, monotonically increasing energy meter.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    inner: Arc<Mutex<Counters>>,
+}
+
+impl EnergyMeter {
+    /// A fresh meter with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate joules into a domain (called by the simulator).
+    pub fn add(&self, domain: Domain, joules: f64) {
+        debug_assert!(joules >= 0.0, "energy must be non-negative");
+        let mut c = self.inner.lock();
+        match domain {
+            Domain::Package => c.package_j += joules,
+            Domain::Dram => c.dram_j += joules,
+        }
+    }
+
+    /// Read a domain counter (monotone, like `/sys/.../energy_uj`).
+    pub fn read(&self, domain: Domain) -> f64 {
+        let c = self.inner.lock();
+        match domain {
+            Domain::Package => c.package_j,
+            Domain::Dram => c.dram_j,
+        }
+    }
+
+    /// Snapshot both domains at once.
+    pub fn snapshot(&self) -> (f64, f64) {
+        let c = self.inner.lock();
+        (c.package_j, c.dram_j)
+    }
+}
+
+/// A `perf stat`-style interval: counter deltas between `start` and `stop`.
+#[derive(Debug)]
+pub struct EnergyInterval {
+    meter: EnergyMeter,
+    start_pkg: f64,
+    start_dram: f64,
+}
+
+impl EnergyInterval {
+    /// Begin an interval on `meter`.
+    pub fn start(meter: &EnergyMeter) -> Self {
+        let (p, d) = meter.snapshot();
+        EnergyInterval { meter: meter.clone(), start_pkg: p, start_dram: d }
+    }
+
+    /// End the interval, returning (package J, DRAM J) consumed within it.
+    pub fn stop(self) -> (f64, f64) {
+        let (p, d) = self.meter.snapshot();
+        (p - self.start_pkg, d - self.start_dram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_monotonically() {
+        let m = EnergyMeter::new();
+        m.add(Domain::Package, 5.0);
+        m.add(Domain::Package, 2.5);
+        m.add(Domain::Dram, 1.0);
+        assert_eq!(m.read(Domain::Package), 7.5);
+        assert_eq!(m.read(Domain::Dram), 1.0);
+    }
+
+    #[test]
+    fn intervals_report_deltas() {
+        let m = EnergyMeter::new();
+        m.add(Domain::Package, 10.0);
+        let iv = EnergyInterval::start(&m);
+        m.add(Domain::Package, 3.0);
+        m.add(Domain::Dram, 0.5);
+        let (p, d) = iv.stop();
+        assert_eq!(p, 3.0);
+        assert_eq!(d, 0.5);
+    }
+
+    #[test]
+    fn meter_is_shared_across_clones() {
+        let m = EnergyMeter::new();
+        let m2 = m.clone();
+        m.add(Domain::Dram, 4.0);
+        assert_eq!(m2.read(Domain::Dram), 4.0);
+    }
+
+    #[test]
+    fn concurrent_accumulation_is_lossless() {
+        let m = EnergyMeter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.add(Domain::Package, 0.001);
+                    }
+                });
+            }
+        });
+        assert!((m.read(Domain::Package) - 8.0).abs() < 1e-9);
+    }
+}

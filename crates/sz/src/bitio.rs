@@ -1,0 +1,255 @@
+//! Bit-granular reader/writer used by the Huffman coder and literal packer.
+//!
+//! Bits are packed MSB-first within each byte, which keeps the encoded
+//! stream byte-order independent and makes canonical Huffman decoding a
+//! simple left-to-right walk.
+
+/// Append-only bit sink backed by a `Vec<u8>`.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the final byte (0 ⇒ byte boundary).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New writer with reserved capacity in bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter { buf: Vec::with_capacity(bytes), bit_pos: 0 }
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << (7 - self.bit_pos);
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    /// Append the low `n` bits of `value`, most-significant first.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, n: u8) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Append a whole little-endian u32 (used for literal floats).
+    #[inline]
+    pub fn push_u32(&mut self, v: u32) {
+        self.push_bits(v as u64, 32);
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Finish and return the byte buffer (final byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential bit source over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize, // absolute bit position
+}
+
+/// Error returned when a read runs past the end of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitStreamExhausted;
+
+impl std::fmt::Display for BitStreamExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bit stream exhausted")
+    }
+}
+
+impl std::error::Error for BitStreamExhausted {}
+
+impl<'a> BitReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Next single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, BitStreamExhausted> {
+        let byte = self.pos / 8;
+        if byte >= self.buf.len() {
+            return Err(BitStreamExhausted);
+        }
+        let bit = (self.buf[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Next `n` bits as the low bits of a u64, MSB-first.
+    #[inline]
+    pub fn read_bits(&mut self, n: u8) -> Result<u64, BitStreamExhausted> {
+        debug_assert!(n <= 64);
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Next 32 bits as a u32.
+    #[inline]
+    pub fn read_u32(&mut self) -> Result<u32, BitStreamExhausted> {
+        Ok(self.read_bits(32)? as u32)
+    }
+
+    /// Peek up to `n` bits without consuming them. Returns the bits
+    /// MSB-first in the low `n` positions (zero-padded past the end of the
+    /// stream) plus the number of bits actually available.
+    #[inline]
+    pub fn peek_bits(&self, n: u8) -> (u64, u8) {
+        debug_assert!(n <= 64);
+        let total = self.buf.len() * 8;
+        let avail = (total.saturating_sub(self.pos)).min(n as usize) as u8;
+        let mut v = 0u64;
+        for i in 0..n as usize {
+            let pos = self.pos + i;
+            let bit = if pos < total {
+                (self.buf[pos / 8] >> (7 - (pos % 8))) & 1
+            } else {
+                0
+            };
+            v = (v << 1) | bit as u64;
+        }
+        (v, avail)
+    }
+
+    /// Consume `n` bits previously inspected with [`BitReader::peek_bits`].
+    #[inline]
+    pub fn advance(&mut self, n: u8) {
+        self.pos += n as usize;
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining_bits(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_bits() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.push_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn roundtrip_multi_bit_values() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        w.push_bits(0xDEAD, 16);
+        w.push_bits(1, 1);
+        w.push_u32(0xCAFEBABE);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xDEAD);
+        assert_eq!(r.read_bit().unwrap(), true);
+        assert_eq!(r.read_u32().unwrap(), 0xCAFEBABE);
+    }
+
+    #[test]
+    fn exhaustion_detected() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b11, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // The padded byte still yields 8 bits; past that we must error.
+        assert_eq!(r.read_bits(8).unwrap(), 0b1100_0000);
+        assert_eq!(r.read_bit(), Err(BitStreamExhausted));
+    }
+
+    #[test]
+    fn bit_len_at_byte_boundary() {
+        let mut w = BitWriter::new();
+        w.push_bits(0xFF, 8);
+        assert_eq!(w.bit_len(), 8);
+        w.push_bit(true);
+        assert_eq!(w.bit_len(), 9);
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.push_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume_and_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1011, 4);
+        let bytes = w.into_bytes(); // one byte: 1011_0000
+        let mut r = BitReader::new(&bytes);
+        let (v, avail) = r.peek_bits(12);
+        assert_eq!(avail, 8, "one byte available");
+        assert_eq!(v, 0b1011_0000_0000);
+        assert_eq!(r.bit_pos(), 0, "peek must not consume");
+        r.advance(4);
+        let (v2, avail2) = r.peek_bits(4);
+        assert_eq!(avail2, 4);
+        assert_eq!(v2, 0b0000);
+    }
+
+    #[test]
+    fn peek_at_end_reports_zero_available() {
+        let mut r = BitReader::new(&[]);
+        let (_, avail) = r.peek_bits(8);
+        assert_eq!(avail, 0);
+        assert_eq!(r.read_bit(), Err(BitStreamExhausted));
+    }
+
+    #[test]
+    fn remaining_bits_tracks() {
+        let bytes = [0u8; 2];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 16);
+        r.read_bits(5).unwrap();
+        assert_eq!(r.remaining_bits(), 11);
+    }
+}

@@ -1,0 +1,98 @@
+//! Element-type abstraction: the codec supports `f32` and `f64` fields
+//! (SDRBench ships both; SZ handles both natively).
+
+/// A floating-point element type the codec can compress.
+///
+/// Sealed by construction: the format reserves a type tag per
+/// implementation, so downstream crates cannot add new element types.
+pub trait Element: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Size in bytes of the serialized element.
+    const BYTES: usize;
+    /// Format tag stored in the stream header.
+    const TYPE_TAG: u8;
+    /// Widen to f64 (exact for both supported types).
+    fn to_f64(self) -> f64;
+    /// Narrow from f64 (rounds for f32).
+    fn from_f64(v: f64) -> Self;
+    /// Append the little-endian bytes.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Parse from exactly [`Element::BYTES`] little-endian bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+impl Element for f32 {
+    const BYTES: usize = 4;
+    const TYPE_TAG: u8 = 0;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+    }
+}
+
+impl Element for f64 {
+    const BYTES: usize = 8;
+    const TYPE_TAG: u8 = 1;
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes[..8].try_into().expect("caller provides 8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let mut buf = Vec::new();
+        1.5f32.write_le(&mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(f32::read_le(&buf), 1.5);
+        assert_eq!(f32::from_f64(2.25), 2.25f32);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut buf = Vec::new();
+        (-2.5e300f64).write_le(&mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(f64::read_le(&buf), -2.5e300);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        assert_ne!(<f32 as Element>::TYPE_TAG, <f64 as Element>::TYPE_TAG);
+    }
+}

@@ -1,0 +1,194 @@
+//! Little-endian serialization helpers and the compressed-stream header.
+//!
+//! The format is deliberately explicit (no serde) so the byte layout is
+//! stable and inspectable:
+//!
+//! ```text
+//! magic  b"SZL1"
+//! u8     flags (bit0: payload LZSS-compressed)
+//! u32    payload length
+//! ...    payload (header body + sections, possibly LZSS-wrapped)
+//! ```
+
+use crate::SzError;
+
+/// Stream magic.
+pub const MAGIC: [u8; 4] = *b"SZL1";
+
+/// Flag bit: payload is LZSS-compressed.
+pub const FLAG_LOSSLESS: u8 = 1;
+
+/// Cursor-style little-endian writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume into bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append a u8.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a u32 (LE).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a u64 (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an f32 (LE bits).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an f64 (LE bits).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed byte section.
+    pub fn section(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.bytes(b);
+    }
+}
+
+/// Cursor-style little-endian reader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SzError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SzError::Corrupt("unexpected end of stream"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SzError> {
+        self.take(n)
+    }
+
+    /// Read a u8.
+    pub fn u8(&mut self) -> Result<u8, SzError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a u32 (LE).
+    pub fn u32(&mut self) -> Result<u32, SzError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a u64 (LE).
+    pub fn u64(&mut self) -> Result<u64, SzError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read an f32.
+    pub fn f32(&mut self) -> Result<f32, SzError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read an f64.
+    pub fn f64(&mut self) -> Result<f64, SzError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed byte section.
+    pub fn section(&mut self) -> Result<&'a [u8], SzError> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEADBEEF);
+        w.u64(u64::MAX - 3);
+        w.f32(1.5);
+        w.f64(-2.25e300);
+        w.section(b"hello");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f64().unwrap(), -2.25e300);
+        assert_eq!(r.section().unwrap(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut w = Writer::new();
+        w.u64(5);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..6]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn section_with_bad_length_is_an_error() {
+        let mut w = Writer::new();
+        w.u64(1000); // claims 1000 bytes, provides none
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.section().is_err());
+    }
+}

@@ -1,0 +1,424 @@
+//! Canonical Huffman coding of quantization codes.
+//!
+//! SZ entropy-codes the quantization-bin indices with a Huffman tree built
+//! from the actual symbol histogram. We implement canonical Huffman: only
+//! the code *lengths* are serialized (as a compact table), and both encoder
+//! and decoder derive identical codebooks from them.
+
+use crate::bitio::{BitReader, BitStreamExhausted, BitWriter};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Maximum code length we allow; 32 keeps codes in a u32 and is unreachable
+/// for realistic histograms (bounded by ~log2(total count)).
+pub const MAX_CODE_LEN: u8 = 32;
+
+/// Errors from Huffman coding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// The symbol alphabet was empty.
+    EmptyAlphabet,
+    /// A symbol outside the encoder's alphabet was submitted.
+    UnknownSymbol(u32),
+    /// The encoded stream ended prematurely or was corrupt.
+    Corrupt,
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffmanError::EmptyAlphabet => write!(f, "empty alphabet"),
+            HuffmanError::UnknownSymbol(s) => write!(f, "unknown symbol {s}"),
+            HuffmanError::Corrupt => write!(f, "corrupt Huffman stream"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+impl From<BitStreamExhausted> for HuffmanError {
+    fn from(_: BitStreamExhausted) -> Self {
+        HuffmanError::Corrupt
+    }
+}
+
+/// Compute canonical code lengths from symbol frequencies.
+///
+/// `freqs` maps dense symbol index → count; zero-count symbols get no code.
+/// Returns a vector of code lengths aligned with `freqs`.
+pub fn code_lengths(freqs: &[u64]) -> Result<Vec<u8>, HuffmanError> {
+    let n = freqs.len();
+    let present: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
+    if present.is_empty() {
+        return Err(HuffmanError::EmptyAlphabet);
+    }
+    let mut lens = vec![0u8; n];
+    if present.len() == 1 {
+        // Degenerate alphabet: give the single symbol a 1-bit code.
+        lens[present[0]] = 1;
+        return Ok(lens);
+    }
+    // Heap of (weight, node id). Internal nodes get ids >= n.
+    #[derive(Clone, Copy)]
+    struct Node {
+        parent: usize,
+    }
+    let mut nodes: Vec<Node> = vec![Node { parent: usize::MAX }; n];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        present.iter().map(|&i| Reverse((freqs[i], i))).collect();
+    while heap.len() > 1 {
+        let Reverse((wa, a)) = heap.pop().unwrap();
+        let Reverse((wb, b)) = heap.pop().unwrap();
+        let id = nodes.len();
+        nodes.push(Node { parent: usize::MAX });
+        nodes[a].parent = id;
+        nodes[b].parent = id;
+        heap.push(Reverse((wa + wb, id)));
+    }
+    for &i in &present {
+        let mut depth = 0u8;
+        let mut cur = i;
+        while nodes[cur].parent != usize::MAX {
+            cur = nodes[cur].parent;
+            depth += 1;
+        }
+        lens[i] = depth.min(MAX_CODE_LEN);
+    }
+    Ok(lens)
+}
+
+/// Assign canonical codes (MSB-first) from code lengths.
+///
+/// Symbols are ordered by (length, index); the returned vector holds
+/// `(code, len)` per symbol (len 0 ⇒ absent).
+pub fn canonical_codes(lens: &[u8]) -> Vec<(u32, u8)> {
+    let mut order: Vec<usize> =
+        (0..lens.len()).filter(|&i| lens[i] > 0).collect();
+    order.sort_by_key(|&i| (lens[i], i));
+    let mut codes = vec![(0u32, 0u8); lens.len()];
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for &i in &order {
+        let l = lens[i];
+        code <<= (l - prev_len) as u32;
+        codes[i] = (code, l);
+        code += 1;
+        prev_len = l;
+    }
+    codes
+}
+
+/// A canonical Huffman encoder over a dense `u32` alphabet `0..n`.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    codes: Vec<(u32, u8)>,
+}
+
+impl HuffmanEncoder {
+    /// Build from symbol frequencies.
+    pub fn from_freqs(freqs: &[u64]) -> Result<Self, HuffmanError> {
+        let lens = code_lengths(freqs)?;
+        Ok(HuffmanEncoder { codes: canonical_codes(&lens) })
+    }
+
+    /// Code lengths, for header serialization.
+    pub fn lengths(&self) -> Vec<u8> {
+        self.codes.iter().map(|&(_, l)| l).collect()
+    }
+
+    /// Encode one symbol into the writer.
+    #[inline]
+    pub fn encode(&self, sym: u32, w: &mut BitWriter) -> Result<(), HuffmanError> {
+        let (code, len) = *self
+            .codes
+            .get(sym as usize)
+            .ok_or(HuffmanError::UnknownSymbol(sym))?;
+        if len == 0 {
+            return Err(HuffmanError::UnknownSymbol(sym));
+        }
+        w.push_bits(code as u64, len);
+        Ok(())
+    }
+
+    /// Total encoded length in bits for a histogram (entropy-cost estimate).
+    pub fn encoded_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.codes)
+            .map(|(&f, &(_, l))| f * l as u64)
+            .sum()
+    }
+}
+
+/// Width of the fast-path lookup table: one peek of this many bits
+/// resolves every code of length ≤ LUT_BITS in O(1).
+pub const LUT_BITS: u8 = 11;
+
+/// Canonical Huffman decoder built from code lengths.
+///
+/// Decoding first consults a 2^[`LUT_BITS`]-entry prefix table (quantizer
+/// codes cluster around the zero bin, so the common symbols have short
+/// codes and hit the table); longer codes fall back to the canonical
+/// first-code walk — O(max_len) per symbol without an explicit tree.
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    /// first_code[l], count[l], and the symbols sorted by (len, index).
+    first_code: [u32; MAX_CODE_LEN as usize + 1],
+    first_sym_idx: [u32; MAX_CODE_LEN as usize + 1],
+    count: [u32; MAX_CODE_LEN as usize + 1],
+    sorted_syms: Vec<u32>,
+    /// `(symbol, code_len)` per LUT_BITS-bit prefix; len 0 ⇒ slow path.
+    lut: Vec<(u32, u8)>,
+}
+
+impl HuffmanDecoder {
+    /// Build from per-symbol code lengths.
+    pub fn from_lengths(lens: &[u8]) -> Result<Self, HuffmanError> {
+        let mut order: Vec<usize> =
+            (0..lens.len()).filter(|&i| lens[i] > 0).collect();
+        if order.is_empty() {
+            return Err(HuffmanError::EmptyAlphabet);
+        }
+        if lens.iter().any(|&l| l > MAX_CODE_LEN) {
+            return Err(HuffmanError::Corrupt);
+        }
+        // A valid prefix code satisfies the Kraft inequality; corrupt
+        // headers can oversubscribe a length class, which would make the
+        // canonical codes overflow their bit width (and the LUT below).
+        let kraft: u128 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u128 << (MAX_CODE_LEN - l))
+            .sum();
+        if kraft > 1u128 << MAX_CODE_LEN {
+            return Err(HuffmanError::Corrupt);
+        }
+        order.sort_by_key(|&i| (lens[i], i));
+        let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+        for &i in &order {
+            count[lens[i] as usize] += 1;
+        }
+        let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut first_sym_idx = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut code = 0u32;
+        let mut idx = 0u32;
+        for l in 1..=MAX_CODE_LEN as usize {
+            code <<= 1;
+            first_code[l] = code;
+            first_sym_idx[l] = idx;
+            code += count[l];
+            idx += count[l];
+        }
+        let sorted_syms: Vec<u32> = order.iter().map(|&i| i as u32).collect();
+        // Fast path: expand every code of length ≤ LUT_BITS into all the
+        // table slots sharing its prefix.
+        let mut lut = vec![(0u32, 0u8); 1usize << LUT_BITS];
+        {
+            let mut idx = 0u32;
+            for l in 1..=LUT_BITS.min(MAX_CODE_LEN) as usize {
+                let c0 = first_code[l];
+                for k in 0..count[l] {
+                    let sym = sorted_syms[(first_sym_idx[l] + k) as usize];
+                    let code = c0 + k;
+                    let shift = LUT_BITS as usize - l;
+                    let base = (code as usize) << shift;
+                    // Kraft validation above guarantees this fits; keep a
+                    // defensive clamp so no table can ever overrun.
+                    let end = (base + (1 << shift)).min(lut.len());
+                    if base >= end {
+                        continue;
+                    }
+                    for slot in &mut lut[base..end] {
+                        *slot = (sym, l as u8);
+                    }
+                }
+                idx += count[l];
+            }
+            let _ = idx;
+        }
+        Ok(HuffmanDecoder { first_code, first_sym_idx, count, sorted_syms, lut })
+    }
+
+    /// Decode one symbol (LUT fast path, canonical walk fallback).
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u32, HuffmanError> {
+        let (prefix, avail) = r.peek_bits(LUT_BITS);
+        if avail > 0 {
+            let (sym, len) = self.lut[prefix as usize];
+            if len != 0 && len <= avail {
+                r.advance(len);
+                return Ok(sym);
+            }
+        }
+        self.decode_walk(r)
+    }
+
+    /// Canonical first-code walk (always correct; used for codes longer
+    /// than [`LUT_BITS`] and near the end of the stream).
+    #[inline]
+    pub fn decode_walk(&self, r: &mut BitReader<'_>) -> Result<u32, HuffmanError> {
+        let mut code = 0u32;
+        for l in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | r.read_bit()? as u32;
+            let c = self.count[l];
+            if c > 0 && code >= self.first_code[l] && code < self.first_code[l] + c {
+                let off = code - self.first_code[l];
+                return Ok(self.sorted_syms[(self.first_sym_idx[l] + off) as usize]);
+            }
+        }
+        Err(HuffmanError::Corrupt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(freqs: &[u64], msg: &[u32]) {
+        let enc = HuffmanEncoder::from_freqs(freqs).unwrap();
+        let dec = HuffmanDecoder::from_lengths(&enc.lengths()).unwrap();
+        let mut w = BitWriter::new();
+        for &s in msg {
+            enc.encode(s, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in msg {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn roundtrip_skewed_histogram() {
+        let freqs = vec![1000, 500, 100, 10, 1, 0, 3];
+        let msg = vec![0, 1, 0, 2, 0, 6, 4, 3, 1, 0, 0, 2];
+        roundtrip(&freqs, &msg);
+    }
+
+    #[test]
+    fn roundtrip_uniform_histogram() {
+        let freqs = vec![5u64; 257];
+        let msg: Vec<u32> = (0..257).collect();
+        roundtrip(&freqs, &msg);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let freqs = vec![0, 42, 0];
+        let msg = vec![1u32; 100];
+        roundtrip(&freqs, &msg);
+    }
+
+    #[test]
+    fn empty_alphabet_rejected() {
+        assert_eq!(code_lengths(&[0, 0]).unwrap_err(), HuffmanError::EmptyAlphabet);
+        assert!(HuffmanEncoder::from_freqs(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let enc = HuffmanEncoder::from_freqs(&[10, 0, 10]).unwrap();
+        let mut w = BitWriter::new();
+        assert_eq!(enc.encode(1, &mut w).unwrap_err(), HuffmanError::UnknownSymbol(1));
+        assert_eq!(enc.encode(7, &mut w).unwrap_err(), HuffmanError::UnknownSymbol(7));
+    }
+
+    #[test]
+    fn skewed_codes_beat_flat_codes() {
+        // Entropy coding must give the frequent symbol a short code.
+        let freqs = vec![10_000u64, 10, 10, 10];
+        let enc = HuffmanEncoder::from_freqs(&freqs).unwrap();
+        let lens = enc.lengths();
+        assert_eq!(lens[0], 1, "dominant symbol should get a 1-bit code");
+        let bits = enc.encoded_bits(&freqs);
+        let flat = 2 * freqs.iter().sum::<u64>();
+        assert!(bits < flat, "huffman {bits} bits vs flat {flat}");
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (1..=64).map(|i| i * i).collect();
+        let lens = code_lengths(&freqs).unwrap();
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft={kraft}");
+    }
+
+    #[test]
+    fn corrupt_stream_detected() {
+        let enc = HuffmanEncoder::from_freqs(&[10, 20, 30, 5, 2]).unwrap();
+        let dec = HuffmanDecoder::from_lengths(&enc.lengths()).unwrap();
+        // A stream of all-ones longer than any code but never matching at
+        // any length either decodes to *some* symbols or errors out at
+        // exhaustion — it must not panic or loop forever.
+        let bytes = vec![0xFFu8; 2];
+        let mut r = BitReader::new(&bytes);
+        let mut decoded = 0;
+        while decoded < 100 {
+            match dec.decode(&mut r) {
+                Ok(_) => decoded += 1,
+                Err(_) => break,
+            }
+        }
+        assert!(decoded < 100);
+    }
+
+    #[test]
+    fn lut_and_walk_paths_agree_on_every_symbol() {
+        // Alphabet sized so codes straddle LUT_BITS: frequent symbols get
+        // short (LUT) codes, the long tail exceeds the table width.
+        let mut freqs = vec![1u64; 5000];
+        freqs[0] = 1 << 20;
+        freqs[1] = 1 << 16;
+        freqs[2] = 1 << 12;
+        let enc = HuffmanEncoder::from_freqs(&freqs).unwrap();
+        let dec = HuffmanDecoder::from_lengths(&enc.lengths()).unwrap();
+        let lens = enc.lengths();
+        assert!(lens.iter().any(|&l| l > 0 && l <= LUT_BITS), "need LUT-covered codes");
+        assert!(lens.iter().any(|&l| l > LUT_BITS), "need walk-only codes");
+        // Every symbol must decode identically through decode() (LUT) and
+        // decode_walk().
+        let msg: Vec<u32> = (0..5000).step_by(7).chain([0, 1, 2, 4999]).collect();
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            enc.encode(s, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut fast = BitReader::new(&bytes);
+        let mut slow = BitReader::new(&bytes);
+        for &s in &msg {
+            assert_eq!(dec.decode(&mut fast).unwrap(), s);
+            assert_eq!(dec.decode_walk(&mut slow).unwrap(), s);
+            assert_eq!(fast.bit_pos(), slow.bit_pos(), "paths must consume identically");
+        }
+    }
+
+    #[test]
+    fn lut_path_respects_stream_end() {
+        // A stream that ends mid-code must error, not decode padding zeros.
+        let enc = HuffmanEncoder::from_freqs(&[100, 1, 1, 1, 1, 1, 1, 1, 1]).unwrap();
+        let dec = HuffmanDecoder::from_lengths(&enc.lengths()).unwrap();
+        let mut w = BitWriter::new();
+        enc.encode(3, &mut w).unwrap(); // a multi-bit code
+        let bits = w.bit_len();
+        let bytes = w.into_bytes();
+        // Decode from an empty stream: must be Corrupt, not symbol 0.
+        let empty: [u8; 0] = [];
+        let mut r = BitReader::new(&empty);
+        assert_eq!(dec.decode(&mut r), Err(HuffmanError::Corrupt));
+        // Full stream decodes fine.
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode(&mut r).unwrap(), 3);
+        let _ = bits;
+    }
+
+    #[test]
+    fn decoder_rejects_overlong_lengths() {
+        let mut lens = vec![8u8; 4];
+        lens[0] = MAX_CODE_LEN + 1;
+        assert_eq!(HuffmanDecoder::from_lengths(&lens).unwrap_err(), HuffmanError::Corrupt);
+    }
+}

@@ -1,0 +1,240 @@
+//! LZSS lossless backend.
+//!
+//! SZ finishes its pipeline by running a general-purpose lossless compressor
+//! (Zstd in the reference implementation) over the entropy-coded stream to
+//! squeeze out residual redundancy — repeated Huffman-code runs, literal
+//! tables, and header padding. We implement LZSS with a 64 KiB window and
+//! hash-chain match finding: the same algorithmic family, dependency-free.
+//!
+//! Token format (bit stream, MSB-first):
+//! * `0` + 8 bits   — literal byte
+//! * `1` + 16 bits offset + 8 bits length − [MIN_MATCH] — back-reference
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Window size for back-references (offset fits in 16 bits).
+pub const WINDOW: usize = 1 << 16;
+/// Minimum profitable match length (a match token costs 25 bits).
+pub const MIN_MATCH: usize = 4;
+/// Maximum match length encodable in 8 bits above MIN_MATCH.
+pub const MAX_MATCH: usize = MIN_MATCH + 255;
+/// Hash-chain search depth; bounds worst-case compression time.
+const MAX_CHAIN: usize = 32;
+
+/// Error from [`decompress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LzssCorrupt;
+
+impl std::fmt::Display for LzssCorrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt LZSS stream")
+    }
+}
+
+impl std::error::Error for LzssCorrupt {}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let b = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (b.wrapping_mul(0x9E37_79B1) >> 17) as usize & (HASH_SIZE - 1)
+}
+
+const HASH_SIZE: usize = 1 << 15;
+
+/// Compress `data`; output starts with the original length (u32 LE).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 16);
+    let mut head = vec![u32::MAX; HASH_SIZE];
+    let mut prev = vec![u32::MAX; data.len()];
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != u32::MAX && chain < MAX_CHAIN {
+                let c = cand as usize;
+                if i - c <= WINDOW {
+                    let limit = (data.len() - i).min(MAX_MATCH);
+                    let mut l = 0;
+                    while l < limit && data[c + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - c;
+                        if l == limit {
+                            break;
+                        }
+                    }
+                } else {
+                    break; // chain entries only get older
+                }
+                cand = prev[c];
+                chain += 1;
+            }
+            // Insert current position into the chain.
+            prev[i] = head[h];
+            head[h] = i as u32;
+        }
+        if best_len >= MIN_MATCH {
+            w.push_bit(true);
+            w.push_bits((best_off - 1) as u64, 16);
+            w.push_bits((best_len - MIN_MATCH) as u64, 8);
+            // Insert the skipped positions so later matches can find them.
+            let end = i + best_len;
+            let mut p = i + 1;
+            while p < end && p + MIN_MATCH <= data.len() {
+                let h = hash4(data, p);
+                prev[p] = head[h];
+                head[h] = p as u32;
+                p += 1;
+            }
+            i = end;
+        } else {
+            w.push_bit(false);
+            w.push_bits(data[i] as u64, 8);
+            i += 1;
+        }
+    }
+    let mut out = (data.len() as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(&w.into_bytes());
+    out
+}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, LzssCorrupt> {
+    if stream.len() < 4 {
+        return Err(LzssCorrupt);
+    }
+    let n = u32::from_le_bytes([stream[0], stream[1], stream[2], stream[3]]) as usize;
+    // A match token costs 25 bits and can emit at most MAX_MATCH bytes, so
+    // the output can never legitimately exceed ~83× the stream size; a
+    // corrupt length field must not drive the allocation.
+    if n > 4 + (stream.len() - 4).saturating_mul(MAX_MATCH * 8 / 25 + 1) {
+        return Err(LzssCorrupt);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut r = BitReader::new(&stream[4..]);
+    while out.len() < n {
+        let is_match = r.read_bit().map_err(|_| LzssCorrupt)?;
+        if is_match {
+            let off = r.read_bits(16).map_err(|_| LzssCorrupt)? as usize + 1;
+            let len = r.read_bits(8).map_err(|_| LzssCorrupt)? as usize + MIN_MATCH;
+            if off > out.len() {
+                return Err(LzssCorrupt);
+            }
+            let start = out.len() - off;
+            // Overlapping copies are byte-by-byte by construction.
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            out.push(r.read_bits(8).map_err(|_| LzssCorrupt)? as u8);
+        }
+    }
+    if out.len() != n {
+        return Err(LzssCorrupt);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn roundtrip_short_literals() {
+        let data = b"abc";
+        assert_eq!(decompress(&compress(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let data: Vec<u8> = b"hello world, ".iter().cycle().take(10_000).copied().collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "{} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn handles_overlapping_matches() {
+        // Classic RLE-through-LZ case: aaaa... encoded as offset-1 matches.
+        let data = vec![b'a'; 1000];
+        let c = compress(&data);
+        assert!(c.len() < 40);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // Pseudo-random bytes: expansion is bounded by ~12.5% (1 flag bit
+        // per literal) plus the 4-byte header.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 24) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 8 + 8);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let data = vec![7u8; 100];
+        let mut c = compress(&data);
+        c.truncate(c.len() - 2);
+        assert_eq!(decompress(&c), Err(LzssCorrupt));
+    }
+
+    #[test]
+    fn bogus_offset_detected() {
+        // Handcraft: length 8, one match token with offset 5 at position 0.
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bits(4, 16); // offset 5
+        w.push_bits(4, 8); // len 8
+        let mut s = 8u32.to_le_bytes().to_vec();
+        s.extend_from_slice(&w.into_bytes());
+        assert_eq!(decompress(&s), Err(LzssCorrupt));
+    }
+
+    #[test]
+    fn tiny_header_detected() {
+        assert_eq!(decompress(&[1, 2]), Err(LzssCorrupt));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_roundtrip_structured(
+            seed in any::<u8>(),
+            reps in 1usize..200,
+            chunk in 1usize..64,
+        ) {
+            let data: Vec<u8> = (0..chunk)
+                .map(|i| seed.wrapping_add(i as u8))
+                .collect::<Vec<_>>()
+                .repeat(reps);
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,672 @@
+//! The SZ compression/decompression pipeline.
+//!
+//! Compression stages (mirroring SZ 1.4/2.x):
+//!
+//! 1. **Prediction** — Lorenzo stencil over reconstructed values, or the
+//!    per-block adaptive choice between Lorenzo and hyperplane regression.
+//! 2. **Error-bounded quantization** — residuals land in uniform bins of
+//!    width `2·eb`; out-of-range values escape to IEEE literals.
+//! 3. **Huffman coding** of the bin indices.
+//! 4. **LZSS** lossless pass over the whole payload (optional).
+//!
+//! Decompression inverts the stages; predictions are computed from
+//! reconstructed values only, so the decompressor stays in lock-step with
+//! the compressor and every value obeys the absolute error bound.
+//!
+//! Both `f32` and `f64` fields are supported through [`Element`]; the
+//! element type is recorded in the stream header and checked on decode.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::element::Element;
+use crate::header::{Reader, Writer, FLAG_LOSSLESS, MAGIC};
+use crate::huffman::{HuffmanDecoder, HuffmanEncoder};
+use crate::lossless;
+use crate::predictor::{lorenzo_1d_o2, lorenzo_3d};
+use crate::quantizer::{Quantized, Quantizer};
+use crate::regression::{block_abs_error, fit_block, BlockCoeffs, BLOCK_SIDE};
+use crate::stats::CompressionStats;
+use crate::{Compressed, ErrorBound, PredictorMode, SzConfig, SzError};
+
+/// Geometry after fusing 4-D inputs down to 3-D (SZ treats the slowest two
+/// dimensions of a 4-D array as one).
+#[derive(Debug, Clone, Copy)]
+struct Geom {
+    nz: usize,
+    ny: usize,
+    nx: usize,
+    rank: usize,
+}
+
+fn geometry(dims: &[usize], len: usize) -> Result<Geom, SzError> {
+    if dims.is_empty() || dims.len() > 4 || dims.contains(&0) {
+        return Err(SzError::InvalidDims);
+    }
+    let n = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(SzError::InvalidDims)?;
+    if n != len || n == 0 {
+        return Err(SzError::InvalidDims);
+    }
+    let g = match dims.len() {
+        1 => Geom { nz: 1, ny: 1, nx: dims[0], rank: 1 },
+        2 => Geom { nz: 1, ny: dims[0], nx: dims[1], rank: 2 },
+        3 => Geom { nz: dims[0], ny: dims[1], nx: dims[2], rank: 3 },
+        _ => Geom { nz: dims[0] * dims[1], ny: dims[2], nx: dims[3], rank: 4 },
+    };
+    Ok(g)
+}
+
+fn resolve_eb<T: Element>(data: &[T], eb: ErrorBound) -> Result<f64, SzError> {
+    let abs = match eb {
+        ErrorBound::Absolute(e) => e,
+        ErrorBound::ValueRangeRelative(r) => {
+            if !(r > 0.0) || !r.is_finite() {
+                return Err(SzError::InvalidErrorBound);
+            }
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in data {
+                let v = v.to_f64();
+                if v.is_finite() {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            let range = hi - lo;
+            if range > 0.0 {
+                r * range
+            } else {
+                // Constant (or all non-finite) data: any positive bound works.
+                r
+            }
+        }
+    };
+    if !(abs > 0.0) || !abs.is_finite() {
+        return Err(SzError::InvalidErrorBound);
+    }
+    Ok(abs)
+}
+
+/// Intermediate encode products shared by both predictor modes.
+struct Encoded<T> {
+    symbols: Vec<u32>,
+    literals: Vec<T>,
+    block_bits: BitWriter,
+    coeffs: Vec<f32>,
+    regression_blocks: u64,
+    lorenzo_blocks: u64,
+}
+
+/// Quantize one element, verifying that the error bound still holds after
+/// the decompressor's final narrowing cast (large-magnitude values can
+/// lose more than the slack to f32 rounding); escape to a literal
+/// otherwise.
+#[inline]
+fn encode_one<T: Element>(
+    q: &Quantizer,
+    pred: f64,
+    orig: T,
+    symbols: &mut Vec<u32>,
+    literals: &mut Vec<T>,
+) -> f64 {
+    if let Quantized::Code(c) = q.quantize(pred, orig.to_f64()) {
+        let rec = q.reconstruct(pred, c);
+        if (T::from_f64(rec).to_f64() - orig.to_f64()).abs() <= q.error_bound() {
+            symbols.push(c);
+            return rec;
+        }
+    }
+    symbols.push(0);
+    literals.push(orig);
+    orig.to_f64()
+}
+
+fn encode_classic<T: Element>(data: &[T], g: Geom, order: u8, q: &Quantizer) -> Encoded<T> {
+    let n = data.len();
+    let mut symbols = Vec::with_capacity(n);
+    let mut literals = Vec::new();
+    let mut recon = vec![0.0f64; n];
+    let use_o2 = g.rank == 1 && order == 2;
+    let mut idx = 0usize;
+    for k in 0..g.nz {
+        for j in 0..g.ny {
+            for i in 0..g.nx {
+                let pred = if use_o2 {
+                    lorenzo_1d_o2(&recon, idx)
+                } else {
+                    lorenzo_3d(&recon, g.ny, g.nx, k, j, i)
+                };
+                recon[idx] = encode_one(q, pred, data[idx], &mut symbols, &mut literals);
+                idx += 1;
+            }
+        }
+    }
+    Encoded {
+        symbols,
+        literals,
+        block_bits: BitWriter::new(),
+        coeffs: Vec::new(),
+        regression_blocks: 0,
+        lorenzo_blocks: 0,
+    }
+}
+
+/// Mean |orig − Lorenzo(orig)| over a block, using *original* neighbours.
+/// Only a mode-selection heuristic: correctness never depends on it.
+fn lorenzo_probe_error<T: Element>(
+    data: &[T],
+    g: Geom,
+    k0: usize,
+    k1: usize,
+    j0: usize,
+    j1: usize,
+    i0: usize,
+    i1: usize,
+) -> f64 {
+    let at = |k: isize, j: isize, i: isize| -> f64 {
+        if k < 0 || j < 0 || i < 0 {
+            0.0
+        } else {
+            data[(k as usize * g.ny + j as usize) * g.nx + i as usize].to_f64()
+        }
+    };
+    let mut err = 0.0;
+    let mut cnt = 0usize;
+    for k in k0..k1 {
+        for j in j0..j1 {
+            for i in i0..i1 {
+                let (ki, ji, ii) = (k as isize, j as isize, i as isize);
+                let pred = at(ki, ji, ii - 1) + at(ki, ji - 1, ii) + at(ki - 1, ji, ii)
+                    - at(ki, ji - 1, ii - 1)
+                    - at(ki - 1, ji, ii - 1)
+                    - at(ki - 1, ji - 1, ii)
+                    + at(ki - 1, ji - 1, ii - 1);
+                err += (data[(k * g.ny + j) * g.nx + i].to_f64() - pred).abs();
+                cnt += 1;
+            }
+        }
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        err / cnt as f64
+    }
+}
+
+fn encode_blocks<T: Element>(data: &[T], g: Geom, q: &Quantizer) -> Encoded<T> {
+    let n = data.len();
+    let mut symbols = Vec::with_capacity(n);
+    let mut literals = Vec::new();
+    let mut recon = vec![0.0f64; n];
+    let mut block_bits = BitWriter::new();
+    let mut coeffs_out: Vec<f32> = Vec::new();
+    let mut regression_blocks = 0u64;
+    let mut lorenzo_blocks = 0u64;
+    let b = BLOCK_SIDE;
+    let mut vals = Vec::with_capacity(b * b * b);
+
+    let blocks = |e: usize| e.div_ceil(b);
+    for bk in 0..blocks(g.nz) {
+        for bj in 0..blocks(g.ny) {
+            for bi in 0..blocks(g.nx) {
+                let (k0, j0, i0) = (bk * b, bj * b, bi * b);
+                let (k1, j1, i1) = ((k0 + b).min(g.nz), (j0 + b).min(g.ny), (i0 + b).min(g.nx));
+                let (nk, nj, ni) = (k1 - k0, j1 - j0, i1 - i0);
+                vals.clear();
+                for k in k0..k1 {
+                    for j in j0..j1 {
+                        for i in i0..i1 {
+                            vals.push(data[(k * g.ny + j) * g.nx + i].to_f64());
+                        }
+                    }
+                }
+                let coeffs = fit_block(&vals, nk, nj, ni);
+                let reg_err = block_abs_error(&vals, nk, nj, ni, &coeffs);
+                let lor_err = lorenzo_probe_error(data, g, k0, k1, j0, j1, i0, i1);
+                let use_reg = reg_err < lor_err;
+                block_bits.push_bit(use_reg);
+                if use_reg {
+                    regression_blocks += 1;
+                    coeffs_out.extend_from_slice(&coeffs.c);
+                } else {
+                    lorenzo_blocks += 1;
+                }
+                for k in k0..k1 {
+                    for j in j0..j1 {
+                        for i in i0..i1 {
+                            let idx = (k * g.ny + j) * g.nx + i;
+                            let pred = if use_reg {
+                                coeffs.predict(i - i0, j - j0, k - k0)
+                            } else {
+                                lorenzo_3d(&recon, g.ny, g.nx, k, j, i)
+                            };
+                            recon[idx] =
+                                encode_one(q, pred, data[idx], &mut symbols, &mut literals);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Encoded {
+        symbols,
+        literals,
+        block_bits,
+        coeffs: coeffs_out,
+        regression_blocks,
+        lorenzo_blocks,
+    }
+}
+
+/// Compress `data` shaped as `dims` (1–4 dimensions, slowest first), for
+/// any supported element type.
+pub fn compress_typed<T: Element>(
+    data: &[T],
+    dims: &[usize],
+    cfg: &SzConfig,
+) -> Result<Compressed, SzError> {
+    let g = geometry(dims, data.len())?;
+    let eb = resolve_eb(data, cfg.error_bound)?;
+    let q = Quantizer::new(eb, cfg.radius);
+    let block_mode = matches!(cfg.mode, PredictorMode::BlockAdaptive) && g.rank >= 2;
+    let enc = if block_mode {
+        encode_blocks(data, g, &q)
+    } else {
+        encode_classic(data, g, cfg.lorenzo_order, &q)
+    };
+
+    // Histogram + Huffman table over the dense symbol alphabet.
+    let mut freqs = vec![0u64; q.alphabet_size()];
+    for &s in &enc.symbols {
+        freqs[s as usize] += 1;
+    }
+    let huff = HuffmanEncoder::from_freqs(&freqs).map_err(|_| SzError::Internal("huffman build"))?;
+    let mut sym_bits = BitWriter::with_capacity(enc.symbols.len() / 2);
+    for &s in &enc.symbols {
+        huff.encode(s, &mut sym_bits).map_err(|_| SzError::Internal("huffman encode"))?;
+    }
+    let huffman_bits = sym_bits.bit_len() as u64;
+
+    // ---- assemble payload ----
+    let mut p = Writer::new();
+    p.u8(T::TYPE_TAG);
+    p.u8(dims.len() as u8);
+    for &d in dims {
+        p.u64(d as u64);
+    }
+    p.u8(if block_mode { 1 } else { 0 });
+    p.u8(cfg.lorenzo_order);
+    p.f64(eb);
+    p.u32(cfg.radius);
+    p.u64(data.len() as u64);
+    // Huffman table: dense u8 code lengths over the occupied symbol range.
+    // Quantization codes cluster tightly around the zero bin, so the range
+    // is small, and runs of equal lengths compress well in the LZSS pass.
+    let lens = huff.lengths();
+    let first = lens.iter().position(|&l| l > 0).unwrap_or(0);
+    let last = lens.iter().rposition(|&l| l > 0).unwrap_or(0);
+    let n_present = lens.iter().filter(|&&l| l > 0).count();
+    p.u32(first as u32);
+    p.u32((last - first + 1) as u32);
+    p.bytes(&lens[first..=last]);
+    p.u64(huffman_bits);
+    p.section(&sym_bits.into_bytes());
+    // Literals.
+    let mut lit_bytes = Vec::with_capacity(enc.literals.len() * T::BYTES);
+    for &v in &enc.literals {
+        v.write_le(&mut lit_bytes);
+    }
+    p.section(&lit_bytes);
+    // Block metadata.
+    if block_mode {
+        p.section(&enc.block_bits.into_bytes());
+        let mut cb = Vec::with_capacity(enc.coeffs.len() * 4);
+        for &c in &enc.coeffs {
+            cb.extend_from_slice(&c.to_le_bytes());
+        }
+        p.section(&cb);
+    }
+    let payload = p.into_bytes();
+
+    // ---- envelope ----
+    let (flags, body) = if cfg.lossless {
+        let z = lossless::compress(&payload);
+        if z.len() < payload.len() {
+            (FLAG_LOSSLESS, z)
+        } else {
+            (0, payload)
+        }
+    } else {
+        (0, payload)
+    };
+    let mut out = Writer::new();
+    out.bytes(&MAGIC);
+    out.u8(flags);
+    out.u64(body.len() as u64);
+    out.bytes(&body);
+    let bytes = out.into_bytes();
+
+    let stats = CompressionStats {
+        elements: data.len() as u64,
+        input_bytes: (data.len() * T::BYTES) as u64,
+        output_bytes: bytes.len() as u64,
+        predictable: data.len() as u64 - enc.literals.len() as u64,
+        unpredictable: enc.literals.len() as u64,
+        regression_blocks: enc.regression_blocks,
+        lorenzo_blocks: enc.lorenzo_blocks,
+        huffman_table_entries: n_present as u64,
+        huffman_bits,
+    };
+    Ok(Compressed { bytes, stats })
+}
+
+/// Compress an `f32` field (the paper's data type).
+pub fn compress(data: &[f32], dims: &[usize], cfg: &SzConfig) -> Result<Compressed, SzError> {
+    compress_typed(data, dims, cfg)
+}
+
+/// Compress an `f64` field.
+pub fn compress_f64(data: &[f64], dims: &[usize], cfg: &SzConfig) -> Result<Compressed, SzError> {
+    compress_typed(data, dims, cfg)
+}
+
+/// Element type tag recorded in a compressed stream (without decoding it).
+pub fn stream_type_tag(stream: &[u8]) -> Result<u8, SzError> {
+    let payload = unwrap_envelope(stream)?;
+    let mut r = Reader::new(&payload);
+    r.u8()
+}
+
+fn unwrap_envelope(stream: &[u8]) -> Result<Vec<u8>, SzError> {
+    let mut env = Reader::new(stream);
+    if env.bytes(4)? != MAGIC {
+        return Err(SzError::Corrupt("bad magic"));
+    }
+    let flags = env.u8()?;
+    let body_len = env.u64()? as usize;
+    let body = env.bytes(body_len)?;
+    if flags & FLAG_LOSSLESS != 0 {
+        lossless::decompress(body).map_err(|_| SzError::Corrupt("lzss"))
+    } else {
+        Ok(body.to_vec())
+    }
+}
+
+/// Decompress a stream produced by [`compress_typed`]. Returns the values
+/// and the dimensions recorded in the header. Fails with
+/// [`SzError::TypeMismatch`] when the stream holds a different element
+/// type.
+pub fn decompress_typed<T: Element>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>), SzError> {
+    let payload = unwrap_envelope(stream)?;
+    let mut r = Reader::new(&payload);
+    let tag = r.u8()?;
+    if tag != T::TYPE_TAG {
+        return Err(SzError::TypeMismatch);
+    }
+    let rank = r.u8()? as usize;
+    if rank == 0 || rank > 4 {
+        return Err(SzError::Corrupt("bad rank"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(r.u64()? as usize);
+    }
+    let block_mode = r.u8()? == 1;
+    let order = r.u8()?;
+    let eb = r.f64()?;
+    let radius = r.u32()?;
+    let n = r.u64()? as usize;
+    // A corrupt header cannot be allowed to drive the output allocation:
+    // every element consumes at least one symbol-stream bit, so `n` is
+    // bounded by the remaining payload size.
+    if n > r.remaining().saturating_mul(8) {
+        return Err(SzError::Corrupt("element count exceeds payload"));
+    }
+    let g = geometry(&dims, n)?;
+    if !(eb > 0.0) || !eb.is_finite() || radius == 0 {
+        return Err(SzError::Corrupt("bad quantizer params"));
+    }
+    let q = Quantizer::new(eb, radius);
+
+    // Huffman table (dense code lengths over the occupied symbol range).
+    let first = r.u32()? as usize;
+    let count = r.u32()? as usize;
+    let mut lens = vec![0u8; q.alphabet_size()];
+    if count > lens.len() || first + count > lens.len() {
+        return Err(SzError::Corrupt("symbol range out of alphabet"));
+    }
+    lens[first..first + count].copy_from_slice(r.bytes(count)?);
+    let dec = HuffmanDecoder::from_lengths(&lens).map_err(|_| SzError::Corrupt("huffman table"))?;
+    let _sym_bit_count = r.u64()?;
+    let sym_bytes = r.section()?;
+    // Tighter form of the element-count guard: every element consumes at
+    // least one bit of the symbol stream specifically.
+    if n > sym_bytes.len().saturating_mul(8) {
+        return Err(SzError::Corrupt("element count exceeds symbol stream"));
+    }
+    let lit_bytes = r.section()?;
+    if lit_bytes.len() % T::BYTES != 0 {
+        return Err(SzError::Corrupt("literal section"));
+    }
+    let literals: Vec<T> = lit_bytes.chunks_exact(T::BYTES).map(T::read_le).collect();
+
+    let (block_bit_bytes, coeff_vals) = if block_mode {
+        let bb = r.section()?.to_vec();
+        let cb = r.section()?;
+        if cb.len() % 16 != 0 {
+            return Err(SzError::Corrupt("coeff section"));
+        }
+        let cv: Vec<f32> = cb
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        (bb, cv)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    let mut sym_reader = BitReader::new(sym_bytes);
+    let mut lit_iter = literals.iter();
+    let mut recon = vec![0.0f64; n];
+
+    let mut next_value = |pred: f64, recon_slot: &mut f64| -> Result<(), SzError> {
+        let sym = dec
+            .decode(&mut sym_reader)
+            .map_err(|_| SzError::Corrupt("symbol stream"))?;
+        if sym == 0 {
+            let lit = lit_iter.next().ok_or(SzError::Corrupt("literal underrun"))?;
+            *recon_slot = lit.to_f64();
+        } else {
+            if !q.is_code(sym) {
+                return Err(SzError::Corrupt("symbol out of range"));
+            }
+            *recon_slot = q.reconstruct(pred, sym);
+        }
+        Ok(())
+    };
+
+    if block_mode {
+        let b = BLOCK_SIDE;
+        let blocks = |e: usize| e.div_ceil(b);
+        let mut flag_reader = BitReader::new(&block_bit_bytes);
+        let mut coeff_idx = 0usize;
+        for bk in 0..blocks(g.nz) {
+            for bj in 0..blocks(g.ny) {
+                for bi in 0..blocks(g.nx) {
+                    let (k0, j0, i0) = (bk * b, bj * b, bi * b);
+                    let (k1, j1, i1) =
+                        ((k0 + b).min(g.nz), (j0 + b).min(g.ny), (i0 + b).min(g.nx));
+                    let use_reg = flag_reader
+                        .read_bit()
+                        .map_err(|_| SzError::Corrupt("block flags"))?;
+                    let coeffs = if use_reg {
+                        if coeff_idx + 4 > coeff_vals.len() {
+                            return Err(SzError::Corrupt("coeff underrun"));
+                        }
+                        let c = BlockCoeffs {
+                            c: [
+                                coeff_vals[coeff_idx],
+                                coeff_vals[coeff_idx + 1],
+                                coeff_vals[coeff_idx + 2],
+                                coeff_vals[coeff_idx + 3],
+                            ],
+                        };
+                        coeff_idx += 4;
+                        Some(c)
+                    } else {
+                        None
+                    };
+                    for k in k0..k1 {
+                        for j in j0..j1 {
+                            for i in i0..i1 {
+                                let idx = (k * g.ny + j) * g.nx + i;
+                                let pred = match &coeffs {
+                                    Some(c) => c.predict(i - i0, j - j0, k - k0),
+                                    None => lorenzo_3d(&recon, g.ny, g.nx, k, j, i),
+                                };
+                                let (before, rest) = recon.split_at_mut(idx);
+                                let _ = before;
+                                next_value(pred, &mut rest[0])?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        let use_o2 = g.rank == 1 && order == 2;
+        let mut idx = 0usize;
+        for k in 0..g.nz {
+            for j in 0..g.ny {
+                for i in 0..g.nx {
+                    let pred = if use_o2 {
+                        lorenzo_1d_o2(&recon, idx)
+                    } else {
+                        lorenzo_3d(&recon, g.ny, g.nx, k, j, i)
+                    };
+                    let (before, rest) = recon.split_at_mut(idx);
+                    let _ = before;
+                    next_value(pred, &mut rest[0])?;
+                    idx += 1;
+                }
+            }
+        }
+    }
+
+    Ok((recon.into_iter().map(T::from_f64).collect(), dims))
+}
+
+/// Decompress an `f32` stream.
+pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Vec<usize>), SzError> {
+    decompress_typed(stream)
+}
+
+/// Decompress an `f64` stream.
+pub fn decompress_f64(stream: &[u8]) -> Result<(Vec<f64>, Vec<usize>), SzError> {
+    decompress_typed(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_fuses_4d() {
+        let g = geometry(&[2, 3, 4, 5], 120).unwrap();
+        assert_eq!((g.nz, g.ny, g.nx, g.rank), (6, 4, 5, 4));
+    }
+
+    #[test]
+    fn geometry_rejects_mismatch() {
+        assert!(geometry(&[2, 3], 7).is_err());
+        assert!(geometry(&[], 0).is_err());
+        assert!(geometry(&[0], 0).is_err());
+        assert!(geometry(&[1, 2, 3, 4, 5], 120).is_err());
+        assert!(geometry(&[usize::MAX, usize::MAX], 4).is_err());
+    }
+
+    #[test]
+    fn resolve_relative_eb_uses_range() {
+        let data = [0.0f32, 10.0];
+        let eb = resolve_eb(&data, ErrorBound::ValueRangeRelative(1e-2)).unwrap();
+        assert!((eb - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolve_relative_eb_constant_data() {
+        let data = [5.0f32; 4];
+        let eb = resolve_eb(&data, ErrorBound::ValueRangeRelative(1e-3)).unwrap();
+        assert_eq!(eb, 1e-3);
+    }
+
+    #[test]
+    fn resolve_rejects_bad_bounds() {
+        assert!(resolve_eb(&[1.0f32], ErrorBound::Absolute(0.0)).is_err());
+        assert!(resolve_eb(&[1.0f32], ErrorBound::Absolute(-1.0)).is_err());
+        assert!(resolve_eb(&[1.0f32], ErrorBound::Absolute(f64::NAN)).is_err());
+        assert!(resolve_eb(&[1.0f32], ErrorBound::ValueRangeRelative(-0.5)).is_err());
+    }
+
+    #[test]
+    fn f64_roundtrip_respects_bound() {
+        // Values whose precision exceeds f32: the f64 path must preserve
+        // them to the requested bound.
+        let data: Vec<f64> = (0..4096)
+            .map(|i| 1.0 + (i as f64) * 1e-9 + (i as f64 * 0.01).sin() * 1e-5)
+            .collect();
+        let eb = 1e-8;
+        let cfg = SzConfig::new(ErrorBound::Absolute(eb));
+        let out = compress_f64(&data, &[4096], &cfg).expect("compress");
+        let (rec, dims) = decompress_f64(&out.bytes).expect("decompress");
+        assert_eq!(dims, vec![4096]);
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((a - b).abs() <= eb, "{a} vs {b}");
+        }
+        // f32 storage could never hit this bound; f64 must beat 8 B/elem.
+        assert!(out.bytes.len() < data.len() * 8);
+    }
+
+    #[test]
+    fn f64_block_mode_roundtrip() {
+        let (ny, nx) = (40, 50);
+        let data: Vec<f64> = (0..ny * nx)
+            .map(|idx| {
+                let (j, i) = (idx / nx, idx % nx);
+                (i as f64 * 0.1).sin() * (j as f64 * 0.07).cos() * 1e6
+            })
+            .collect();
+        let eb = 1e-3;
+        let out = compress_f64(&data, &[ny, nx], &SzConfig::new(ErrorBound::Absolute(eb)))
+            .expect("compress");
+        let (rec, _) = decompress_f64(&out.bytes).expect("decompress");
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((a - b).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn type_tag_is_checked() {
+        let f32_stream = compress(&[1.0f32; 64], &[64], &SzConfig::new(ErrorBound::Absolute(1e-3)))
+            .expect("compress");
+        assert_eq!(decompress_f64(&f32_stream.bytes).unwrap_err(), SzError::TypeMismatch);
+        let f64_stream =
+            compress_f64(&[1.0f64; 64], &[64], &SzConfig::new(ErrorBound::Absolute(1e-3)))
+                .expect("compress");
+        assert_eq!(decompress(&f64_stream.bytes).unwrap_err(), SzError::TypeMismatch);
+        assert_eq!(stream_type_tag(&f32_stream.bytes).unwrap(), 0);
+        assert_eq!(stream_type_tag(&f64_stream.bytes).unwrap(), 1);
+    }
+
+    #[test]
+    fn f64_literals_are_exact() {
+        // Unpredictable f64 values must survive bit-exactly via literals.
+        let data = vec![1.0e300f64, -2.2250738585072014e-308, 3.5, 1.0e-40];
+        let cfg = SzConfig::new(ErrorBound::Absolute(1e-12)).with_radius(4);
+        let out = compress_f64(&data, &[4], &cfg).expect("compress");
+        let (rec, _) = decompress_f64(&out.bytes).expect("decompress");
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((a - b).abs() <= 1e-12 || a == b, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Lorenzo predictors over reconstructed data.
+//!
+//! SZ predicts each value from already-*reconstructed* neighbours (not the
+//! originals!) so the decompressor — which only has reconstructed values —
+//! computes bit-identical predictions. Out-of-bounds neighbours are treated
+//! as 0, matching SZ's behaviour on array borders.
+//!
+//! The d-dimensional Lorenzo predictor is the inclusion–exclusion sum of
+//! the 2^d − 1 neighbours of the "lower corner" hypercube; it is exact for
+//! polynomials of degree < d and extremely cheap, which is why it is SZ's
+//! workhorse for smooth fields.
+
+/// Order-1 1-D prediction: previous value.
+#[inline]
+pub fn lorenzo_1d(recon: &[f64], i: usize) -> f64 {
+    if i >= 1 {
+        recon[i - 1]
+    } else {
+        0.0
+    }
+}
+
+/// Order-2 1-D prediction: linear extrapolation `2·r[i−1] − r[i−2]`.
+#[inline]
+pub fn lorenzo_1d_o2(recon: &[f64], i: usize) -> f64 {
+    match i {
+        0 => 0.0,
+        1 => recon[0],
+        _ => 2.0 * recon[i - 1] - recon[i - 2],
+    }
+}
+
+/// 2-D Lorenzo prediction at row-major position (j, i) in an ny×nx grid.
+#[inline]
+pub fn lorenzo_2d(recon: &[f64], nx: usize, j: usize, i: usize) -> f64 {
+    let at = |jj: isize, ii: isize| -> f64 {
+        if jj < 0 || ii < 0 {
+            0.0
+        } else {
+            recon[jj as usize * nx + ii as usize]
+        }
+    };
+    let (j, i) = (j as isize, i as isize);
+    at(j, i - 1) + at(j - 1, i) - at(j - 1, i - 1)
+}
+
+/// 3-D Lorenzo prediction at (k, j, i) in an nz×ny×nx grid.
+#[inline]
+pub fn lorenzo_3d(recon: &[f64], ny: usize, nx: usize, k: usize, j: usize, i: usize) -> f64 {
+    let at = |kk: isize, jj: isize, ii: isize| -> f64 {
+        if kk < 0 || jj < 0 || ii < 0 {
+            0.0
+        } else {
+            recon[(kk as usize * ny + jj as usize) * nx + ii as usize]
+        }
+    };
+    let (k, j, i) = (k as isize, j as isize, i as isize);
+    at(k, j, i - 1) + at(k, j - 1, i) + at(k - 1, j, i)
+        - at(k, j - 1, i - 1)
+        - at(k - 1, j, i - 1)
+        - at(k - 1, j - 1, i)
+        + at(k - 1, j - 1, i - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lorenzo_1d_borders() {
+        let r = [3.0, 5.0, 7.0];
+        assert_eq!(lorenzo_1d(&r, 0), 0.0);
+        assert_eq!(lorenzo_1d(&r, 1), 3.0);
+        assert_eq!(lorenzo_1d(&r, 2), 5.0);
+    }
+
+    #[test]
+    fn lorenzo_1d_o2_extrapolates_lines_exactly() {
+        // r(i) = 2i + 1; prediction at i≥2 must be exact.
+        let r: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+        for i in 2..10 {
+            assert_eq!(lorenzo_1d_o2(&r, i), r[i]);
+        }
+    }
+
+    #[test]
+    fn lorenzo_2d_exact_on_planes() {
+        // v(j,i) = 3j + 2i + 1 is degree-1, so 2-D Lorenzo is exact away
+        // from the borders.
+        let (ny, nx) = (6, 7);
+        let mut r = vec![0.0; ny * nx];
+        for j in 0..ny {
+            for i in 0..nx {
+                r[j * nx + i] = 3.0 * j as f64 + 2.0 * i as f64 + 1.0;
+            }
+        }
+        for j in 1..ny {
+            for i in 1..nx {
+                let p = lorenzo_2d(&r, nx, j, i);
+                assert!((p - r[j * nx + i]).abs() < 1e-12, "({j},{i}) p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo_3d_exact_on_bilinear() {
+        // Degree-2 terms like x·y are also captured by the 3-D stencil.
+        let (nz, ny, nx) = (4, 5, 6);
+        let mut r = vec![0.0; nz * ny * nx];
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    r[(k * ny + j) * nx + i] =
+                        1.0 + 2.0 * k as f64 + 3.0 * j as f64 + 4.0 * i as f64
+                            + 0.5 * (k * j) as f64;
+                }
+            }
+        }
+        for k in 1..nz {
+            for j in 1..ny {
+                for i in 1..nx {
+                    let p = lorenzo_3d(&r, ny, nx, k, j, i);
+                    let v = r[(k * ny + j) * nx + i];
+                    assert!((p - v).abs() < 1e-9, "({k},{j},{i}) p={p} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo_3d_borders_use_zero() {
+        let r = vec![1.0; 8]; // 2x2x2 of ones
+        // At the origin all neighbours are out of bounds → prediction 0.
+        assert_eq!(lorenzo_3d(&r, 2, 2, 0, 0, 0), 0.0);
+        // At (1,1,1) all neighbours exist: 3·1 − 3·1 + 1 = 1.
+        assert_eq!(lorenzo_3d(&r, 2, 2, 1, 1, 1), 1.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Pointwise-relative error bounds (SZ "PW_REL" mode).
+//!
+//! The paper's related work (Di & Cappello, TPDS'19) compresses with a
+//! *pointwise relative* bound: `|v̂ − v| ≤ r·|v|` for every element — the
+//! right contract when a field spans many orders of magnitude (e.g. NYX
+//! baryon density). The classic trick reduces it to the absolute pipeline:
+//! compress `log2|v|` with the absolute bound `log2(1 + r)`, keeping signs
+//! in a bitmap and zeros as an out-of-band sentinel:
+//!
+//! `|log2|v̂| − log2|v|| ≤ log2(1+r)  ⟺  v̂/v ∈ [1/(1+r), 1+r]`.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::element::Element;
+use crate::header::{Reader, Writer};
+use crate::pipeline::{compress_typed, decompress_typed};
+use crate::stats::CompressionStats;
+use crate::{Compressed, ErrorBound, SzConfig, SzError};
+
+/// Wrapper magic for pointwise-relative streams.
+pub const PWREL_MAGIC: [u8; 4] = *b"SZPR";
+
+/// Log-domain stand-in for zero magnitudes. Real `f64` logs are ≥ −1075
+/// (subnormals), so the sentinel never collides with data.
+const ZERO_SENTINEL: f64 = -1100.0;
+/// Decode threshold: anything reconstructed below this is a zero.
+const ZERO_THRESHOLD: f64 = -1090.0;
+
+/// Compress with a pointwise-relative bound `r` (`0 < r < 1`).
+///
+/// Inputs must be finite: NaN/Inf have no log-domain representation, so
+/// they are rejected with [`SzError::InvalidErrorBound`] (use the absolute
+/// pipeline, which escapes them to literals, if you need them preserved).
+pub fn compress_pointwise_rel<T: Element>(
+    data: &[T],
+    dims: &[usize],
+    r: f64,
+    cfg: &SzConfig,
+) -> Result<Compressed, SzError> {
+    if !(r > 0.0 && r < 1.0) {
+        return Err(SzError::InvalidErrorBound);
+    }
+    if data.iter().any(|v| !v.to_f64().is_finite()) {
+        return Err(SzError::InvalidErrorBound);
+    }
+    // Split the bound budget: the log-domain quantizer gets log2(1+r), and
+    // the final narrowing cast back to T consumes at most one half-ULP,
+    // which the inner pipeline's own cast check already accounts for.
+    let eb_log = (1.0 + r).log2();
+
+    let mut signs = BitWriter::with_capacity(data.len() / 8 + 1);
+    let logs: Vec<f64> = data
+        .iter()
+        .map(|&v| {
+            let v = v.to_f64();
+            signs.push_bit(v.is_sign_negative());
+            if v == 0.0 {
+                ZERO_SENTINEL
+            } else {
+                v.abs().log2()
+            }
+        })
+        .collect();
+
+    let inner_cfg = SzConfig { error_bound: ErrorBound::Absolute(eb_log), ..*cfg };
+    let inner = compress_typed::<f64>(&logs, dims, &inner_cfg)?;
+
+    let mut out = Writer::new();
+    out.bytes(&PWREL_MAGIC);
+    out.u8(T::TYPE_TAG);
+    out.f64(r);
+    out.section(&signs.into_bytes());
+    out.section(&inner.bytes);
+    let bytes = out.into_bytes();
+    let stats = CompressionStats {
+        input_bytes: (data.len() * T::BYTES) as u64,
+        output_bytes: bytes.len() as u64,
+        ..inner.stats
+    };
+    Ok(Compressed { bytes, stats })
+}
+
+/// Decompress a pointwise-relative stream.
+pub fn decompress_pointwise_rel<T: Element>(
+    stream: &[u8],
+) -> Result<(Vec<T>, Vec<usize>), SzError> {
+    let mut r = Reader::new(stream);
+    if r.bytes(4)? != PWREL_MAGIC {
+        return Err(SzError::Corrupt("bad pwrel magic"));
+    }
+    let tag = r.u8()?;
+    if tag != T::TYPE_TAG {
+        return Err(SzError::TypeMismatch);
+    }
+    let _rel = r.f64()?;
+    let sign_bytes = r.section()?;
+    let inner_stream = r.section()?;
+    let (logs, dims) = decompress_typed::<f64>(inner_stream)?;
+    if logs.len() > sign_bytes.len().saturating_mul(8) {
+        return Err(SzError::Corrupt("sign bitmap too short"));
+    }
+    let mut sign_reader = BitReader::new(sign_bytes);
+    let out: Vec<T> = logs
+        .into_iter()
+        .map(|l| {
+            let neg = sign_reader.read_bit().unwrap_or(false);
+            let mag = if l < ZERO_THRESHOLD { 0.0 } else { l.exp2() };
+            T::from_f64(if neg { -mag } else { mag })
+        })
+        .collect();
+    Ok((out, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_rel_bound<T: Element>(orig: &[T], rec: &[T], r: f64) {
+        for (a, b) in orig.iter().zip(rec) {
+            let (a, b) = (a.to_f64(), b.to_f64());
+            if a == 0.0 {
+                assert_eq!(b, 0.0, "zero must decode to zero");
+            } else {
+                let rel = ((b - a) / a).abs();
+                // Allow f32 narrowing slack on top of the guarantee.
+                assert!(rel <= r * 1.001 + 1e-6, "{a} vs {b}: rel {rel}");
+                assert_eq!(a.is_sign_negative(), b.is_sign_negative(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_dynamic_range_respects_relative_bound() {
+        // 20 orders of magnitude — impossible for a single absolute bound.
+        let data: Vec<f32> = (0..2000)
+            .map(|i| {
+                let mag = 10f32.powf((i % 20) as f32 - 10.0);
+                let wiggle = 1.0 + 0.3 * ((i as f32) * 0.1).sin();
+                if i % 3 == 0 {
+                    -mag * wiggle
+                } else {
+                    mag * wiggle
+                }
+            })
+            .collect();
+        let r = 1e-3;
+        let out =
+            compress_pointwise_rel(&data, &[2000], r, &SzConfig::new(ErrorBound::Absolute(1.0)))
+                .expect("compress");
+        let (rec, dims) = decompress_pointwise_rel::<f32>(&out.bytes).expect("decompress");
+        assert_eq!(dims, vec![2000]);
+        check_rel_bound(&data, &rec, r);
+    }
+
+    #[test]
+    fn zeros_and_signs_survive() {
+        let data = vec![0.0f32, -1.5, 2.5, -0.0, 1e-30, -1e30];
+        let r = 1e-2;
+        let out =
+            compress_pointwise_rel(&data, &[6], r, &SzConfig::new(ErrorBound::Absolute(1.0)))
+                .expect("compress");
+        let (rec, _) = decompress_pointwise_rel::<f32>(&out.bytes).expect("decompress");
+        assert_eq!(rec[0], 0.0);
+        assert_eq!(rec[3], 0.0);
+        check_rel_bound(&data, &rec, r);
+    }
+
+    #[test]
+    fn smooth_log_fields_compress_well() {
+        // A log-normal-like field (NYX density): smooth in log space.
+        let data: Vec<f32> =
+            (0..8192).map(|i| ((i as f32 * 0.01).sin() * 3.0).exp()).collect();
+        let out = compress_pointwise_rel(
+            &data,
+            &[8192],
+            1e-3,
+            &SzConfig::new(ErrorBound::Absolute(1.0)),
+        )
+        .expect("compress");
+        assert!(out.stats.ratio() > 4.0, "ratio {}", out.stats.ratio());
+        let (rec, _) = decompress_pointwise_rel::<f32>(&out.bytes).expect("decompress");
+        check_rel_bound(&data, &rec, 1e-3);
+    }
+
+    #[test]
+    fn f64_path_works() {
+        let data: Vec<f64> = (0..512).map(|i| 10f64.powi(i % 40 - 20) * 1.23).collect();
+        let r = 1e-6;
+        let out =
+            compress_pointwise_rel(&data, &[512], r, &SzConfig::new(ErrorBound::Absolute(1.0)))
+                .expect("compress");
+        let (rec, _) = decompress_pointwise_rel::<f64>(&out.bytes).expect("decompress");
+        check_rel_bound(&data, &rec, r);
+    }
+
+    #[test]
+    fn invalid_bounds_and_data_rejected() {
+        let cfg = SzConfig::new(ErrorBound::Absolute(1.0));
+        assert!(compress_pointwise_rel(&[1.0f32], &[1], 0.0, &cfg).is_err());
+        assert!(compress_pointwise_rel(&[1.0f32], &[1], 1.5, &cfg).is_err());
+        assert!(compress_pointwise_rel(&[f32::NAN], &[1], 1e-3, &cfg).is_err());
+    }
+
+    #[test]
+    fn type_tag_checked() {
+        let out = compress_pointwise_rel(
+            &[1.0f32, 2.0],
+            &[2],
+            1e-2,
+            &SzConfig::new(ErrorBound::Absolute(1.0)),
+        )
+        .expect("compress");
+        assert_eq!(
+            decompress_pointwise_rel::<f64>(&out.bytes).unwrap_err(),
+            SzError::TypeMismatch
+        );
+    }
+
+    #[test]
+    fn corrupt_wrapper_rejected() {
+        let out = compress_pointwise_rel(
+            &[1.0f32, 2.0],
+            &[2],
+            1e-2,
+            &SzConfig::new(ErrorBound::Absolute(1.0)),
+        )
+        .expect("compress");
+        let mut bad = out.bytes.clone();
+        bad[0] = b'X';
+        assert!(decompress_pointwise_rel::<f32>(&bad).is_err());
+        assert!(decompress_pointwise_rel::<f32>(&out.bytes[..8]).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Error-bounded linear quantization of prediction residuals.
+//!
+//! SZ quantizes the difference between the predicted and the actual value
+//! into uniform bins of width `2·eb`. Bin index 0 is reserved as the
+//! "unpredictable" escape symbol: values whose residual falls outside the
+//! bin range are stored as IEEE-754 literals instead. Reconstruction adds
+//! `code · 2·eb` to the prediction, so every reconstructed value is within
+//! `eb` of the original — the absolute error bound guarantee.
+
+/// Linear quantizer with a configurable bin radius.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    /// Absolute error bound (half the bin width).
+    eb: f64,
+    /// Number of bins on each side of zero. Symbol alphabet is
+    /// `0 ..= 2*radius`, with 0 = escape and `radius` = zero residual.
+    radius: u32,
+}
+
+/// Outcome of quantizing one residual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantized {
+    /// In-range residual; payload is the Huffman symbol (`1..=2*radius`).
+    Code(u32),
+    /// Residual too large; the original value must be stored verbatim.
+    Unpredictable,
+}
+
+impl Quantizer {
+    /// Default bin radius used by SZ (65536 bins total on each side covers
+    /// virtually every predictable residual).
+    pub const DEFAULT_RADIUS: u32 = 32768;
+
+    /// Create a quantizer. `eb` must be positive and finite.
+    pub fn new(eb: f64, radius: u32) -> Self {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
+        assert!(radius >= 1);
+        Quantizer { eb, radius }
+    }
+
+    /// The configured absolute error bound.
+    pub fn error_bound(&self) -> f64 {
+        self.eb
+    }
+
+    /// Number of symbols in the quantizer alphabet (escape + bins).
+    pub fn alphabet_size(&self) -> usize {
+        2 * self.radius as usize + 1
+    }
+
+    /// Symbol that encodes a zero residual.
+    pub fn zero_symbol(&self) -> u32 {
+        self.radius
+    }
+
+    /// Quantize `actual - predicted`.
+    #[inline]
+    pub fn quantize(&self, predicted: f64, actual: f64) -> Quantized {
+        let diff = actual - predicted;
+        if !diff.is_finite() {
+            return Quantized::Unpredictable;
+        }
+        // Round-to-nearest bin of width 2·eb.
+        let q = (diff / (2.0 * self.eb)).round();
+        if q.abs() >= self.radius as f64 {
+            return Quantized::Unpredictable;
+        }
+        Quantized::Code((q as i64 + self.radius as i64) as u32)
+    }
+
+    /// Reconstruct a value from its prediction and symbol.
+    #[inline]
+    pub fn reconstruct(&self, predicted: f64, symbol: u32) -> f64 {
+        let q = symbol as i64 - self.radius as i64;
+        predicted + q as f64 * 2.0 * self.eb
+    }
+
+    /// True if `symbol` is a valid in-range code (not the escape).
+    pub fn is_code(&self, symbol: u32) -> bool {
+        symbol >= 1 && symbol <= 2 * self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_residual_gets_zero_symbol() {
+        let q = Quantizer::new(1e-3, 512);
+        match q.quantize(5.0, 5.0) {
+            Quantized::Code(c) => assert_eq!(c, q.zero_symbol()),
+            _ => panic!("zero residual must be predictable"),
+        }
+    }
+
+    #[test]
+    fn reconstruction_respects_error_bound() {
+        let eb = 1e-2;
+        let q = Quantizer::new(eb, 1024);
+        for (pred, actual) in [(0.0, 0.37), (10.0, 9.81), (-5.0, -5.004), (1.0, 1.0)] {
+            if let Quantized::Code(c) = q.quantize(pred, actual) {
+                let rec = q.reconstruct(pred, c);
+                assert!((rec - actual).abs() <= eb + 1e-12, "pred={pred} actual={actual} rec={rec}");
+            } else {
+                panic!("residual {} should be in range", actual - pred);
+            }
+        }
+    }
+
+    #[test]
+    fn large_residual_is_unpredictable() {
+        let q = Quantizer::new(1e-3, 16);
+        assert_eq!(q.quantize(0.0, 1.0), Quantized::Unpredictable);
+        assert_eq!(q.quantize(0.0, -1.0), Quantized::Unpredictable);
+    }
+
+    #[test]
+    fn non_finite_residual_is_unpredictable() {
+        let q = Quantizer::new(1e-3, 16);
+        assert_eq!(q.quantize(0.0, f64::NAN), Quantized::Unpredictable);
+        assert_eq!(q.quantize(0.0, f64::INFINITY), Quantized::Unpredictable);
+    }
+
+    #[test]
+    fn alphabet_and_escape() {
+        let q = Quantizer::new(0.5, 4);
+        assert_eq!(q.alphabet_size(), 9);
+        assert!(!q.is_code(0));
+        assert!(q.is_code(1));
+        assert!(q.is_code(8));
+        assert!(!q.is_code(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound must be positive")]
+    fn zero_eb_rejected() {
+        let _ = Quantizer::new(0.0, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_error_bound_guarantee(
+            pred in -1e6f64..1e6,
+            residual in -1e3f64..1e3,
+            eb_exp in -6i32..0,
+        ) {
+            let eb = 10f64.powi(eb_exp);
+            let q = Quantizer::new(eb, Quantizer::DEFAULT_RADIUS);
+            let actual = pred + residual;
+            if let Quantized::Code(c) = q.quantize(pred, actual) {
+                let rec = q.reconstruct(pred, c);
+                // Allow tiny slack for f64 rounding in reconstruct().
+                prop_assert!((rec - actual).abs() <= eb * (1.0 + 1e-9) + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_symbols_in_alphabet(
+            pred in -1e3f64..1e3,
+            actual in -1e3f64..1e3,
+        ) {
+            let q = Quantizer::new(1e-2, 256);
+            if let Quantized::Code(c) = q.quantize(pred, actual) {
+                prop_assert!(q.is_code(c), "symbol {c} out of range");
+            }
+        }
+    }
+}

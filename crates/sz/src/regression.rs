@@ -1,0 +1,166 @@
+//! SZ2-style per-block linear-regression predictor.
+//!
+//! For smooth-but-tilted regions the Lorenzo stencil wastes precision; SZ2
+//! instead fits a hyperplane `v ≈ b0 + b1·i + b2·j + b3·k` to each small
+//! block and predicts from the (stored) coefficients. Because the block
+//! coordinates form a regular grid, the least-squares problem is separable:
+//! after centering, each slope is an independent 1-D projection, so the fit
+//! is O(block size) with no matrix solve.
+//!
+//! Coefficients are serialized as `f32`, making compressor and decompressor
+//! predictions bit-identical.
+
+/// Side length of regression blocks (SZ2 uses 6 for 3-D data).
+pub const BLOCK_SIDE: usize = 6;
+
+/// A fitted hyperplane for one block: `v(i,j,k) = c0 + c1·i + c2·j + c3·k`
+/// with local (block-relative) coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCoeffs {
+    /// Intercept and up to three slopes (unused slopes are 0).
+    pub c: [f32; 4],
+}
+
+impl BlockCoeffs {
+    /// Predict the value at local coordinate (i, j, k).
+    #[inline]
+    pub fn predict(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.c[0] as f64
+            + self.c[1] as f64 * i as f64
+            + self.c[2] as f64 * j as f64
+            + self.c[3] as f64 * k as f64
+    }
+}
+
+/// Fit a hyperplane to a block of extent (nk, nj, ni) whose values are
+/// provided row-major in `vals` (length nk·nj·ni).
+///
+/// Degenerate extents (length-1 axes) produce zero slopes along those axes.
+pub fn fit_block(vals: &[f64], nk: usize, nj: usize, ni: usize) -> BlockCoeffs {
+    debug_assert_eq!(vals.len(), nk * nj * ni);
+    let n = vals.len() as f64;
+    if vals.is_empty() {
+        return BlockCoeffs { c: [0.0; 4] };
+    }
+    let mean = vals.iter().sum::<f64>() / n;
+    let centroid = |e: usize| (e as f64 - 1.0) / 2.0;
+    let (ci, cj, ck) = (centroid(ni), centroid(nj), centroid(nk));
+
+    // Σ (x−x̄)² along one axis, times the number of repetitions over the
+    // other two axes.
+    let sq = |e: usize| -> f64 {
+        (0..e).map(|x| (x as f64 - centroid(e)).powi(2)).sum::<f64>()
+    };
+    let (di, dj, dk) = (
+        sq(ni) * (nj * nk) as f64,
+        sq(nj) * (ni * nk) as f64,
+        sq(nk) * (ni * nj) as f64,
+    );
+
+    let mut num = [0.0f64; 3]; // projections onto (i−ī), (j−j̄), (k−k̄)
+    let mut idx = 0;
+    for k in 0..nk {
+        for j in 0..nj {
+            for i in 0..ni {
+                let d = vals[idx] - mean;
+                num[0] += d * (i as f64 - ci);
+                num[1] += d * (j as f64 - cj);
+                num[2] += d * (k as f64 - ck);
+                idx += 1;
+            }
+        }
+    }
+    let b1 = if di > 0.0 { num[0] / di } else { 0.0 };
+    let b2 = if dj > 0.0 { num[1] / dj } else { 0.0 };
+    let b3 = if dk > 0.0 { num[2] / dk } else { 0.0 };
+    let b0 = mean - b1 * ci - b2 * cj - b3 * ck;
+    BlockCoeffs { c: [b0 as f32, b1 as f32, b2 as f32, b3 as f32] }
+}
+
+/// Mean absolute prediction error of `coeffs` over a block.
+pub fn block_abs_error(vals: &[f64], nk: usize, nj: usize, ni: usize, coeffs: &BlockCoeffs) -> f64 {
+    debug_assert_eq!(vals.len(), nk * nj * ni);
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let mut err = 0.0;
+    let mut idx = 0;
+    for k in 0..nk {
+        for j in 0..nj {
+            for i in 0..ni {
+                err += (vals[idx] - coeffs.predict(i, j, k)).abs();
+                idx += 1;
+            }
+        }
+    }
+    err / vals.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_block<F: Fn(usize, usize, usize) -> f64>(
+        nk: usize,
+        nj: usize,
+        ni: usize,
+        f: F,
+    ) -> Vec<f64> {
+        let mut v = Vec::with_capacity(nk * nj * ni);
+        for k in 0..nk {
+            for j in 0..nj {
+                for i in 0..ni {
+                    v.push(f(i, j, k));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn exact_on_planes() {
+        let vals = make_block(6, 6, 6, |i, j, k| {
+            1.5 + 0.25 * i as f64 - 0.75 * j as f64 + 2.0 * k as f64
+        });
+        let c = fit_block(&vals, 6, 6, 6);
+        assert!(block_abs_error(&vals, 6, 6, 6, &c) < 1e-5);
+        assert!((c.c[1] as f64 - 0.25).abs() < 1e-5);
+        assert!((c.c[2] as f64 + 0.75).abs() < 1e-5);
+        assert!((c.c[3] as f64 - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_block_gives_intercept_only() {
+        let vals = vec![7.0; 6 * 6 * 6];
+        let c = fit_block(&vals, 6, 6, 6);
+        assert!((c.c[0] - 7.0).abs() < 1e-6);
+        assert_eq!(&c.c[1..], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn handles_partial_blocks() {
+        // Border blocks can be e.g. 2×6×3; slopes along length-1 axes are 0.
+        let vals = make_block(1, 4, 3, |i, j, _| 2.0 * i as f64 + j as f64);
+        let c = fit_block(&vals, 1, 4, 3);
+        assert!(block_abs_error(&vals, 1, 4, 3, &c) < 1e-5);
+        assert_eq!(c.c[3], 0.0);
+    }
+
+    #[test]
+    fn regression_beats_mean_on_tilted_data() {
+        let vals = make_block(6, 6, 6, |i, _, _| 10.0 * i as f64);
+        let c = fit_block(&vals, 6, 6, 6);
+        let mean_pred = BlockCoeffs { c: [c.c[0] + c.c[1] * 2.5, 0.0, 0.0, 0.0] };
+        assert!(
+            block_abs_error(&vals, 6, 6, 6, &c)
+                < 0.2 * block_abs_error(&vals, 6, 6, 6, &mean_pred)
+        );
+    }
+
+    #[test]
+    fn empty_block_is_zero() {
+        let c = fit_block(&[], 0, 0, 0);
+        assert_eq!(c.c, [0.0; 4]);
+        assert_eq!(block_abs_error(&[], 0, 0, 0, &c), 0.0);
+    }
+}

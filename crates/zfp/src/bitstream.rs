@@ -1,0 +1,175 @@
+//! LSB-first bit stream, mirroring ZFP's `bitstream` semantics.
+//!
+//! Within each byte, the first bit written occupies the least-significant
+//! position. `write_bits` emits the *low* `n` bits of the operand, low bit
+//! first, and returns the operand shifted right by `n` — the exact contract
+//! of ZFP's `stream_write_bits`, which the embedded coder relies on.
+
+/// Append-only LSB-first bit sink.
+#[derive(Debug, Default, Clone)]
+pub struct WriteStream {
+    buf: Vec<u8>,
+    /// Bits used in the final byte (0 ⇒ boundary).
+    bit_pos: u8,
+}
+
+impl WriteStream {
+    /// New empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one bit; returns the bit (like `stream_write_bit`).
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) -> bool {
+        if self.bit_pos == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << self.bit_pos;
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+        bit
+    }
+
+    /// Append the low `n` bits of `x`, LSB first; returns `x >> n`.
+    #[inline]
+    pub fn write_bits(&mut self, x: u64, n: usize) -> u64 {
+        debug_assert!(n <= 64);
+        let mut v = x;
+        for _ in 0..n {
+            self.write_bit(v & 1 == 1);
+            v >>= 1;
+        }
+        v
+    }
+
+    /// Total bits written.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        }
+    }
+
+    /// Pad with zero bits until `bit_len` reaches `target`.
+    pub fn pad_to(&mut self, target: usize) {
+        while self.bit_len() < target {
+            self.write_bit(false);
+        }
+    }
+
+    /// Finish, returning the underlying bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential LSB-first bit source. Reads past the end yield zero bits —
+/// matching ZFP, whose decoder consumes "virtual" zero padding when a
+/// truncated fixed-rate stream ends.
+#[derive(Debug, Clone)]
+pub struct ReadStream<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ReadStream<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ReadStream { buf, pos: 0 }
+    }
+
+    /// Next bit (false past the end).
+    #[inline]
+    pub fn read_bit(&mut self) -> bool {
+        let byte = self.pos / 8;
+        let bit = if byte < self.buf.len() {
+            (self.buf[byte] >> (self.pos % 8)) & 1 == 1
+        } else {
+            false
+        };
+        self.pos += 1;
+        bit
+    }
+
+    /// Next `n` bits as a u64 (LSB-first).
+    #[inline]
+    pub fn read_bits(&mut self, n: usize) -> u64 {
+        debug_assert!(n <= 64);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_bit() as u64) << i;
+        }
+        v
+    }
+
+    /// Absolute bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Skip forward to an absolute bit position (for fixed-rate blocks).
+    pub fn seek(&mut self, bit: usize) {
+        self.pos = bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut w = WriteStream::new();
+        assert_eq!(w.write_bits(0b1011_0010_1111, 12), 0);
+        w.write_bit(true);
+        let bytes = w.into_bytes();
+        let mut r = ReadStream::new(&bytes);
+        assert_eq!(r.read_bits(12), 0b1011_0010_1111);
+        assert!(r.read_bit());
+    }
+
+    #[test]
+    fn write_bits_returns_shifted_operand() {
+        let mut w = WriteStream::new();
+        assert_eq!(w.write_bits(0b11010, 3), 0b11);
+    }
+
+    #[test]
+    fn lsb_first_byte_layout() {
+        let mut w = WriteStream::new();
+        w.write_bit(true); // bit 0
+        w.write_bit(false);
+        w.write_bit(true); // bit 2
+        assert_eq!(w.into_bytes(), vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn read_past_end_gives_zeros() {
+        let mut r = ReadStream::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), 0xFF);
+        assert_eq!(r.read_bits(16), 0);
+        assert_eq!(r.bit_pos(), 24);
+    }
+
+    #[test]
+    fn pad_to_target() {
+        let mut w = WriteStream::new();
+        w.write_bit(true);
+        w.pad_to(17);
+        assert_eq!(w.bit_len(), 17);
+    }
+
+    #[test]
+    fn seek_supports_random_access() {
+        let mut w = WriteStream::new();
+        w.write_bits(0xAAAA, 16);
+        let bytes = w.into_bytes();
+        let mut r = ReadStream::new(&bytes);
+        r.seek(8);
+        assert_eq!(r.read_bits(4), 0xA);
+    }
+}

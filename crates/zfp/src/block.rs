@@ -1,0 +1,227 @@
+//! Block gather/scatter.
+//!
+//! ZFP partitions a d-dimensional array into 4^d blocks and codes each
+//! independently. Partial border blocks are padded by edge replication —
+//! the decoder simply never scatters the padded lanes back.
+
+/// Block side length (fixed at 4 in ZFP).
+pub const SIDE: usize = 4;
+
+/// Geometry of the array being coded, after fusing 4-D inputs to 3-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geom {
+    /// Slowest extent.
+    pub nz: usize,
+    /// Middle extent.
+    pub ny: usize,
+    /// Fastest extent.
+    pub nx: usize,
+    /// Effective dimensionality of the block transform (1, 2, or 3).
+    pub d: usize,
+}
+
+impl Geom {
+    /// Build from user dims (1–4 entries, slowest first). Rejects empty
+    /// axes and products that overflow `usize`.
+    pub fn new(dims: &[usize]) -> Option<Geom> {
+        if dims.is_empty() || dims.len() > 4 || dims.contains(&0) {
+            return None;
+        }
+        dims.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d))?;
+        Some(match dims.len() {
+            1 => Geom { nz: 1, ny: 1, nx: dims[0], d: 1 },
+            2 => Geom { nz: 1, ny: dims[0], nx: dims[1], d: 2 },
+            3 => Geom { nz: dims[0], ny: dims[1], nx: dims[2], d: 3 },
+            _ => Geom { nz: dims[0] * dims[1], ny: dims[2], nx: dims[3], d: 3 },
+        })
+    }
+
+    /// Number of elements in one block for this dimensionality (4^d).
+    pub fn block_len(&self) -> usize {
+        SIDE.pow(self.d as u32)
+    }
+
+    /// Number of blocks along (z, y, x).
+    pub fn block_counts(&self) -> (usize, usize, usize) {
+        let c = |e: usize| e.div_ceil(SIDE);
+        match self.d {
+            1 => (1, 1, c(self.nx)),
+            2 => (1, c(self.ny), c(self.nx)),
+            _ => (c(self.nz), c(self.ny), c(self.nx)),
+        }
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        let (bz, by, bx) = self.block_counts();
+        bz * by * bx
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.nz * self.ny * self.nx
+    }
+
+    /// True when the array is empty (impossible after validation).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Gather block (bk, bj, bi) into `out` (length 4^d), padding partial
+/// blocks by replicating the nearest valid sample.
+pub fn gather<T: Copy>(data: &[T], g: &Geom, bk: usize, bj: usize, bi: usize, out: &mut [T]) {
+    debug_assert_eq!(out.len(), g.block_len());
+    let (k0, j0, i0) = (bk * SIDE, bj * SIDE, bi * SIDE);
+    match g.d {
+        1 => {
+            for i in 0..SIDE {
+                let src = (i0 + i).min(g.nx - 1);
+                out[i] = data[src];
+            }
+        }
+        2 => {
+            for j in 0..SIDE {
+                let sj = (j0 + j).min(g.ny - 1);
+                for i in 0..SIDE {
+                    let si = (i0 + i).min(g.nx - 1);
+                    out[j * SIDE + i] = data[sj * g.nx + si];
+                }
+            }
+        }
+        _ => {
+            for k in 0..SIDE {
+                let sk = (k0 + k).min(g.nz - 1);
+                for j in 0..SIDE {
+                    let sj = (j0 + j).min(g.ny - 1);
+                    for i in 0..SIDE {
+                        let si = (i0 + i).min(g.nx - 1);
+                        out[(k * SIDE + j) * SIDE + i] = data[(sk * g.ny + sj) * g.nx + si];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter a decoded block back, skipping padded lanes.
+pub fn scatter<T: Copy>(block: &[T], g: &Geom, bk: usize, bj: usize, bi: usize, data: &mut [T]) {
+    debug_assert_eq!(block.len(), g.block_len());
+    let (k0, j0, i0) = (bk * SIDE, bj * SIDE, bi * SIDE);
+    match g.d {
+        1 => {
+            for i in 0..SIDE {
+                if i0 + i < g.nx {
+                    data[i0 + i] = block[i];
+                }
+            }
+        }
+        2 => {
+            for j in 0..SIDE {
+                if j0 + j >= g.ny {
+                    break;
+                }
+                for i in 0..SIDE {
+                    if i0 + i < g.nx {
+                        data[(j0 + j) * g.nx + i0 + i] = block[j * SIDE + i];
+                    }
+                }
+            }
+        }
+        _ => {
+            for k in 0..SIDE {
+                if k0 + k >= g.nz {
+                    break;
+                }
+                for j in 0..SIDE {
+                    if j0 + j >= g.ny {
+                        break;
+                    }
+                    for i in 0..SIDE {
+                        if i0 + i < g.nx {
+                            data[((k0 + k) * g.ny + j0 + j) * g.nx + i0 + i] =
+                                block[(k * SIDE + j) * SIDE + i];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geom_validation() {
+        assert!(Geom::new(&[]).is_none());
+        assert!(Geom::new(&[0]).is_none());
+        assert!(Geom::new(&[1, 2, 3, 4, 5]).is_none());
+        let g = Geom::new(&[10]).unwrap();
+        assert_eq!((g.d, g.nx), (1, 10));
+        let g = Geom::new(&[3, 5]).unwrap();
+        assert_eq!((g.d, g.ny, g.nx), (2, 3, 5));
+        let g = Geom::new(&[2, 3, 4, 5]).unwrap();
+        assert_eq!((g.d, g.nz, g.ny, g.nx), (3, 6, 4, 5));
+    }
+
+    #[test]
+    fn block_counts_round_up() {
+        let g = Geom::new(&[5, 9]).unwrap();
+        assert_eq!(g.block_counts(), (1, 2, 3));
+        assert_eq!(g.num_blocks(), 6);
+        assert_eq!(g.block_len(), 16);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_exact_blocks() {
+        let g = Geom::new(&[4, 8]).unwrap();
+        let data: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let mut block = vec![0.0; 16];
+        let mut out = vec![-1.0f32; 32];
+        for bj in 0..1 {
+            for bi in 0..2 {
+                gather(&data, &g, 0, bj, bi, &mut block);
+                scatter(&block, &g, 0, bj, bi, &mut out);
+            }
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn gather_pads_by_replication() {
+        let g = Geom::new(&[5]).unwrap(); // one full block + one partial
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut block = [0.0f32; 4];
+        gather(&data, &g, 0, 0, 1, &mut block);
+        assert_eq!(block, [5.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn scatter_skips_padded_lanes() {
+        let g = Geom::new(&[5]).unwrap();
+        let mut out = [0.0f32; 5];
+        scatter(&[9.0, 8.0, 7.0, 6.0], &g, 0, 0, 1, &mut out);
+        assert_eq!(out, [0.0, 0.0, 0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn gather_scatter_3d_partial() {
+        let g = Geom::new(&[5, 6, 7]).unwrap();
+        let n = g.len();
+        let data: Vec<f32> = (0..n).map(|i| (i % 97) as f32).collect();
+        let mut out = vec![0.0f32; n];
+        let mut block = vec![0.0f32; 64];
+        let (bz, by, bx) = g.block_counts();
+        for bk in 0..bz {
+            for bj in 0..by {
+                for bi in 0..bx {
+                    gather(&data, &g, bk, bj, bi, &mut block);
+                    scatter(&block, &g, bk, bj, bi, &mut out);
+                }
+            }
+        }
+        assert_eq!(out, data);
+    }
+}

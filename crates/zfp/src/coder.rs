@@ -1,0 +1,213 @@
+//! Embedded bit-plane coder with group testing.
+//!
+//! Transform coefficients (in negabinary, sequency order) are transmitted
+//! one bit plane at a time, most-significant plane first. Within a plane,
+//! the first `n` coefficients — those already past the significance
+//! frontier from earlier planes — send their bits verbatim; the remainder
+//! are group-tested: one bit says whether *any* remaining coefficient has a
+//! bit in this plane, followed by a unary-coded position. This is a direct
+//! transcription of ZFP's `encode_ints`/`decode_ints`.
+//!
+//! A bit `budget` caps the block's size (fixed-rate mode); both sides track
+//! it identically so a truncated stream still decodes in lock-step.
+
+use crate::bitstream::{ReadStream, WriteStream};
+
+/// Encode `size` negabinary coefficients from plane `intprec − 1` down to
+/// plane `kmin`, spending at most `budget` bits. Returns the number of
+/// bits actually written.
+pub fn encode_ints(
+    data: &[u64],
+    intprec: u32,
+    kmin: u32,
+    mut budget: usize,
+    w: &mut WriteStream,
+) -> usize {
+    let size = data.len();
+    debug_assert!(size <= 64);
+    let start = w.bit_len();
+    let mut n = 0usize;
+    let mut k = intprec;
+    while budget > 0 && k > kmin {
+        k -= 1;
+        // Step 1: extract bit plane k.
+        let mut x = 0u64;
+        for (i, &v) in data.iter().enumerate() {
+            x += ((v >> k) & 1) << i;
+        }
+        // Step 2: verbatim bits for coefficients before the frontier.
+        let m = n.min(budget);
+        budget -= m;
+        x = w.write_bits(x, m);
+        // Step 3: group-tested remainder.
+        while n < size && budget > 0 {
+            budget -= 1;
+            if !w.write_bit(x != 0) {
+                break;
+            }
+            while n < size - 1 && budget > 0 {
+                budget -= 1;
+                if w.write_bit(x & 1 == 1) {
+                    break;
+                }
+                x >>= 1;
+                n += 1;
+            }
+            x >>= 1;
+            n += 1;
+        }
+    }
+    w.bit_len() - start
+}
+
+/// Decode `size` negabinary coefficients written by [`encode_ints`].
+pub fn decode_ints(
+    size: usize,
+    intprec: u32,
+    kmin: u32,
+    mut budget: usize,
+    r: &mut ReadStream<'_>,
+) -> Vec<u64> {
+    debug_assert!(size <= 64);
+    let mut data = vec![0u64; size];
+    let mut n = 0usize;
+    let mut k = intprec;
+    while budget > 0 && k > kmin {
+        k -= 1;
+        // Verbatim bits.
+        let m = n.min(budget);
+        budget -= m;
+        let mut x = r.read_bits(m);
+        // Group-tested remainder.
+        while n < size && budget > 0 {
+            budget -= 1;
+            if !r.read_bit() {
+                break;
+            }
+            while n < size - 1 && budget > 0 {
+                budget -= 1;
+                if r.read_bit() {
+                    break;
+                }
+                n += 1;
+            }
+            x += 1u64 << n;
+            n += 1;
+        }
+        // Deposit the plane.
+        let mut bits = x;
+        let mut i = 0usize;
+        while bits != 0 {
+            data[i] += (bits & 1) << k;
+            bits >>= 1;
+            i += 1;
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixedpoint::INTPREC;
+    use crate::negabinary;
+
+    fn roundtrip(values: &[i64], kmin: u32, budget: usize) -> Vec<i64> {
+        let nb: Vec<u64> = values.iter().map(|&v| negabinary::encode(v)).collect();
+        let mut w = WriteStream::new();
+        encode_ints(&nb, INTPREC, kmin, budget, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ReadStream::new(&bytes);
+        decode_ints(values.len(), INTPREC, kmin, budget, &mut r)
+            .into_iter()
+            .map(negabinary::decode)
+            .collect()
+    }
+
+    #[test]
+    fn lossless_when_all_planes_coded() {
+        let values: Vec<i64> = vec![0, 1, -1, 1000, -1000, 123456, -654321, 1 << 30];
+        let rec = roundtrip(&values, 0, usize::MAX / 2);
+        assert_eq!(rec, values);
+    }
+
+    #[test]
+    fn all_zero_block_is_one_bit_per_plane() {
+        let values = vec![0u64; 64];
+        let mut w = WriteStream::new();
+        let bits = encode_ints(&values, INTPREC, 0, usize::MAX / 2, &mut w);
+        assert_eq!(bits as u32, INTPREC, "one group-test bit per plane");
+    }
+
+    #[test]
+    fn truncated_planes_bound_error() {
+        let values: Vec<i64> = (0..16).map(|i| (i * 1001 - 8000) as i64).collect();
+        // Drop the lowest 8 planes: error per coefficient < 2^9 in
+        // negabinary weight terms.
+        let kmin = 8;
+        let rec = roundtrip(&values, kmin, usize::MAX / 2);
+        for (a, b) in values.iter().zip(&rec) {
+            assert!((a - b).abs() < 1 << 9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn budget_truncation_keeps_sides_in_sync() {
+        let values: Vec<i64> = (0..64).map(|i| ((i * 7919) % 4001 - 2000) as i64).collect();
+        for budget in [16usize, 64, 256, 1024] {
+            let nb: Vec<u64> = values.iter().map(|&v| negabinary::encode(v)).collect();
+            let mut w = WriteStream::new();
+            let used = encode_ints(&nb, INTPREC, 0, budget, &mut w);
+            assert!(used <= budget);
+            let bytes = w.into_bytes();
+            let mut r = ReadStream::new(&bytes);
+            let rec = decode_ints(values.len(), INTPREC, 0, budget, &mut r);
+            // More budget ⇒ error can only improve; with generous budget it
+            // must be exact.
+            if budget >= 64 * INTPREC as usize {
+                let dec: Vec<i64> = rec.into_iter().map(negabinary::decode).collect();
+                assert_eq!(dec, values);
+            }
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_budget() {
+        let values: Vec<i64> = (0..64).map(|i| ((i * 31 + 7) % 997 - 500) as i64 * 1024).collect();
+        let mut prev_err = i64::MAX;
+        for budget in [64usize, 128, 512, 2048, 8192] {
+            let rec = roundtrip(&values, 0, budget);
+            let err: i64 = values.iter().zip(&rec).map(|(a, b)| (a - b).abs()).max().unwrap();
+            assert!(err <= prev_err, "budget {budget}: err {err} > prev {prev_err}");
+            prev_err = err;
+        }
+        assert_eq!(prev_err, 0);
+    }
+
+    #[test]
+    fn single_coefficient_block() {
+        let rec = roundtrip(&[-42], 0, usize::MAX / 2);
+        assert_eq!(rec, vec![-42]);
+    }
+
+    #[test]
+    fn sparse_significance_pattern() {
+        // Only one coefficient deep in the block is nonzero: group testing
+        // should code this compactly and exactly.
+        let mut values = vec![0i64; 64];
+        values[63] = 99;
+        let nb: Vec<u64> = values.iter().map(|&v| negabinary::encode(v)).collect();
+        let mut w = WriteStream::new();
+        let bits = encode_ints(&nb, INTPREC, 0, usize::MAX / 2, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ReadStream::new(&bytes);
+        let rec: Vec<i64> = decode_ints(64, INTPREC, 0, usize::MAX / 2, &mut r)
+            .into_iter()
+            .map(negabinary::decode)
+            .collect();
+        assert_eq!(rec, values);
+        // 64 coefficients × 35 planes would be 2240 verbatim bits; group
+        // testing should beat that by a wide margin.
+        assert!(bits < 700, "bits={bits}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Block-floating-point conversion.
+//!
+//! Each ZFP block is normalized to a common exponent (the largest exponent
+//! in the block) and converted to signed fixed-point integers with `Q`
+//! fraction bits. We keep the integers in `i64` with generous headroom so
+//! the decorrelating transform can never overflow, trading a little memory
+//! for provable safety (the reference implementation uses `int32` with
+//! carefully counted guard bits). The fraction width is per element type
+//! ([`ZfpElement::Q`]); the constants below are the `f32` instance.
+
+use crate::element::ZfpElement;
+
+/// Fraction bits of the fixed-point representation.
+pub const Q: i32 = 30;
+
+/// Number of bit planes coded per block: |i| ≤ 2^Q before the transform and
+/// the transform's worst-case gain is < 2^3 for 3-D, so negabinary values
+/// fit comfortably in `Q + 5` bits.
+pub const INTPREC: u32 = (Q + 5) as u32;
+
+/// Exponent (base-2) of the largest magnitude in the block, as used for the
+/// common scale factor; 0 magnitude blocks return `None`.
+pub fn block_exponent<T: ZfpElement>(block: &[T]) -> Option<i32> {
+    let mut max = 0.0f64;
+    for &v in block {
+        let a = v.to_f64().abs();
+        if a.is_finite() && a > max {
+            max = a;
+        }
+    }
+    if max == 0.0 {
+        None
+    } else {
+        // frexp-style exponent: max = m · 2^e with m ∈ [0.5, 1).
+        Some(max.log2().floor() as i32 + 1)
+    }
+}
+
+/// Scale a block to fixed point given its common exponent.
+pub fn forward<T: ZfpElement>(block: &[T], emax: i32, out: &mut [i64]) {
+    debug_assert_eq!(block.len(), out.len());
+    let q = T::Q;
+    let scale = (2.0f64).powi(q - emax);
+    for (o, &v) in out.iter_mut().zip(block) {
+        let v = v.to_f64();
+        let x = if v.is_finite() { v * scale } else { 0.0 };
+        // Clamp pathological values (|v| slightly above 2^emax after
+        // rounding) into range.
+        *o = x.round().clamp(-(1i64 << q) as f64, (1i64 << q) as f64) as i64;
+    }
+}
+
+/// Undo [`forward`].
+pub fn inverse<T: ZfpElement>(ints: &[i64], emax: i32, out: &mut [T]) {
+    debug_assert_eq!(ints.len(), out.len());
+    let scale = (2.0f64).powi(emax - T::Q);
+    for (o, &i) in out.iter_mut().zip(ints) {
+        *o = T::from_f64(i as f64 * scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_of_unit_block() {
+        // max = 1.0 = 0.5·2^1 → emax = 1
+        assert_eq!(block_exponent(&[0.25, -1.0, 0.5]), Some(1));
+    }
+
+    #[test]
+    fn exponent_of_zero_block() {
+        assert_eq!(block_exponent(&[0.0, -0.0]), None);
+    }
+
+    #[test]
+    fn exponent_ignores_non_finite() {
+        assert_eq!(block_exponent(&[f32::NAN, 2.0, f32::INFINITY]), Some(2));
+    }
+
+    #[test]
+    fn forward_inverse_accuracy() {
+        let block = [0.7f32, -0.33, 0.001, -0.9999];
+        let emax = block_exponent(&block).unwrap();
+        let mut ints = [0i64; 4];
+        forward(&block, emax, &mut ints);
+        let mut rec = [0.0f32; 4];
+        inverse(&ints, emax, &mut rec);
+        for (a, b) in block.iter().zip(&rec) {
+            // Quantization error ≤ 2^(emax−Q−1).
+            let tol = (2.0f64).powi(emax - Q - 1) * 1.01;
+            assert!((*a as f64 - *b as f64).abs() <= tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_respects_q_range() {
+        let block = [1.0f32, -1.0, 0.5, 0.25];
+        let emax = block_exponent(&block).unwrap();
+        let mut ints = [0i64; 4];
+        forward(&block, emax, &mut ints);
+        for &i in &ints {
+            assert!(i.abs() <= 1i64 << Q);
+        }
+    }
+
+    #[test]
+    fn large_magnitudes_scale_correctly() {
+        let block = [3.0e30f32, -1.5e30, 0.0, 2.9e30];
+        let emax = block_exponent(&block).unwrap();
+        let mut ints = [0i64; 4];
+        forward(&block, emax, &mut ints);
+        let mut rec = [0.0f32; 4];
+        inverse(&ints, emax, &mut rec);
+        for (a, b) in block.iter().zip(&rec) {
+            let rel = if *a == 0.0 { (*b).abs() as f64 } else { ((a - b) / a).abs() as f64 };
+            assert!(rel < 1e-6, "{a} vs {b}");
+        }
+    }
+}

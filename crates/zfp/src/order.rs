@@ -1,0 +1,101 @@
+//! Coefficient ordering by total sequency.
+//!
+//! After the transform, low-frequency coefficients carry most energy. The
+//! embedded coder visits coefficients in order of increasing *total
+//! sequency* (the sum of per-axis frequencies), so significant bits appear
+//! early in the stream and truncation discards the least important data
+//! first. The permutation only needs to be identical on both sides; ties
+//! are broken by linear index, matching the spirit of ZFP's static tables.
+
+use crate::block::SIDE;
+
+/// Compute the sequency permutation for a 4^d block: `perm[rank] = index`.
+pub fn permutation(d: usize) -> Vec<usize> {
+    let n = SIDE.pow(d as u32);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by_key(|&i| {
+        let (x, y, z) = decompose(i, d);
+        (x + y + z, i)
+    });
+    idx
+}
+
+fn decompose(i: usize, d: usize) -> (usize, usize, usize) {
+    match d {
+        1 => (i, 0, 0),
+        2 => (i % SIDE, i / SIDE, 0),
+        _ => (i % SIDE, (i / SIDE) % SIDE, i / (SIDE * SIDE)),
+    }
+}
+
+/// Apply `perm` (gather): `out[r] = data[perm[r]]`.
+pub fn apply(data: &[i64], perm: &[usize], out: &mut [i64]) {
+    debug_assert_eq!(data.len(), perm.len());
+    for (o, &p) in out.iter_mut().zip(perm) {
+        *o = data[p];
+    }
+}
+
+/// Invert [`apply`] (scatter): `out[perm[r]] = data[r]`.
+pub fn invert(data: &[i64], perm: &[usize], out: &mut [i64]) {
+    debug_assert_eq!(data.len(), perm.len());
+    for (r, &p) in perm.iter().enumerate() {
+        out[p] = data[r];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        for d in 1..=3usize {
+            let p = permutation(d);
+            let mut seen = vec![false; p.len()];
+            for &i in &p {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn dc_coefficient_comes_first() {
+        for d in 1..=3usize {
+            assert_eq!(permutation(d)[0], 0, "d={d}");
+        }
+    }
+
+    #[test]
+    fn highest_frequency_comes_last() {
+        let p3 = permutation(3);
+        assert_eq!(*p3.last().unwrap(), 63);
+        let p2 = permutation(2);
+        assert_eq!(*p2.last().unwrap(), 15);
+    }
+
+    #[test]
+    fn sequency_is_monotone() {
+        let p = permutation(3);
+        let seq = |i: usize| (i % 4) + (i / 4) % 4 + i / 16;
+        for w in p.windows(2) {
+            assert!(seq(w[0]) <= seq(w[1]));
+        }
+    }
+
+    #[test]
+    fn apply_invert_roundtrip() {
+        for d in 1..=3usize {
+            let n = SIDE.pow(d as u32);
+            let data: Vec<i64> = (0..n as i64).map(|i| i * 7 - 30).collect();
+            let perm = permutation(d);
+            let mut fwd = vec![0i64; n];
+            let mut back = vec![0i64; n];
+            apply(&data, &perm, &mut fwd);
+            invert(&fwd, &perm, &mut back);
+            assert_eq!(back, data);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Multi-threaded chunked compression (the reference codec's OpenMP mode).
+//!
+//! The array is split along its slowest dimension at block (multiple-of-4)
+//! boundaries; each chunk is a *complete, standalone* ZFP stream of its
+//! sub-array, so chunks compress and decompress independently. A thin
+//! container records the chunk extents and byte lengths. Because chunk
+//! boundaries align with blocks, the chunked stream reconstructs the exact
+//! same values as the serial codec — only the container framing differs.
+//!
+//! Workers are crossbeam scoped threads pulling chunks from an atomic
+//! cursor; output order is fixed by the chunk index, so results are
+//! deterministic regardless of scheduling.
+
+use crate::block::SIDE;
+use crate::element::ZfpElement;
+use crate::pipeline::{compress_typed, decompress_typed};
+use crate::{ZfpCompressed, ZfpError, ZfpMode, ZfpStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Container magic for chunked streams.
+pub const CHUNKED_MAGIC: [u8; 4] = *b"ZFLP";
+
+/// Split `extent` into at most `want` ranges aligned to the block side.
+fn chunk_ranges(extent: usize, want: usize) -> Vec<(usize, usize)> {
+    let blocks = extent.div_ceil(SIDE);
+    let want = want.clamp(1, blocks);
+    let per = blocks.div_ceil(want);
+    let mut out = Vec::new();
+    let mut b0 = 0usize;
+    while b0 < blocks {
+        let b1 = (b0 + per).min(blocks);
+        out.push((b0 * SIDE, (b1 * SIDE).min(extent)));
+        b0 = b1;
+    }
+    out
+}
+
+/// Compress using up to `threads` worker threads (0 ⇒ all available).
+pub fn compress_chunked<T: ZfpElement>(
+    data: &[T],
+    dims: &[usize],
+    mode: &ZfpMode,
+    threads: usize,
+) -> Result<ZfpCompressed, ZfpError> {
+    if dims.is_empty() || dims.len() > 4 || dims.contains(&0) {
+        return Err(ZfpError::InvalidDims);
+    }
+    let n: usize = dims.iter().product();
+    if n != data.len() {
+        return Err(ZfpError::InvalidDims);
+    }
+    mode.validate()?;
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        threads
+    };
+
+    // Slowest-dimension extent and the element count per unit of it.
+    let slow = dims[0];
+    let row: usize = dims[1..].iter().product::<usize>().max(1);
+    let ranges = chunk_ranges(slow, threads);
+
+    // Compress chunks in parallel; each result lands in its own slot.
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<ZfpCompressed, ZfpError>>>> =
+        (0..ranges.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads.min(ranges.len()) {
+            s.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= ranges.len() {
+                    break;
+                }
+                let (a, b) = ranges[i];
+                let mut sub_dims = dims.to_vec();
+                sub_dims[0] = b - a;
+                let sub = &data[a * row..b * row];
+                *slots[i].lock().expect("slot lock") = Some(compress_typed(sub, &sub_dims, mode));
+            });
+        }
+    })
+    .expect("compression workers must not panic");
+
+    let mut chunks = Vec::with_capacity(ranges.len());
+    let mut stats = ZfpStats::default();
+    for slot in slots {
+        let c = slot
+            .into_inner()
+            .expect("slot lock")
+            .expect("every chunk filled")?;
+        stats.elements += c.stats.elements;
+        stats.input_bytes += c.stats.input_bytes;
+        stats.blocks += c.stats.blocks;
+        stats.zero_blocks += c.stats.zero_blocks;
+        stats.payload_bits += c.stats.payload_bits;
+        chunks.push(c.bytes);
+    }
+
+    // ---- container ----
+    let mut out = Vec::new();
+    out.extend_from_slice(&CHUNKED_MAGIC);
+    out.push(T::TYPE_TAG);
+    out.push(dims.len() as u8);
+    for &d in dims {
+        out.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(ranges.len() as u32).to_le_bytes());
+    for ((a, b), bytes) in ranges.iter().zip(&chunks) {
+        out.extend_from_slice(&(*a as u64).to_le_bytes());
+        out.extend_from_slice(&(*b as u64).to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    }
+    for bytes in &chunks {
+        out.extend_from_slice(bytes);
+    }
+    stats.output_bytes = out.len() as u64;
+    Ok(ZfpCompressed { bytes: out, stats })
+}
+
+/// Decompress a chunked stream using up to `threads` workers.
+pub fn decompress_chunked<T: ZfpElement>(
+    stream: &[u8],
+    threads: usize,
+) -> Result<(Vec<T>, Vec<usize>), ZfpError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], ZfpError> {
+        if *pos + n > stream.len() {
+            return Err(ZfpError::Corrupt("unexpected end of stream"));
+        }
+        let s = &stream[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != CHUNKED_MAGIC {
+        return Err(ZfpError::Corrupt("bad chunked magic"));
+    }
+    if take(&mut pos, 1)?[0] != T::TYPE_TAG {
+        return Err(ZfpError::TypeMismatch);
+    }
+    let rank = take(&mut pos, 1)?[0] as usize;
+    if rank == 0 || rank > 4 {
+        return Err(ZfpError::Corrupt("bad rank"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize);
+    }
+    let n = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(ZfpError::Corrupt("dims overflow"))?;
+    let n_chunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    if n_chunks == 0 || n_chunks > dims[0].div_ceil(SIDE).max(1) {
+        return Err(ZfpError::Corrupt("bad chunk count"));
+    }
+    let mut meta = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        let a = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+        let b = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+        let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+        if a >= b || b > dims[0] {
+            return Err(ZfpError::Corrupt("bad chunk range"));
+        }
+        meta.push((a, b, len));
+    }
+    let row: usize = dims[1..].iter().product::<usize>().max(1);
+    // Slice out the per-chunk streams.
+    let mut chunk_streams = Vec::with_capacity(n_chunks);
+    for &(_, _, len) in &meta {
+        chunk_streams.push(take(&mut pos, len)?);
+    }
+
+    // Carve the output into disjoint slices matching the chunk ranges.
+    let mut out: Vec<T> = vec![T::from_f64(0.0); n];
+    {
+        let mut rest: &mut [T] = &mut out;
+        let mut offset = 0usize;
+        let mut jobs: Vec<(&mut [T], usize, &[u8], usize, usize)> = Vec::new();
+        for (i, &(a, b, _)) in meta.iter().enumerate() {
+            let start = a * row;
+            let end = b * row;
+            if start != offset || end > n {
+                return Err(ZfpError::Corrupt("chunk ranges not contiguous"));
+            }
+            let (head, tail) = rest.split_at_mut(end - offset);
+            rest = tail;
+            offset = end;
+            jobs.push((head, i, chunk_streams[i], a, b));
+        }
+        if offset != n {
+            return Err(ZfpError::Corrupt("chunks do not cover the array"));
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+        } else {
+            threads
+        };
+        let errors: Vec<Mutex<Option<ZfpError>>> =
+            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let jobs_shared: Vec<Mutex<Option<(&mut [T], usize, &[u8], usize, usize)>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads.min(jobs_shared.len()) {
+                s.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs_shared.len() {
+                        break;
+                    }
+                    let (slice, idx, stream, a, b) = jobs_shared[i]
+                        .lock()
+                        .expect("job lock")
+                        .take()
+                        .expect("each job taken once");
+                    let mut sub_dims = dims.clone();
+                    sub_dims[0] = b - a;
+                    let outcome = match decompress_typed::<T>(stream) {
+                        Ok((vals, got_dims)) => {
+                            if got_dims != sub_dims || vals.len() != slice.len() {
+                                Some(ZfpError::Corrupt("chunk shape mismatch"))
+                            } else {
+                                slice.copy_from_slice(&vals);
+                                None
+                            }
+                        }
+                        Err(e) => Some(e),
+                    };
+                    *errors[idx].lock().expect("error lock") = outcome;
+                });
+            }
+        })
+        .expect("decompression workers must not panic");
+        for e in errors {
+            if let Some(err) = e.into_inner().expect("error lock") {
+                return Err(err);
+            }
+        }
+    }
+    Ok((out, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.01).sin() * 40.0 + (i as f32 * 0.003).cos()).collect()
+    }
+
+    fn max_err(a: &[f32], b: &[f32]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x as f64 - *y as f64).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn chunk_ranges_align_to_blocks() {
+        let r = chunk_ranges(100, 4);
+        assert_eq!(r.first().expect("nonempty").0, 0);
+        assert_eq!(r.last().expect("nonempty").1, 100);
+        for w in r.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+            assert_eq!(w[0].1 % SIDE, 0, "interior boundary must be block-aligned");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_degenerate_cases() {
+        assert_eq!(chunk_ranges(3, 8), vec![(0, 3)]);
+        assert_eq!(chunk_ranges(8, 1), vec![(0, 8)]);
+    }
+
+    #[test]
+    fn chunked_roundtrip_matches_bound_3d() {
+        let dims = [24usize, 10, 11];
+        let data = smooth(dims.iter().product());
+        let tol = 1e-3;
+        for threads in [1, 2, 4] {
+            let out = compress_chunked(&data, &dims, &ZfpMode::FixedAccuracy(tol), threads)
+                .expect("compress");
+            let (rec, got) = decompress_chunked::<f32>(&out.bytes, threads).expect("decompress");
+            assert_eq!(got, dims.to_vec());
+            assert!(max_err(&data, &rec) <= tol);
+        }
+    }
+
+    #[test]
+    fn chunked_reconstruction_is_thread_count_invariant() {
+        let dims = [32usize, 9, 7];
+        let data = smooth(dims.iter().product());
+        let mode = ZfpMode::FixedAccuracy(1e-2);
+        let one = compress_chunked(&data, &dims, &mode, 1).expect("compress");
+        let four = compress_chunked(&data, &dims, &mode, 4).expect("compress");
+        // Chunk boundaries align with coding blocks, so the reconstructed
+        // values are identical whatever the worker count (the container
+        // framing differs: more chunks, more headers).
+        let (rec1, _) = decompress_chunked::<f32>(&one.bytes, 1).expect("decompress");
+        let (rec4, _) = decompress_chunked::<f32>(&four.bytes, 4).expect("decompress");
+        assert_eq!(rec1, rec4);
+        // Cross-decoding with a different worker count is also identical.
+        let (rec4_1, _) = decompress_chunked::<f32>(&four.bytes, 1).expect("decompress");
+        assert_eq!(rec4, rec4_1);
+    }
+
+    #[test]
+    fn chunked_matches_serial_values() {
+        // Chunk boundaries align with blocks, so chunked output must be
+        // value-identical to the serial codec.
+        let dims = [16usize, 8, 8];
+        let data = smooth(dims.iter().product());
+        let mode = ZfpMode::FixedAccuracy(1e-3);
+        let serial = crate::compress(&data, &dims, &mode).expect("compress");
+        let (serial_rec, _) = crate::decompress(&serial.bytes).expect("decompress");
+        let chunked = compress_chunked(&data, &dims, &mode, 4).expect("compress");
+        let (chunked_rec, _) = decompress_chunked::<f32>(&chunked.bytes, 4).expect("decompress");
+        assert_eq!(serial_rec, chunked_rec);
+    }
+
+    #[test]
+    fn chunked_1d_and_2d() {
+        let data = smooth(1000);
+        let out = compress_chunked(&data, &[1000], &ZfpMode::FixedAccuracy(1e-3), 4)
+            .expect("compress");
+        let (rec, _) = decompress_chunked::<f32>(&out.bytes, 4).expect("decompress");
+        assert!(max_err(&data, &rec) <= 1e-3);
+
+        let out = compress_chunked(&data, &[25, 40], &ZfpMode::FixedAccuracy(1e-3), 3)
+            .expect("compress");
+        let (rec, _) = decompress_chunked::<f32>(&out.bytes, 3).expect("decompress");
+        assert!(max_err(&data, &rec) <= 1e-3);
+    }
+
+    #[test]
+    fn chunked_f64() {
+        let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.001).sin() * 1e6).collect();
+        let out = compress_chunked(&data, &[16, 256], &ZfpMode::FixedAccuracy(1e-6), 4)
+            .expect("compress");
+        let (rec, _) = decompress_chunked::<f64>(&out.bytes, 2).expect("decompress");
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((a - b).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn corrupt_container_rejected() {
+        let data = smooth(256);
+        let out = compress_chunked(&data, &[256], &ZfpMode::FixedAccuracy(1e-3), 2)
+            .expect("compress");
+        let mut bad = out.bytes.clone();
+        bad[0] = b'X';
+        assert!(decompress_chunked::<f32>(&bad, 1).is_err());
+        assert!(decompress_chunked::<f32>(&out.bytes[..20], 1).is_err());
+        assert_eq!(
+            decompress_chunked::<f64>(&out.bytes, 1).unwrap_err(),
+            ZfpError::TypeMismatch
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let data = smooth(10);
+        assert!(compress_chunked(&data, &[11], &ZfpMode::FixedAccuracy(1e-3), 2).is_err());
+        assert!(compress_chunked(&data, &[], &ZfpMode::FixedAccuracy(1e-3), 2).is_err());
+        assert!(compress_chunked(&data, &[10], &ZfpMode::FixedAccuracy(0.0), 2).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! Whole-array ZFP compression/decompression.
+//!
+//! Every 4^d block passes through: block-floating-point conversion →
+//! lifted decorrelating transform → sequency reordering → negabinary →
+//! embedded bit-plane coding. The per-block plane cutoff and bit budget are
+//! derived from the array-level [`ZfpMode`] and the block's exponent, using
+//! the same arithmetic on both sides so nothing but the exponent needs to
+//! be stored per block.
+//!
+//! Both `f32` and `f64` fields are supported through [`ZfpElement`]; the
+//! element type is recorded in the header and checked on decode.
+
+use crate::bitstream::{ReadStream, WriteStream};
+use crate::block::{self, Geom, SIDE};
+use crate::coder;
+use crate::element::ZfpElement;
+use crate::fixedpoint;
+use crate::negabinary;
+use crate::order;
+use crate::transform;
+use crate::{ZfpCompressed, ZfpError, ZfpMode, ZfpStats};
+
+/// Stream magic.
+pub const MAGIC: [u8; 4] = *b"ZFL1";
+
+/// Per-block coding parameters derived from mode + block exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockParams {
+    /// Lowest coded plane.
+    kmin: u32,
+    /// Bit budget for the coefficient payload.
+    budget: usize,
+}
+
+/// Effectively-unlimited budget for non-rate modes.
+const NO_BUDGET: usize = usize::MAX / 2;
+
+fn block_params<T: ZfpElement>(mode: &ZfpMode, d: usize, emax: i32) -> BlockParams {
+    match *mode {
+        ZfpMode::FixedAccuracy(tol) => {
+            // Keep planes whose weight exceeds tol / 2^(2(d+1)); the guard
+            // absorbs transform error amplification.
+            let minexp = tol.log2().floor() as i32;
+            let guard = 2 * (d as i32 + 1);
+            let kmin = (minexp - guard - emax + T::Q).clamp(0, T::INTPREC as i32) as u32;
+            BlockParams { kmin, budget: NO_BUDGET }
+        }
+        ZfpMode::FixedPrecision(prec) => {
+            let prec = prec.min(T::INTPREC);
+            BlockParams { kmin: T::INTPREC - prec, budget: NO_BUDGET }
+        }
+        ZfpMode::FixedRate(bpv) => {
+            let block_len = SIDE.pow(d as u32);
+            let maxbits = (bpv * block_len as f64).ceil() as usize;
+            // Reserve the header bits (zero flag + exponent).
+            let budget = maxbits.saturating_sub(1 + T::EMAX_BITS);
+            BlockParams { kmin: 0, budget }
+        }
+    }
+}
+
+/// Total bits one fixed-rate block occupies (header + payload + padding).
+fn rate_block_bits(bpv: f64, d: usize) -> usize {
+    (bpv * SIDE.pow(d as u32) as f64).ceil() as usize
+}
+
+/// Compress `data` shaped as `dims` (1–4 dims, slowest first), for any
+/// supported element type.
+pub fn compress_typed<T: ZfpElement>(
+    data: &[T],
+    dims: &[usize],
+    mode: &ZfpMode,
+) -> Result<ZfpCompressed, ZfpError> {
+    let g = Geom::new(dims).ok_or(ZfpError::InvalidDims)?;
+    if g.len() != data.len() {
+        return Err(ZfpError::InvalidDims);
+    }
+    mode.validate()?;
+
+    let d = g.d;
+    let blen = g.block_len();
+    let perm = order::permutation(d);
+    let mut w = WriteStream::new();
+    let mut fblock: Vec<T> = vec![T::from_f64(0.0); blen];
+    let mut ints = vec![0i64; blen];
+    let mut reordered = vec![0i64; blen];
+    let mut nb = vec![0u64; blen];
+    let mut zero_blocks = 0u64;
+
+    let (bz, by, bx) = g.block_counts();
+    for bk in 0..bz {
+        for bj in 0..by {
+            for bi in 0..bx {
+                let block_start = w.bit_len();
+                block::gather(data, &g, bk, bj, bi, &mut fblock);
+                let emax = fixedpoint::block_exponent(&fblock);
+                let params = emax.map(|e| block_params::<T>(mode, d, e));
+                let skip = match (emax, &params) {
+                    (None, _) => true,
+                    // All kept planes truncated ⇒ the block rounds to zero.
+                    (Some(_), Some(p)) if p.kmin >= T::INTPREC => true,
+                    _ => false,
+                };
+                if skip {
+                    w.write_bit(false);
+                    zero_blocks += 1;
+                } else {
+                    let emax = emax.expect("skip guard covers None");
+                    let p = params.expect("skip guard covers None");
+                    w.write_bit(true);
+                    w.write_bits((emax + T::EMAX_BIAS) as u64, T::EMAX_BITS);
+                    fixedpoint::forward(&fblock, emax, &mut ints);
+                    transform::forward(&mut ints, d);
+                    order::apply(&ints, &perm, &mut reordered);
+                    for (o, &v) in nb.iter_mut().zip(reordered.iter()) {
+                        *o = negabinary::encode(v);
+                    }
+                    coder::encode_ints(&nb, T::INTPREC, p.kmin, p.budget, &mut w);
+                }
+                // Fixed-rate blocks are padded to their exact budget so the
+                // stream supports random block access.
+                if let ZfpMode::FixedRate(bpv) = mode {
+                    w.pad_to(block_start + rate_block_bits(*bpv, d));
+                }
+            }
+        }
+    }
+
+    let payload = w.into_bytes();
+    let bitstream_bits = payload.len() * 8;
+
+    // ---- envelope ----
+    let mut out = Vec::with_capacity(payload.len() + 64);
+    out.extend_from_slice(&MAGIC);
+    out.push(T::TYPE_TAG);
+    out.push(dims.len() as u8);
+    for &dim in dims {
+        out.extend_from_slice(&(dim as u64).to_le_bytes());
+    }
+    let (tag, param) = mode.encode();
+    out.push(tag);
+    out.extend_from_slice(&param.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+
+    let stats = ZfpStats {
+        elements: data.len() as u64,
+        input_bytes: std::mem::size_of_val(data) as u64,
+        output_bytes: out.len() as u64,
+        blocks: g.num_blocks() as u64,
+        zero_blocks,
+        payload_bits: bitstream_bits as u64,
+    };
+    Ok(ZfpCompressed { bytes: out, stats })
+}
+
+/// Compress an `f32` field (the paper's data type).
+pub fn compress(data: &[f32], dims: &[usize], mode: &ZfpMode) -> Result<ZfpCompressed, ZfpError> {
+    compress_typed(data, dims, mode)
+}
+
+/// Compress an `f64` field.
+pub fn compress_f64(
+    data: &[f64],
+    dims: &[usize],
+    mode: &ZfpMode,
+) -> Result<ZfpCompressed, ZfpError> {
+    compress_typed(data, dims, mode)
+}
+
+/// Element type tag recorded in a compressed stream.
+pub fn stream_type_tag(stream: &[u8]) -> Result<u8, ZfpError> {
+    if stream.len() < 5 || stream[..4] != MAGIC {
+        return Err(ZfpError::Corrupt("bad magic"));
+    }
+    Ok(stream[4])
+}
+
+/// Decompress a stream produced by [`compress_typed`]. Fails with
+/// [`ZfpError::TypeMismatch`] when the stream holds a different element
+/// type.
+pub fn decompress_typed<T: ZfpElement>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>), ZfpError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], ZfpError> {
+        if *pos + n > stream.len() {
+            return Err(ZfpError::Corrupt("unexpected end of stream"));
+        }
+        let s = &stream[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(ZfpError::Corrupt("bad magic"));
+    }
+    let type_tag = take(&mut pos, 1)?[0];
+    if type_tag != T::TYPE_TAG {
+        return Err(ZfpError::TypeMismatch);
+    }
+    let rank = take(&mut pos, 1)?[0] as usize;
+    if rank == 0 || rank > 4 {
+        return Err(ZfpError::Corrupt("bad rank"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let b = take(&mut pos, 8)?;
+        dims.push(u64::from_le_bytes(b.try_into().expect("8-byte read")) as usize);
+    }
+    let tag = take(&mut pos, 1)?[0];
+    let param = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8-byte read"));
+    let mode = ZfpMode::decode(tag, param)?;
+    mode.validate()?;
+    let payload_len =
+        u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8-byte read")) as usize;
+    let payload = take(&mut pos, payload_len)?;
+
+    let g = Geom::new(&dims).ok_or(ZfpError::Corrupt("bad dims"))?;
+    // Every block consumes at least its zero-flag bit, so a corrupt header
+    // cannot claim more blocks (and thus output) than the payload allows.
+    if g.num_blocks() > payload.len().saturating_mul(8) {
+        return Err(ZfpError::Corrupt("block count exceeds payload"));
+    }
+    let d = g.d;
+    let blen = g.block_len();
+    let perm = order::permutation(d);
+    let mut out: Vec<T> = vec![T::from_f64(0.0); g.len()];
+    let mut r = ReadStream::new(payload);
+    let mut ints = vec![0i64; blen];
+    let mut unordered = vec![0i64; blen];
+    let mut fblock: Vec<T> = vec![T::from_f64(0.0); blen];
+
+    let (bz, by, bx) = g.block_counts();
+    for bk in 0..bz {
+        for bj in 0..by {
+            for bi in 0..bx {
+                let block_start = r.bit_pos();
+                let nonzero = r.read_bit();
+                if nonzero {
+                    let emax = r.read_bits(T::EMAX_BITS) as i32 - T::EMAX_BIAS;
+                    let p = block_params::<T>(&mode, d, emax);
+                    let nb = coder::decode_ints(blen, T::INTPREC, p.kmin, p.budget, &mut r);
+                    for (o, &v) in unordered.iter_mut().zip(nb.iter()) {
+                        *o = negabinary::decode(v);
+                    }
+                    order::invert(&unordered, &perm, &mut ints);
+                    transform::inverse(&mut ints, d);
+                    fixedpoint::inverse(&ints, emax, &mut fblock);
+                } else {
+                    fblock.fill(T::from_f64(0.0));
+                }
+                if let ZfpMode::FixedRate(bpv) = mode {
+                    r.seek(block_start + rate_block_bits(bpv, d));
+                }
+                block::scatter(&fblock, &g, bk, bj, bi, &mut out);
+            }
+        }
+    }
+    Ok((out, dims))
+}
+
+/// Decompress an `f32` stream.
+pub fn decompress(stream: &[u8]) -> Result<(Vec<f32>, Vec<usize>), ZfpError> {
+    decompress_typed(stream)
+}
+
+/// Decompress an `f64` stream.
+pub fn decompress_f64(stream: &[u8]) -> Result<(Vec<f64>, Vec<usize>), ZfpError> {
+    decompress_typed(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixedpoint::INTPREC;
+
+    #[test]
+    fn block_params_accuracy_scales_with_emax() {
+        // Larger block magnitudes need more planes for the same tolerance.
+        let lo = block_params::<f32>(&ZfpMode::FixedAccuracy(1e-3), 3, 0);
+        let hi = block_params::<f32>(&ZfpMode::FixedAccuracy(1e-3), 3, 10);
+        assert!(hi.kmin < lo.kmin);
+    }
+
+    #[test]
+    fn block_params_precision_ignores_emax() {
+        let a = block_params::<f32>(&ZfpMode::FixedPrecision(16), 2, -5);
+        let b = block_params::<f32>(&ZfpMode::FixedPrecision(16), 2, 20);
+        assert_eq!(a, b);
+        assert_eq!(a.kmin, INTPREC - 16);
+    }
+
+    #[test]
+    fn block_params_rate_sets_budget() {
+        let p = block_params::<f32>(&ZfpMode::FixedRate(8.0), 3, 0);
+        assert_eq!(p.budget, 8 * 64 - 1 - <f32 as ZfpElement>::EMAX_BITS);
+        assert_eq!(p.kmin, 0);
+    }
+
+    #[test]
+    fn f64_params_keep_more_planes_for_same_tolerance() {
+        let f32p = block_params::<f32>(&ZfpMode::FixedAccuracy(1e-6), 3, 0);
+        let f64p = block_params::<f64>(&ZfpMode::FixedAccuracy(1e-6), 3, 0);
+        let f32_planes = <f32 as ZfpElement>::INTPREC - f32p.kmin;
+        let f64_planes = <f64 as ZfpElement>::INTPREC - f64p.kmin;
+        // Same tolerance ⇒ same number of *kept* planes relative to the
+        // block exponent; both types count down from their own Q.
+        assert_eq!(f32_planes, f64_planes);
+    }
+
+    #[test]
+    fn rate_block_bits_rounds_up() {
+        assert_eq!(rate_block_bits(0.9, 1), 4);
+        assert_eq!(rate_block_bits(8.0, 3), 512);
+    }
+
+    #[test]
+    fn f64_roundtrip_below_f32_precision() {
+        // A tolerance far below f32 ULP: only the f64 path can honor it.
+        let data: Vec<f64> = (0..512)
+            .map(|i| 1.0 + (i as f64) * 1e-12 + (i as f64 * 0.05).sin() * 1e-9)
+            .collect();
+        let tol = 1e-13;
+        let out = compress_f64(&data, &[512], &ZfpMode::FixedAccuracy(tol)).expect("compress");
+        let (rec, _) = decompress_f64(&out.bytes).expect("decompress");
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f64_3d_roundtrip() {
+        let (nz, ny, nx) = (9, 10, 11);
+        let data: Vec<f64> = (0..nz * ny * nx)
+            .map(|i| ((i % nx) as f64 * 0.2).sin() * 1e8 + ((i / nx) as f64 * 0.1).cos())
+            .collect();
+        let tol = 1e-2;
+        let out =
+            compress_f64(&data, &[nz, ny, nx], &ZfpMode::FixedAccuracy(tol)).expect("compress");
+        let (rec, dims) = decompress_f64(&out.bytes).expect("decompress");
+        assert_eq!(dims, vec![nz, ny, nx]);
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn type_tags_are_checked() {
+        let f32_out =
+            compress(&vec![1.5f32; 64], &[64], &ZfpMode::FixedAccuracy(1e-3)).expect("compress");
+        assert_eq!(decompress_f64(&f32_out.bytes).unwrap_err(), ZfpError::TypeMismatch);
+        let f64_out = compress_f64(&vec![1.5f64; 64], &[64], &ZfpMode::FixedAccuracy(1e-3))
+            .expect("compress");
+        assert_eq!(decompress(&f64_out.bytes).unwrap_err(), ZfpError::TypeMismatch);
+        assert_eq!(stream_type_tag(&f32_out.bytes).unwrap(), 0);
+        assert_eq!(stream_type_tag(&f64_out.bytes).unwrap(), 1);
+    }
+}

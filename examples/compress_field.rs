@@ -1,0 +1,60 @@
+//! Domain example: the paper's Table I datasets through both compressors
+//! at all four error bounds — the compression side of §IV-A.
+//!
+//! Prints compression ratio, predictor hit rate (SZ), and the simulated
+//! full-size compression time/energy on the Broadwell node at base clock.
+//!
+//! ```text
+//! cargo run --release --example compress_field
+//! ```
+
+use lcpio::core::workmap::CostModel;
+use lcpio::datagen::Dataset;
+use lcpio::powersim::{simulate, Chip, Machine};
+use lcpio::sz::{self, ErrorBound, SzConfig};
+use lcpio::zfp::{self, ZfpMode};
+
+fn main() {
+    let cost = CostModel::default();
+    let machine = Machine::for_chip(Chip::Broadwell);
+    let fmax = machine.cpu.f_max_ghz;
+
+    println!(
+        "{:<10} {:<5} {:>8} {:>8} {:>10} {:>10}",
+        "dataset", "codec", "eb", "ratio", "full_t(s)", "full_E(kJ)"
+    );
+    for ds in Dataset::MODEL_SETS {
+        let field = ds.generate(2048, 7);
+        let dims: Vec<usize> = field.dims().extents().to_vec();
+        let scale = field.scale_factor();
+        for &eb in &[1e-1, 1e-2, 1e-3, 1e-4] {
+            // SZ
+            let out = sz::compress(&field.data, &dims, &SzConfig::new(ErrorBound::Absolute(eb)))
+                .expect("compression");
+            let m = simulate(&machine, fmax, &cost.sz_profile(&out.stats, scale));
+            println!(
+                "{:<10} {:<5} {:>8.0e} {:>7.1}x {:>10.1} {:>10.2}",
+                ds.name(),
+                "SZ",
+                eb,
+                out.stats.ratio(),
+                m.runtime_s,
+                m.energy_j / 1e3
+            );
+            // ZFP
+            let out = zfp::compress(&field.data, &dims, &ZfpMode::FixedAccuracy(eb))
+                .expect("compression");
+            let m = simulate(&machine, fmax, &cost.zfp_profile(&out.stats, scale));
+            println!(
+                "{:<10} {:<5} {:>8.0e} {:>7.1}x {:>10.1} {:>10.2}",
+                ds.name(),
+                "ZFP",
+                eb,
+                out.stats.ratio(),
+                m.runtime_s,
+                m.energy_j / 1e3
+            );
+        }
+    }
+    println!("\n(full_t / full_E are extrapolated to each dataset's Table-I size\n on the simulated Broadwell node at its 2.0 GHz base clock)");
+}

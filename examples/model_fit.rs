@@ -1,0 +1,59 @@
+//! Fitting `P(f) = a·f^b + c` to your own measurements, with bootstrap
+//! confidence intervals — the lcpio-fit crate as a standalone tool.
+//!
+//! The demo reconstructs the paper's published Broadwell and Skylake
+//! model curves (Table IV), adds measurement noise, refits, and shows the
+//! recovered parameters with 95% bootstrap intervals.
+//!
+//! ```text
+//! cargo run --release --example model_fit
+//! ```
+
+use lcpio::fit::bootstrap::bootstrap_power_law;
+use lcpio::fit::powerlaw::fit_power_law;
+
+fn main() {
+    // The paper's published fits (Table IV).
+    let cases = [
+        ("Broadwell", 0.0064, 5.315, 0.7429, 2.0),
+        ("Skylake", 2.235e-9, 23.31, 0.7941, 2.2),
+    ];
+    for (name, a, b, c, fmax) in cases {
+        let xs: Vec<f64> = {
+            let mut v = Vec::new();
+            let mut f = 0.8;
+            while f <= fmax + 1e-9 {
+                v.push(f);
+                f += 0.05;
+            }
+            v
+        };
+        // Evaluate the published model and perturb it with deterministic
+        // pseudo-noise (σ ≈ 0.5%).
+        let mut state = 0xC0FFEEu64;
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&f| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let n = ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.005;
+                a * f.powf(b) + c + n
+            })
+            .collect();
+
+        let fit = fit_power_law(&xs, &ys).expect("fit");
+        println!("{name}: published  {a:.3e}·f^{b:.2} + {c:.4}");
+        println!(
+            "{name}: recovered  {:.3e}·f^{:.2} + {:.4}   (SSE {:.2e}, RMSE {:.4}, R² {:.4})",
+            fit.a, fit.b, fit.c, fit.gof.sse, fit.gof.rmse, fit.gof.r2
+        );
+
+        let bs = bootstrap_power_law(&xs, &ys, 100, 7).expect("bootstrap");
+        println!(
+            "{name}: 95% intervals  b ∈ [{:.2}, {:.2}]   c ∈ [{:.4}, {:.4}]   ({} resamples)\n",
+            bs.b.lo, bs.b.hi, bs.c.lo, bs.c.hi, bs.resamples
+        );
+    }
+    println!("note: for Skylake-like curves (flat then knee) the (a, b) pair is weakly");
+    println!("identified — a ~ exp(-b) trade off — which is why the paper warns that R²");
+    println!("is an unreliable metric for these non-linear fits (§IV-B).");
+}

@@ -1,0 +1,69 @@
+//! Quickstart: compress a synthetic NYX field with both codecs, verify the
+//! error bound, and estimate compression energy on both simulated chips.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lcpio::core::workmap::CostModel;
+use lcpio::datagen::nyx;
+use lcpio::powersim::{simulate, Chip, Machine};
+use lcpio::sz::{self, ErrorBound, SzConfig};
+use lcpio::zfp::{self, ZfpMode};
+
+fn main() {
+    let eb = 1e-3;
+    println!("generating a 64^3 NYX-like velocity field...");
+    let field = nyx::velocity_x(64, 42);
+    let dims: Vec<usize> = field.dims().extents().to_vec();
+
+    // --- SZ ---
+    let sz_out = sz::compress(&field.data, &dims, &SzConfig::new(ErrorBound::Absolute(eb)))
+        .expect("compression");
+    let (sz_rec, _) = sz::decompress(&sz_out.bytes).expect("decompression");
+    let sz_err = max_err(&field.data, &sz_rec);
+    println!(
+        "SZ : ratio {:>6.2}x  hit-rate {:>5.1}%  max-error {:.2e} (bound {eb:.0e})",
+        sz_out.stats.ratio(),
+        sz_out.stats.hit_rate() * 100.0,
+        sz_err
+    );
+    assert!(sz_err <= eb * 1.01);
+
+    // --- ZFP ---
+    let zfp_out = zfp::compress(&field.data, &dims, &ZfpMode::FixedAccuracy(eb))
+        .expect("compression");
+    let (zfp_rec, _) = zfp::decompress(&zfp_out.bytes).expect("decompression");
+    let zfp_err = max_err(&field.data, &zfp_rec);
+    println!(
+        "ZFP: ratio {:>6.2}x  zero-blocks {:>4}  max-error {:.2e} (bound {eb:.0e})",
+        zfp_out.stats.ratio(),
+        zfp_out.stats.zero_blocks,
+        zfp_err
+    );
+    assert!(zfp_err <= eb);
+
+    // --- What would this cost at full 512^3 scale, on real-ish hardware? ---
+    let cost = CostModel::default();
+    let scale = (512usize * 512 * 512) as f64 / field.data.len() as f64;
+    let profile = cost.sz_profile(&sz_out.stats, scale);
+    println!("\nestimated full-size (512^3) SZ compression cost:");
+    for chip in Chip::ALL {
+        let m = Machine::for_chip(chip);
+        let fast = simulate(&m, m.cpu.f_max_ghz, &profile);
+        let tuned = simulate(&m, m.cpu.snap(0.875 * m.cpu.f_max_ghz), &profile);
+        println!(
+            "  {:<9} base clock: {:>6.1} s / {:>7.1} J   tuned (-12.5%): {:>6.1} s / {:>7.1} J  ({:.1}% energy saved)",
+            chip.name(),
+            fast.runtime_s,
+            fast.energy_j,
+            tuned.runtime_s,
+            tuned.energy_j,
+            (1.0 - tuned.energy_j / fast.energy_j) * 100.0
+        );
+    }
+}
+
+fn max_err(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (*x as f64 - *y as f64).abs()).fold(0.0, f64::max)
+}

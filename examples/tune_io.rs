@@ -1,0 +1,46 @@
+//! The paper's full modeling + tuning pipeline in one run:
+//! sweep → Tables IV/V → characteristic curves → Eqn-3 evaluation →
+//! derived (energy-optimal) rule.
+//!
+//! ```text
+//! cargo run --release --example tune_io
+//! ```
+
+use lcpio::core::characteristics::{
+    compression_power_curves, compression_runtime_curves, transit_power_curves,
+    transit_runtime_curves,
+};
+use lcpio::core::experiment::{run_full_sweep, ExperimentConfig};
+use lcpio::core::models::{compression_model_table, transit_model_table};
+use lcpio::core::report::{render_model_table, render_tuning};
+use lcpio::core::tuning::{derive_rule, evaluate_rule, TuningRule};
+
+fn main() {
+    println!("running the full §IV sweep (2 chips × 2 codecs × 3 datasets × 4 bounds × ladder × 10 reps)...");
+    let cfg = ExperimentConfig::paper();
+    let sweep = run_full_sweep(&cfg);
+    println!(
+        "  {} compression records, {} transit records\n",
+        sweep.compression.len(),
+        sweep.transit.len()
+    );
+
+    let t4 = compression_model_table(&sweep.compression);
+    let t5 = transit_model_table(&sweep.transit);
+    println!("{}", render_model_table("TABLE IV — compression power models", &t4));
+    println!("{}", render_model_table("TABLE V — data-transit power models", &t5));
+
+    let cp = compression_power_curves(&sweep.compression);
+    let cr = compression_runtime_curves(&sweep.compression);
+    let wp = transit_power_curves(&sweep.transit);
+    let wr = transit_runtime_curves(&sweep.transit);
+
+    let report = evaluate_rule(TuningRule::PAPER, &cp, &cr, &wp, &wr);
+    println!("{}", render_tuning(&report));
+
+    let derived = derive_rule(&cp, &cr, &wp, &wr);
+    println!(
+        "energy-optimal rule derived from the measured curves (≤10% runtime):\n  compression: {:.3}·f_max   writing: {:.3}·f_max   (paper Eqn 3: 0.875 / 0.850)",
+        derived.compression_fraction, derived.writing_fraction
+    );
+}

@@ -1,0 +1,18 @@
+//! The `lcpio-cli` binary: a thin shim over [`lcpio::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match lcpio::cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", lcpio::cli::usage());
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = lcpio::cli::run(cmd, &mut stdout) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,697 @@
+//! Command-line interface logic (the `lcpio-cli` binary is a thin shim
+//! over [`parse`] + [`run`] so everything here is unit-testable).
+//!
+//! Field files use a tiny self-describing container:
+//!
+//! ```text
+//! magic  b"LCPF"
+//! u8     element tag (0 = f32, 1 = f64)
+//! u8     rank
+//! u64×r  dims (LE)
+//! ...    raw little-endian element data
+//! ```
+//!
+//! Subcommands:
+//!
+//! ```text
+//! gen        --dataset cesm|hacc|nyx|isabel --scale N --seed S -o field.lcpf
+//! compress   --codec sz|zfp --eb 1e-3 [--rel|--pwrel] [--threads N] -i in.lcpf -o out.bin
+//! decompress -i out.bin -o restored.lcpf
+//! info       -i out.bin
+//! quality    -a original.lcpf -b restored.lcpf
+//! sweep      [--scale N] [--reps R] -o sweep.json
+//! tables     -i sweep.json
+//! tune       -i sweep.json
+//! dump       [--gb 512]
+//! ```
+
+use lcpio_core::characteristics::{
+    compression_power_curves, compression_runtime_curves, transit_power_curves,
+    transit_runtime_curves,
+};
+use lcpio_core::datadump::{run_data_dump, DataDumpConfig};
+use lcpio_core::experiment::{run_full_sweep, ExperimentConfig, SweepResult};
+use lcpio_core::models::{compression_model_table, transit_model_table};
+use lcpio_core::report::{render_dump, render_model_table, render_tuning};
+use lcpio_core::tuning::{evaluate_rule, TuningRule};
+use lcpio_datagen::{metrics, Dataset};
+use lcpio_sz as sz;
+use lcpio_zfp as zfp;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Field-container magic.
+pub const FIELD_MAGIC: [u8; 4] = *b"LCPF";
+
+/// CLI errors with user-facing messages.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation; the string is the usage hint.
+    Usage(String),
+    /// Filesystem problem.
+    Io(std::io::Error),
+    /// Codec or pipeline failure.
+    Codec(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// A parsed command, ready to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic field file.
+    Gen {
+        /// Which dataset generator to use.
+        dataset: Dataset,
+        /// Element-count divisor.
+        scale: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Destination field file.
+        output: PathBuf,
+    },
+    /// Compress a field file.
+    Compress {
+        /// "sz" or "zfp".
+        codec: String,
+        /// Error bound (absolute unless a relative flag is set).
+        eb: f64,
+        /// Use a value-range-relative bound (SZ only).
+        rel: bool,
+        /// Use a pointwise-relative bound (SZ only).
+        pwrel: bool,
+        /// Worker threads for chunked ZFP (0 = serial).
+        threads: usize,
+        /// Input field file.
+        input: PathBuf,
+        /// Output compressed file.
+        output: PathBuf,
+    },
+    /// Decompress back into a field file (codec auto-detected).
+    Decompress {
+        /// Compressed input.
+        input: PathBuf,
+        /// Destination field file.
+        output: PathBuf,
+    },
+    /// Print stream information.
+    Info {
+        /// File to describe.
+        input: PathBuf,
+    },
+    /// Compare two field files.
+    Quality {
+        /// Original field.
+        a: PathBuf,
+        /// Reconstructed field.
+        b: PathBuf,
+    },
+    /// Run the paper sweep and save it as JSON.
+    Sweep {
+        /// Dataset element-count divisor.
+        scale: usize,
+        /// Repetitions per measurement point.
+        reps: u32,
+        /// Destination JSON file.
+        output: PathBuf,
+    },
+    /// Print Tables IV/V from a saved sweep.
+    Tables {
+        /// Saved sweep JSON.
+        input: PathBuf,
+    },
+    /// Print the Eqn-3 tuning evaluation from a saved sweep.
+    Tune {
+        /// Saved sweep JSON.
+        input: PathBuf,
+    },
+    /// Run the Figure-6 data-dump study.
+    Dump {
+        /// Uncompressed volume in GB.
+        gb: f64,
+    },
+}
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "lcpio-cli <gen|compress|decompress|info|quality|sweep|tables|tune|dump> [options]\n\
+     run `lcpio-cli <command>` with missing options to see its requirements"
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if !a.starts_with("--") && !a.starts_with('-') {
+            return Err(CliError::Usage(format!("unexpected argument `{a}`")));
+        }
+        let key = a.trim_start_matches('-').to_string();
+        // Boolean flags take no value.
+        if matches!(key.as_str(), "rel" | "pwrel") {
+            map.insert(key, "true".to_string());
+            i += 1;
+            continue;
+        }
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("flag `{a}` needs a value")))?;
+        map.insert(key, val.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn req<'m>(m: &'m HashMap<String, String>, keys: &[&str]) -> Result<&'m str, CliError> {
+    for k in keys {
+        if let Some(v) = m.get(*k) {
+            return Ok(v);
+        }
+    }
+    Err(CliError::Usage(format!("missing required flag --{}", keys[0])))
+}
+
+fn parse_dataset(s: &str) -> Result<Dataset, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "cesm" | "cesm-atm" => Ok(Dataset::CesmAtm),
+        "hacc" => Ok(Dataset::Hacc),
+        "nyx" => Ok(Dataset::Nyx),
+        "isabel" => Ok(Dataset::Isabel),
+        _ => Err(CliError::Usage(format!("unknown dataset `{s}`"))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| CliError::Usage(format!("cannot parse {what} `{s}`")))
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| CliError::Usage(usage().to_string()))?;
+    let m = parse_flags(rest)?;
+    match cmd.as_str() {
+        "gen" => Ok(Command::Gen {
+            dataset: parse_dataset(req(&m, &["dataset", "d"])?)?,
+            scale: parse_num(m.get("scale").map(String::as_str).unwrap_or("4096"), "scale")?,
+            seed: parse_num(m.get("seed").map(String::as_str).unwrap_or("1"), "seed")?,
+            output: PathBuf::from(req(&m, &["o", "output"])?),
+        }),
+        "compress" => Ok(Command::Compress {
+            codec: req(&m, &["codec", "c"])?.to_ascii_lowercase(),
+            eb: parse_num(m.get("eb").map(String::as_str).unwrap_or("1e-3"), "error bound")?,
+            rel: m.contains_key("rel"),
+            pwrel: m.contains_key("pwrel"),
+            threads: parse_num(m.get("threads").map(String::as_str).unwrap_or("0"), "threads")?,
+            input: PathBuf::from(req(&m, &["i", "input"])?),
+            output: PathBuf::from(req(&m, &["o", "output"])?),
+        }),
+        "decompress" => Ok(Command::Decompress {
+            input: PathBuf::from(req(&m, &["i", "input"])?),
+            output: PathBuf::from(req(&m, &["o", "output"])?),
+        }),
+        "info" => Ok(Command::Info { input: PathBuf::from(req(&m, &["i", "input"])?) }),
+        "quality" => Ok(Command::Quality {
+            a: PathBuf::from(req(&m, &["a"])?),
+            b: PathBuf::from(req(&m, &["b"])?),
+        }),
+        "sweep" => Ok(Command::Sweep {
+            scale: parse_num(m.get("scale").map(String::as_str).unwrap_or("256"), "scale")?,
+            reps: parse_num(m.get("reps").map(String::as_str).unwrap_or("10"), "reps")?,
+            output: PathBuf::from(req(&m, &["o", "output"])?),
+        }),
+        "tables" => Ok(Command::Tables { input: PathBuf::from(req(&m, &["i", "input"])?) }),
+        "tune" => Ok(Command::Tune { input: PathBuf::from(req(&m, &["i", "input"])?) }),
+        "dump" => Ok(Command::Dump {
+            gb: parse_num(m.get("gb").map(String::as_str).unwrap_or("512"), "gb")?,
+        }),
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n{}", usage()))),
+    }
+}
+
+/// Write a field container (f32).
+pub fn write_field(path: &Path, data: &[f32], dims: &[usize]) -> Result<(), CliError> {
+    let mut bytes = Vec::with_capacity(data.len() * 4 + 64);
+    bytes.extend_from_slice(&FIELD_MAGIC);
+    bytes.push(0); // f32 tag
+    bytes.push(dims.len() as u8);
+    for &d in dims {
+        bytes.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+/// Read a field container (f32).
+pub fn read_field(path: &Path) -> Result<(Vec<f32>, Vec<usize>), CliError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 6 || bytes[..4] != FIELD_MAGIC {
+        return Err(CliError::Codec(format!("{} is not a field file", path.display())));
+    }
+    if bytes[4] != 0 {
+        return Err(CliError::Codec("only f32 field files are supported here".to_string()));
+    }
+    let rank = bytes[5] as usize;
+    if rank == 0 || rank > 4 || bytes.len() < 6 + rank * 8 {
+        return Err(CliError::Codec("corrupt field header".to_string()));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for r in 0..rank {
+        let off = 6 + r * 8;
+        dims.push(u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes")) as usize);
+    }
+    let n: usize = dims.iter().product();
+    let data_off = 6 + rank * 8;
+    if bytes.len() != data_off + n * 4 {
+        return Err(CliError::Codec("field payload length mismatch".to_string()));
+    }
+    let data: Vec<f32> = bytes[data_off..]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok((data, dims))
+}
+
+/// Execute a command, writing human-readable output to `out`.
+pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
+    match cmd {
+        Command::Gen { dataset, scale, seed, output } => {
+            let field = dataset.generate(scale, seed);
+            let dims: Vec<usize> = field.dims().extents().to_vec();
+            write_field(&output, &field.data, &dims)?;
+            writeln!(
+                out,
+                "wrote {} ({} elements, dims {}) to {}",
+                dataset.name(),
+                field.data.len(),
+                field.dims(),
+                output.display()
+            )?;
+        }
+        Command::Compress { codec, eb, rel, pwrel, threads, input, output } => {
+            let (data, dims) = read_field(&input)?;
+            let bytes = match codec.as_str() {
+                "sz" => {
+                    if pwrel {
+                        sz::compress_pointwise_rel(
+                            &data,
+                            &dims,
+                            eb,
+                            &sz::SzConfig::new(sz::ErrorBound::Absolute(1.0)),
+                        )
+                        .map_err(|e| CliError::Codec(e.to_string()))?
+                        .bytes
+                    } else {
+                        let bound = if rel {
+                            sz::ErrorBound::ValueRangeRelative(eb)
+                        } else {
+                            sz::ErrorBound::Absolute(eb)
+                        };
+                        sz::compress(&data, &dims, &sz::SzConfig::new(bound))
+                            .map_err(|e| CliError::Codec(e.to_string()))?
+                            .bytes
+                    }
+                }
+                "zfp" => {
+                    if rel || pwrel {
+                        return Err(CliError::Usage(
+                            "relative bounds are SZ-only; ZFP uses fixed accuracy".to_string(),
+                        ));
+                    }
+                    let mode = zfp::ZfpMode::FixedAccuracy(eb);
+                    if threads > 1 {
+                        zfp::compress_chunked(&data, &dims, &mode, threads)
+                            .map_err(|e| CliError::Codec(e.to_string()))?
+                            .bytes
+                    } else {
+                        zfp::compress(&data, &dims, &mode)
+                            .map_err(|e| CliError::Codec(e.to_string()))?
+                            .bytes
+                    }
+                }
+                other => return Err(CliError::Usage(format!("unknown codec `{other}`"))),
+            };
+            let ratio = (data.len() * 4) as f64 / bytes.len() as f64;
+            std::fs::write(&output, &bytes)?;
+            writeln!(
+                out,
+                "compressed {} -> {} ({:.2}x) with {codec}",
+                input.display(),
+                output.display(),
+                ratio
+            )?;
+        }
+        Command::Decompress { input, output } => {
+            let bytes = std::fs::read(&input)?;
+            let (data, dims) = decode_any(&bytes)?;
+            write_field(&output, &data, &dims)?;
+            writeln!(
+                out,
+                "decompressed {} -> {} ({} elements)",
+                input.display(),
+                output.display(),
+                data.len()
+            )?;
+        }
+        Command::Info { input } => {
+            let bytes = std::fs::read(&input)?;
+            writeln!(out, "{}", describe(&bytes))?;
+        }
+        Command::Quality { a, b } => {
+            let (da, _) = read_field(&a)?;
+            let (db, _) = read_field(&b)?;
+            let m = metrics::quality(&da, &db)
+                .ok_or_else(|| CliError::Codec("fields are not comparable".to_string()))?;
+            writeln!(
+                out,
+                "max abs err {:.3e}  rmse {:.3e}  nrmse {:.3e}  psnr {:.2} dB  corr {:.6}",
+                m.max_abs_error, m.rmse, m.nrmse, m.psnr_db, m.correlation
+            )?;
+        }
+        Command::Sweep { scale, reps, output } => {
+            let mut cfg = ExperimentConfig::paper();
+            cfg.scale = scale;
+            cfg.reps = reps;
+            let sweep = run_full_sweep(&cfg);
+            std::fs::write(&output, sweep.to_json())?;
+            writeln!(
+                out,
+                "swept {} compression and {} transit records into {}",
+                sweep.compression.len(),
+                sweep.transit.len(),
+                output.display()
+            )?;
+        }
+        Command::Tables { input } => {
+            let sweep = load_sweep(&input)?;
+            let t4 = compression_model_table(&sweep.compression);
+            let t5 = transit_model_table(&sweep.transit);
+            writeln!(out, "{}", render_model_table("TABLE IV — compression power models", &t4))?;
+            writeln!(out, "{}", render_model_table("TABLE V — data-transit power models", &t5))?;
+        }
+        Command::Tune { input } => {
+            let sweep = load_sweep(&input)?;
+            let report = evaluate_rule(
+                TuningRule::PAPER,
+                &compression_power_curves(&sweep.compression),
+                &compression_runtime_curves(&sweep.compression),
+                &transit_power_curves(&sweep.transit),
+                &transit_runtime_curves(&sweep.transit),
+            );
+            writeln!(out, "{}", render_tuning(&report))?;
+        }
+        Command::Dump { gb } => {
+            let cfg = DataDumpConfig { total_bytes: gb * 1e9, ..DataDumpConfig::paper() };
+            let (rows, summary) = run_data_dump(&cfg);
+            writeln!(out, "{}", render_dump(&format!("{gb:.0} GB data dump:"), &rows))?;
+            writeln!(
+                out,
+                "mean savings: {:.1} kJ ({:.1}%)",
+                summary.mean_saved_j / 1e3,
+                summary.mean_savings * 100.0
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn load_sweep(path: &Path) -> Result<SweepResult, CliError> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| CliError::Codec(format!("bad sweep file: {e}")))
+}
+
+/// Decode a compressed buffer whose codec is identified by its magic.
+fn decode_any(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), CliError> {
+    if bytes.len() < 4 {
+        return Err(CliError::Codec("stream too short".to_string()));
+    }
+    match &bytes[..4] {
+        b"SZL1" => sz::decompress(bytes).map_err(|e| CliError::Codec(e.to_string())),
+        b"SZPR" => {
+            sz::decompress_pointwise_rel::<f32>(bytes).map_err(|e| CliError::Codec(e.to_string()))
+        }
+        b"ZFL1" => zfp::decompress(bytes).map_err(|e| CliError::Codec(e.to_string())),
+        b"ZFLP" => {
+            zfp::decompress_chunked::<f32>(bytes, 0).map_err(|e| CliError::Codec(e.to_string()))
+        }
+        other => Err(CliError::Codec(format!("unknown stream magic {other:?}"))),
+    }
+}
+
+/// One-line description of a stream or field file.
+fn describe(bytes: &[u8]) -> String {
+    if bytes.len() < 4 {
+        return "unrecognized (too short)".to_string();
+    }
+    let kind = match &bytes[..4] {
+        b"LCPF" => "raw field container",
+        b"SZL1" => "SZ compressed stream",
+        b"SZPR" => "SZ pointwise-relative stream",
+        b"ZFL1" => "ZFP compressed stream",
+        b"ZFLP" => "ZFP chunked (parallel) stream",
+        _ => "unrecognized",
+    };
+    format!("{kind}, {} bytes", bytes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("lcpio-cli-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn parse_gen() {
+        let c = parse(&argv("gen --dataset nyx --scale 8192 --seed 7 -o out.lcpf")).expect("parse");
+        assert_eq!(
+            c,
+            Command::Gen {
+                dataset: Dataset::Nyx,
+                scale: 8192,
+                seed: 7,
+                output: PathBuf::from("out.lcpf")
+            }
+        );
+    }
+
+    #[test]
+    fn parse_compress_with_defaults() {
+        let c = parse(&argv("compress --codec sz -i a -o b")).expect("parse");
+        match c {
+            Command::Compress { codec, eb, rel, pwrel, threads, .. } => {
+                assert_eq!(codec, "sz");
+                assert_eq!(eb, 1e-3);
+                assert!(!rel && !pwrel);
+                assert_eq!(threads, 0);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("gen --dataset marsupial -o x")).is_err());
+        assert!(parse(&argv("gen --dataset nyx")).is_err(), "missing -o");
+        assert!(parse(&argv("compress --codec sz --eb nope -i a -o b")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn field_file_roundtrip() {
+        let path = tmp("roundtrip.lcpf");
+        let data: Vec<f32> = (0..60).map(|i| i as f32 * 0.5).collect();
+        write_field(&path, &data, &[3, 4, 5]).expect("write");
+        let (back, dims) = read_field(&path).expect("read");
+        assert_eq!(back, data);
+        assert_eq!(dims, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn read_field_rejects_corruption() {
+        let path = tmp("corrupt.lcpf");
+        std::fs::write(&path, b"not a field").expect("write");
+        assert!(read_field(&path).is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_compress_decompress_quality() {
+        let field = tmp("e2e.lcpf");
+        let comp = tmp("e2e.sz");
+        let back = tmp("e2e-back.lcpf");
+        let mut out = Vec::new();
+        run(
+            parse(&argv(&format!(
+                "gen --dataset nyx --scale 65536 --seed 3 -o {}",
+                field.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("gen");
+        run(
+            parse(&argv(&format!(
+                "compress --codec sz --eb 1e-2 -i {} -o {}",
+                field.display(),
+                comp.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("compress");
+        run(
+            parse(&argv(&format!(
+                "decompress -i {} -o {}",
+                comp.display(),
+                back.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("decompress");
+        run(
+            parse(&argv(&format!("quality -a {} -b {}", field.display(), back.display())))
+                .expect("parse"),
+            &mut out,
+        )
+        .expect("quality");
+        let text = String::from_utf8(out).expect("utf8 output");
+        assert!(text.contains("compressed"), "{text}");
+        assert!(text.contains("max abs err"), "{text}");
+        // The reported max error must respect the bound.
+        let (orig, _) = read_field(&field).expect("read");
+        let (rec, _) = read_field(&back).expect("read");
+        let err = orig
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(err <= 1e-2);
+    }
+
+    #[test]
+    fn zfp_and_pwrel_streams_auto_detect() {
+        let field = tmp("auto.lcpf");
+        let mut out = Vec::new();
+        run(
+            parse(&argv(&format!(
+                "gen --dataset nyx --scale 65536 --seed 5 -o {}",
+                field.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("gen");
+        for (codec, extra, name) in
+            [("zfp", "", "auto.zfp"), ("zfp", "--threads 3", "auto.zfpp"), ("sz", "--pwrel", "auto.szpr")]
+        {
+            let comp = tmp(name);
+            let back = tmp(&format!("{name}.back"));
+            run(
+                parse(&argv(&format!(
+                    "compress --codec {codec} --eb 1e-2 {extra} -i {} -o {}",
+                    field.display(),
+                    comp.display()
+                )))
+                .expect("parse"),
+                &mut out,
+            )
+            .expect("compress");
+            run(
+                parse(&argv(&format!(
+                    "decompress -i {} -o {}",
+                    comp.display(),
+                    back.display()
+                )))
+                .expect("parse"),
+                &mut out,
+            )
+            .expect("decompress");
+            let mut info_out = Vec::new();
+            run(
+                parse(&argv(&format!("info -i {}", comp.display()))).expect("parse"),
+                &mut info_out,
+            )
+            .expect("info");
+            let info_text = String::from_utf8(info_out).expect("utf8");
+            assert!(info_text.contains("stream"), "{info_text}");
+        }
+    }
+
+    #[test]
+    fn sweep_tables_tune_pipeline_via_files() {
+        let sweep_path = tmp("sweep.json");
+        let mut out = Vec::new();
+        run(
+            parse(&argv(&format!(
+                "sweep --scale 16384 --reps 2 -o {}",
+                sweep_path.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("sweep");
+        run(
+            parse(&argv(&format!("tables -i {}", sweep_path.display()))).expect("parse"),
+            &mut out,
+        )
+        .expect("tables");
+        run(
+            parse(&argv(&format!("tune -i {}", sweep_path.display()))).expect("parse"),
+            &mut out,
+        )
+        .expect("tune");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("TABLE IV"), "{text}");
+        assert!(text.contains("Broadwell"), "{text}");
+        assert!(text.contains("Eqn-3"), "{text}");
+    }
+
+    #[test]
+    fn describe_recognizes_magics() {
+        assert!(describe(b"SZL1xxxx").contains("SZ compressed"));
+        assert!(describe(b"ZFLPxxxx").contains("chunked"));
+        assert!(describe(b"LCPFxxxx").contains("field"));
+        assert!(describe(b"??").contains("unrecognized"));
+    }
+
+    #[test]
+    fn zfp_rejects_relative_flags() {
+        let field = tmp("zfprel.lcpf");
+        write_field(&field, &[1.0; 16], &[16]).expect("write");
+        let cmd = parse(&argv(&format!(
+            "compress --codec zfp --eb 1e-2 --rel -i {} -o /dev/null",
+            field.display()
+        )))
+        .expect("parse");
+        let mut out = Vec::new();
+        assert!(run(cmd, &mut out).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # lcpio — Lossy Compressed Power-aware I/O
+//!
+//! Umbrella crate for the reproduction of *"Modeling Power Consumption of
+//! Lossy Compressed I/O for Exascale HPC Systems"* (Wilkins & Calhoun, 2022).
+//!
+//! This crate re-exports the workspace members under stable module names so
+//! downstream users depend on a single crate:
+//!
+//! * [`sz`] — SZ-style error-bounded lossy compressor (prediction +
+//!   quantization + Huffman + lossless backend).
+//! * [`zfp`] — ZFP-style transform-coding lossy compressor (block
+//!   floating-point + lifted transform + embedded coding).
+//! * [`datagen`] — synthetic scientific data generators mirroring the
+//!   SDRBench datasets used by the paper (CESM-ATM, HACC, NYX,
+//!   Hurricane-ISABEL).
+//! * [`powersim`] — CPU power/DVFS/energy simulator with RAPL-like counters
+//!   and an NFS write-path model.
+//! * [`fit`] — Levenberg–Marquardt non-linear least squares used to fit the
+//!   paper's `P(f) = a·f^b + c` power models.
+//! * [`core`] — the paper's contribution: the experiment pipeline, fitted
+//!   model tables, frequency-tuning rules, and energy-savings analyses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lcpio::prelude::*;
+//!
+//! // Generate a small synthetic NYX-like field and compress it with SZ.
+//! let field = lcpio::datagen::nyx::generate_scaled(16, 42);
+//! let cfg = SzConfig::new(ErrorBound::Absolute(1e-3));
+//! let compressed =
+//!     lcpio::sz::compress(&field.data, field.dims().extents(), &cfg).unwrap();
+//! assert!(compressed.bytes.len() < field.data.len() * 4);
+//! ```
+
+pub mod cli;
+
+pub use lcpio_core as core;
+pub use lcpio_datagen as datagen;
+pub use lcpio_fit as fit;
+pub use lcpio_powersim as powersim;
+pub use lcpio_sz as sz;
+pub use lcpio_zfp as zfp;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use lcpio_core::experiment::{ExperimentConfig, SweepResult};
+    pub use lcpio_core::tuning::TuningRule;
+    pub use lcpio_datagen::{Dataset, Field};
+    pub use lcpio_fit::{powerlaw::PowerLawFit, GoodnessOfFit};
+    pub use lcpio_powersim::{Chip, CpuSpec, FrequencyLadder};
+    pub use lcpio_sz::{ErrorBound, SzConfig};
+    pub use lcpio_zfp::ZfpConfig;
+}

@@ -1,0 +1,100 @@
+//! Cross-crate integration: synthetic datasets → both codecs → error-bound
+//! verification, across every dataset and the paper's four bounds.
+
+use lcpio::datagen::Dataset;
+use lcpio::sz::{self, ErrorBound, SzConfig};
+use lcpio::zfp::{self, ZfpMode};
+
+fn max_err(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .filter(|(x, _)| x.is_finite())
+        .map(|(x, y)| (*x as f64 - *y as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn sz_respects_bounds_on_all_datasets() {
+    for ds in [Dataset::CesmAtm, Dataset::Hacc, Dataset::Nyx, Dataset::Isabel] {
+        let field = ds.generate(16384, 5);
+        let dims: Vec<usize> = field.dims().extents().to_vec();
+        for eb in [1e-1, 1e-2, 1e-3, 1e-4] {
+            let out = sz::compress(&field.data, &dims, &SzConfig::new(ErrorBound::Absolute(eb)))
+                .unwrap_or_else(|e| panic!("{} eb {eb}: {e}", ds.name()));
+            let (rec, rdims) = sz::decompress(&out.bytes).expect("decompress");
+            assert_eq!(rdims, dims, "{}", ds.name());
+            let err = max_err(&field.data, &rec);
+            assert!(err <= eb, "{} eb {eb}: err {err}", ds.name());
+        }
+    }
+}
+
+#[test]
+fn zfp_respects_bounds_on_all_datasets() {
+    for ds in [Dataset::CesmAtm, Dataset::Hacc, Dataset::Nyx, Dataset::Isabel] {
+        let field = ds.generate(16384, 5);
+        let dims: Vec<usize> = field.dims().extents().to_vec();
+        for eb in [1e-1, 1e-2, 1e-3, 1e-4] {
+            let out = zfp::compress(&field.data, &dims, &ZfpMode::FixedAccuracy(eb))
+                .unwrap_or_else(|e| panic!("{} eb {eb}: {e}", ds.name()));
+            let (rec, rdims) = zfp::decompress(&out.bytes).expect("decompress");
+            assert_eq!(rdims, dims, "{}", ds.name());
+            let err = max_err(&field.data, &rec);
+            assert!(err <= eb, "{} eb {eb}: err {err}", ds.name());
+        }
+    }
+}
+
+#[test]
+fn smooth_gridded_data_compresses_better_than_particles() {
+    // The paper's motivation for diverse datasets: dimensionality and
+    // smoothness drive compressibility (§III-C). At a tight relative
+    // bound, the smooth 3-D NYX grid must beat the clustered 1-D HACC
+    // particles.
+    let eb = 1e-4;
+    let ratio = |ds: Dataset| {
+        let field = ds.generate(4096, 5);
+        let dims: Vec<usize> = field.dims().extents().to_vec();
+        // Use a value-range-relative bound so datasets with different value
+        // scales are compared fairly.
+        let out = sz::compress(
+            &field.data,
+            &dims,
+            &SzConfig::new(ErrorBound::ValueRangeRelative(eb)),
+        )
+        .expect("compress");
+        out.stats.ratio()
+    };
+    let nyx = ratio(Dataset::Nyx);
+    let hacc = ratio(Dataset::Hacc);
+    assert!(
+        nyx > 1.2 * hacc,
+        "3-D NYX ({nyx:.2}x) should compress better than 1-D HACC ({hacc:.2}x)"
+    );
+}
+
+#[test]
+fn codecs_agree_on_which_bound_is_harder() {
+    let field = Dataset::Nyx.generate(16384, 6);
+    let dims: Vec<usize> = field.dims().extents().to_vec();
+    let sz_sizes: Vec<usize> = [1e-1, 1e-4]
+        .iter()
+        .map(|&eb| {
+            sz::compress(&field.data, &dims, &SzConfig::new(ErrorBound::Absolute(eb)))
+                .expect("compress")
+                .bytes
+                .len()
+        })
+        .collect();
+    let zfp_sizes: Vec<usize> = [1e-1, 1e-4]
+        .iter()
+        .map(|&eb| {
+            zfp::compress(&field.data, &dims, &ZfpMode::FixedAccuracy(eb))
+                .expect("compress")
+                .bytes
+                .len()
+        })
+        .collect();
+    assert!(sz_sizes[1] > sz_sizes[0]);
+    assert!(zfp_sizes[1] > zfp_sizes[0]);
+}

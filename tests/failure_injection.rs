@@ -1,0 +1,97 @@
+//! Failure injection: corrupted, truncated, and bit-flipped streams must
+//! never panic, loop, or allocate unboundedly — they must either decode to
+//! *something* or return a structured error.
+
+use lcpio::sz::{self, ErrorBound, SzConfig};
+use lcpio::zfp::{self, ZfpMode};
+use proptest::prelude::*;
+
+fn sz_stream() -> Vec<u8> {
+    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
+    sz::compress(&data, &[32, 64], &SzConfig::new(ErrorBound::Absolute(1e-3)))
+        .expect("compress")
+        .bytes
+}
+
+fn zfp_stream() -> Vec<u8> {
+    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
+    zfp::compress(&data, &[32, 64], &ZfpMode::FixedAccuracy(1e-3))
+        .expect("compress")
+        .bytes
+}
+
+#[test]
+fn sz_survives_every_truncation_length() {
+    let stream = sz_stream();
+    for len in 0..stream.len() {
+        // Any prefix must fail cleanly (or, for lengths past the payload
+        // terminator, decode) — never panic.
+        let _ = sz::decompress(&stream[..len]);
+    }
+}
+
+#[test]
+fn zfp_survives_every_truncation_length() {
+    let stream = zfp_stream();
+    for len in 0..stream.len() {
+        let _ = zfp::decompress(&stream[..len]);
+    }
+}
+
+#[test]
+fn sz_survives_single_byte_corruption_everywhere() {
+    let stream = sz_stream();
+    for pos in 0..stream.len() {
+        let mut s = stream.clone();
+        s[pos] ^= 0xFF;
+        let _ = sz::decompress(&s); // must not panic
+    }
+}
+
+#[test]
+fn zfp_survives_single_byte_corruption_everywhere() {
+    let stream = zfp_stream();
+    for pos in 0..stream.len() {
+        let mut s = stream.clone();
+        s[pos] ^= 0xA5;
+        let _ = zfp::decompress(&s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sz_decompress_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = sz::decompress(&bytes);
+    }
+
+    #[test]
+    fn zfp_decompress_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = zfp::decompress(&bytes);
+    }
+
+    #[test]
+    fn sz_decompress_never_panics_on_mutated_valid_stream(
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)
+    ) {
+        let mut s = sz_stream();
+        for (pos, mask) in flips {
+            let idx = pos as usize % s.len();
+            s[idx] ^= mask;
+        }
+        let _ = sz::decompress(&s);
+    }
+
+    #[test]
+    fn zfp_decompress_never_panics_on_mutated_valid_stream(
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)
+    ) {
+        let mut s = zfp_stream();
+        for (pos, mask) in flips {
+            let idx = pos as usize % s.len();
+            s[idx] ^= mask;
+        }
+        let _ = zfp::decompress(&s);
+    }
+}

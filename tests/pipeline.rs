@@ -1,0 +1,78 @@
+//! Full-pipeline integration: §IV sweep → Tables IV/V → Figures 1–4 →
+//! Eqn 3 → §VI use cases, at test scale, through the public `lcpio` API.
+
+use lcpio::core::characteristics::{
+    compression_power_curves, compression_runtime_curves, transit_power_curves,
+    transit_runtime_curves,
+};
+use lcpio::core::datadump::{run_data_dump, DataDumpConfig};
+use lcpio::core::experiment::{run_full_sweep, ExperimentConfig};
+use lcpio::core::models::{compression_model_table, hardware_dominates, row, transit_model_table};
+use lcpio::core::tuning::{evaluate_rule, TuningRule};
+use lcpio::core::validation::{validate_on_isabel, ValidationConfig};
+
+#[test]
+fn paper_reproduction_shapes_hold_end_to_end() {
+    let sweep = run_full_sweep(&ExperimentConfig::quick());
+
+    // Tables IV & V: hardware slices dominate, Skylake exponent extreme.
+    let t4 = compression_model_table(&sweep.compression);
+    let t5 = transit_model_table(&sweep.transit);
+    assert!(hardware_dominates(&t4));
+    assert!(hardware_dominates(&t5));
+    let bd = row(&t4, "Broadwell").expect("broadwell row").fit;
+    let sk = row(&t4, "Skylake").expect("skylake row").fit;
+    assert!(
+        (3.0..9.0).contains(&bd.b),
+        "Broadwell exponent {} should be moderate (paper 5.3)",
+        bd.b
+    );
+    assert!(sk.b > 1.5 * bd.b, "Skylake {} vs Broadwell {}", sk.b, bd.b);
+
+    // Figures 1-4: scaled curves normalized at f_max, with the right floors.
+    let cp = compression_power_curves(&sweep.compression);
+    let cr = compression_runtime_curves(&sweep.compression);
+    let wp = transit_power_curves(&sweep.transit);
+    let wr = transit_runtime_curves(&sweep.transit);
+    for c in cp.iter().chain(&wp) {
+        assert!((c.at_fmax() - 1.0).abs() < 0.05, "{}", c.label);
+        assert!(c.floor() < 0.95, "{} floor {}", c.label, c.floor());
+    }
+    for c in cr.iter().chain(&wr) {
+        assert!(c.floor() >= 1.0, "{} runtime floor {}", c.label, c.floor());
+    }
+
+    // Eqn 3: double-digit combined savings at single-digit runtime cost.
+    let report = evaluate_rule(TuningRule::PAPER, &cp, &cr, &wp, &wr);
+    assert!(
+        (0.08..0.25).contains(&report.combined_savings()),
+        "combined savings {}",
+        report.combined_savings()
+    );
+    assert!(
+        report.combined_runtime_increase() < 0.12,
+        "combined runtime increase {}",
+        report.combined_runtime_increase()
+    );
+
+    // Figure 5: the Broadwell model generalizes to ISABEL.
+    let val = validate_on_isabel(&ValidationConfig::quick(), &bd);
+    assert!(val.gof.rmse < 0.08, "validation rmse {}", val.gof.rmse);
+
+    // Figure 6: tuning the 512 GB dump always saves energy.
+    let (rows, summary) = run_data_dump(&DataDumpConfig::quick());
+    assert!(rows.iter().all(|r| r.saved_j() > 0.0));
+    assert!((0.05..0.25).contains(&summary.mean_savings), "{}", summary.mean_savings);
+}
+
+#[test]
+fn sweep_results_serialize_for_provenance() {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.datasets = vec![lcpio::datagen::Dataset::Nyx];
+    cfg.compressors = vec![lcpio::core::Compressor::Sz];
+    cfg.error_bounds = vec![1e-2];
+    let sweep = run_full_sweep(&cfg);
+    let json = sweep.to_json();
+    assert!(json.contains("\"compression\""));
+    assert!(json.contains("\"Broadwell\"") || json.contains("Broadwell"));
+}

@@ -1,0 +1,116 @@
+//! Property-based integration tests over the public API: compressor
+//! error-bound guarantees on arbitrary inputs, and energy-model invariants
+//! over arbitrary work profiles and frequencies.
+
+use lcpio::powersim::{simulate, Chip, Machine, WorkProfile};
+use lcpio::sz::{self, ErrorBound, SzConfig};
+use lcpio::zfp::{self, ZfpMode};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        8 => -1e6f32..1e6,
+        1 => -1e-3f32..1e-3,
+        1 => Just(0.0f32),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sz_error_bound_holds_for_arbitrary_1d_data(
+        data in proptest::collection::vec(finite_f32(), 1..512),
+        eb_exp in -5i32..0,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let cfg = SzConfig::new(ErrorBound::Absolute(eb));
+        let out = sz::compress(&data, &[data.len()], &cfg).unwrap();
+        let (rec, _) = sz::decompress(&out.bytes).unwrap();
+        for (a, b) in data.iter().zip(&rec) {
+            prop_assert!((*a as f64 - *b as f64).abs() <= eb * 1.001 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sz_error_bound_holds_for_arbitrary_2d_data(
+        ny in 1usize..24,
+        nx in 1usize..24,
+        seed in any::<u64>(),
+        eb_exp in -4i32..-1,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let mut state = seed | 1;
+        let data: Vec<f32> = (0..ny * nx)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / 1e4).sin() * 50.0
+            })
+            .collect();
+        let cfg = SzConfig::new(ErrorBound::Absolute(eb));
+        let out = sz::compress(&data, &[ny, nx], &cfg).unwrap();
+        let (rec, dims) = sz::decompress(&out.bytes).unwrap();
+        prop_assert_eq!(dims, vec![ny, nx]);
+        for (a, b) in data.iter().zip(&rec) {
+            prop_assert!((*a as f64 - *b as f64).abs() <= eb * 1.001 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zfp_error_bound_holds_for_arbitrary_3d_data(
+        nz in 1usize..10,
+        ny in 1usize..10,
+        nx in 1usize..10,
+        seed in any::<u32>(),
+        eb_exp in -4i32..0,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let data: Vec<f32> = (0..nz * ny * nx)
+            .map(|i| (((i as u32).wrapping_mul(seed | 1) >> 16) as f32 / 655.36).sin())
+            .collect();
+        let out = zfp::compress(&data, &[nz, ny, nx], &ZfpMode::FixedAccuracy(eb)).unwrap();
+        let (rec, _) = zfp::decompress(&out.bytes).unwrap();
+        for (a, b) in data.iter().zip(&rec) {
+            prop_assert!((*a as f64 - *b as f64).abs() <= eb, "{a} vs {b} (eb {eb})");
+        }
+    }
+
+    #[test]
+    fn energy_model_invariants(
+        cycles in 1e6f64..1e12,
+        mem in 0f64..1e11,
+        io in 0f64..1e11,
+        f_lo in 0.8f64..1.4,
+        df in 0.05f64..0.8,
+    ) {
+        for chip in Chip::ALL {
+            let m = Machine::for_chip(chip);
+            let p = WorkProfile { compute_cycles: cycles, memory_bytes: mem, io_bytes: io, ..Default::default() };
+            let f_hi = (f_lo + df).min(m.cpu.f_max_ghz);
+            let lo = simulate(&m, m.cpu.snap(f_lo), &p);
+            let hi = simulate(&m, m.cpu.snap(f_hi), &p);
+            // Higher frequency: never slower, never lower average power.
+            prop_assert!(hi.runtime_s <= lo.runtime_s + 1e-12);
+            prop_assert!(hi.avg_power_w >= lo.avg_power_w - 1e-9);
+            // Energy, runtime, power are positive and consistent.
+            prop_assert!(lo.energy_j > 0.0 && hi.energy_j > 0.0);
+            prop_assert!((lo.energy_j - lo.avg_power_w * lo.runtime_s).abs() < 1e-6 * lo.energy_j.max(1.0));
+        }
+    }
+
+    #[test]
+    fn work_profile_scaling_scales_energy_linearly(
+        cycles in 1e6f64..1e11,
+        mem in 1e6f64..1e10,
+        k in 1.0f64..100.0,
+    ) {
+        let m = Machine::for_chip(Chip::Broadwell);
+        let p = WorkProfile { compute_cycles: cycles, memory_bytes: mem, ..Default::default() };
+        let one = simulate(&m, 1.5, &p);
+        let big = simulate(&m, 1.5, &p.scaled(k));
+        prop_assert!((big.energy_j / one.energy_j - k).abs() < 1e-6 * k);
+        prop_assert!((big.runtime_s / one.runtime_s - k).abs() < 1e-6 * k);
+    }
+}
