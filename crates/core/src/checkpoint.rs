@@ -42,6 +42,9 @@ pub struct CheckpointConfig {
     pub rule: TuningRule,
     /// Cost-model constants.
     pub cost_model: CostModel,
+    /// Worker threads for chunked SZ checkpoint compression
+    /// (0 = all available cores).
+    pub threads: usize,
 }
 
 impl CheckpointConfig {
@@ -59,6 +62,7 @@ impl CheckpointConfig {
             seed: 0xC4EC,
             rule: TuningRule::PAPER,
             cost_model: CostModel::default(),
+            threads: 0,
         }
     }
 
@@ -136,7 +140,8 @@ pub fn run_checkpoint_study(cfg: &CheckpointConfig) -> CheckpointResult {
     let (comp_profile, ratio) = match cfg.compressor {
         Compressor::Sz => {
             let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(cfg.error_bound));
-            let out = sz::compress(&field.data, &dims, &sc).expect("samples compress");
+            let out = sz::compress_chunked(&field.data, &dims, &sc, cfg.threads)
+                .expect("samples compress");
             (cfg.cost_model.sz_profile(&out.stats, scale), out.stats.ratio())
         }
         Compressor::Zfp => {

@@ -33,6 +33,8 @@ pub struct DataDumpConfig {
     pub rule: TuningRule,
     /// Cost-model constants.
     pub cost_model: CostModel,
+    /// Worker threads for chunked SZ compression (0 = all available cores).
+    pub threads: usize,
 }
 
 impl DataDumpConfig {
@@ -47,6 +49,7 @@ impl DataDumpConfig {
             seed: 0x512,
             rule: TuningRule::PAPER,
             cost_model: CostModel::default(),
+            threads: 0,
         }
     }
 
@@ -131,8 +134,8 @@ pub fn run_data_dump(cfg: &DataDumpConfig) -> (Vec<DumpRow>, DumpSummary) {
         let (profile, ratio) = match cfg.compressor {
             Compressor::Sz => {
                 let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(eb));
-                let out =
-                    sz::compress(&field.data, &dims, &sc).expect("NYX samples always compress");
+                let out = sz::compress_chunked(&field.data, &dims, &sc, cfg.threads)
+                    .expect("NYX samples always compress");
                 (cfg.cost_model.sz_profile(&out.stats, scale_factor), out.stats.ratio())
             }
             Compressor::Zfp => {

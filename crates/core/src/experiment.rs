@@ -4,10 +4,10 @@
 //! compress them with SZ and ZFP at four error bounds, convert the
 //! measured operation counts into work profiles, then sweep the DVFS
 //! ladder of both chips measuring energy and runtime with 10 noisy
-//! repetitions per point. Compression jobs fan out across worker threads
-//! (crossbeam scoped threads); results are deterministic because every
-//! combination derives its own RNG seed from its identity, not from
-//! scheduling order.
+//! repetitions per point. Compression and transit jobs fan out across
+//! scoped worker threads ([`crate::par::par_map`]); results are
+//! deterministic because every combination derives its own RNG seed from
+//! its identity, not from scheduling order.
 
 use crate::records::{CompressionRecord, Compressor, TransitRecord};
 use crate::workmap::CostModel;
@@ -46,6 +46,9 @@ pub struct ExperimentConfig {
     pub noise_sigma: f64,
     /// Transit payload sizes in GB.
     pub transit_gb: Vec<f64>,
+    /// Worker threads for sweep fan-out and chunked SZ compression
+    /// (0 = all available cores).
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
@@ -63,6 +66,7 @@ impl ExperimentConfig {
             cost_model: CostModel::default(),
             noise_sigma: lcpio_powersim::DEFAULT_NOISE_SIGMA,
             transit_gb: PAPER_TRANSIT_GB.to_vec(),
+            threads: 0,
         }
     }
 
@@ -135,7 +139,10 @@ fn run_compression_job(
     let (profile, ratio) = match comp {
         Compressor::Sz => {
             let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(eb));
-            let out = sz::compress(&field.data, &dims, &sc)
+            // Chunked container with one inner worker: the sweep's own pool
+            // already saturates the cores, and the chunked bytes/stats are
+            // identical at every inner thread count anyway.
+            let out = sz::compress_chunked(&field.data, &dims, &sc, 1)
                 .expect("generated fields always compress");
             (cfg.cost_model.sz_profile(&out.stats, scale_factor), out.stats.ratio())
         }
@@ -166,33 +173,9 @@ pub fn run_compression_sweep(cfg: &ExperimentConfig) -> Vec<CompressionRecord> {
         .collect();
 
     // Fan the (real) compression work out over scoped worker threads.
-    let jobs: Vec<CompressedJob> = {
-        let n_workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(combos.len().max(1));
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<parking_lot::Mutex<Option<CompressedJob>>> =
-            (0..combos.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-        crossbeam::thread::scope(|s| {
-            for _ in 0..n_workers {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= combos.len() {
-                        break;
-                    }
-                    let (comp, ds, eb, seed) = combos[i];
-                    let job = run_compression_job(cfg, comp, ds, eb, seed);
-                    *slots[i].lock() = Some(job);
-                });
-            }
-        })
-        .expect("compression workers must not panic");
-        slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("every combo filled"))
-            .collect()
-    };
+    let jobs: Vec<CompressedJob> = crate::par::par_map(&combos, cfg.threads, |_, &(comp, ds, eb, seed)| {
+        run_compression_job(cfg, comp, ds, eb, seed)
+    });
 
     // Frequency sweep: cheap, deterministic, sequential.
     let mut records = Vec::new();
@@ -221,32 +204,42 @@ pub fn run_compression_sweep(cfg: &ExperimentConfig) -> Vec<CompressionRecord> {
 }
 
 /// Run the data-transit sweep of §IV-B.
+///
+/// Each (chip, size) combination is independent and derives its RNG seed
+/// from its identity, so the combos fan out over the shared worker pool
+/// with record order fixed by the combo index.
 pub fn run_transit_sweep(cfg: &ExperimentConfig) -> Vec<TransitRecord> {
-    let mut records = Vec::new();
-    for &chip in &cfg.chips {
+    let combos: Vec<(Chip, usize, f64)> = cfg
+        .chips
+        .iter()
+        .flat_map(|&chip| {
+            cfg.transit_gb.iter().enumerate().map(move |(si, &gb)| (chip, si, gb))
+        })
+        .collect();
+    let per_combo = crate::par::par_map(&combos, cfg.threads, |_, &(chip, si, gb)| {
         let machine = Machine::for_chip(chip);
-        for (si, &gb) in cfg.transit_gb.iter().enumerate() {
-            let bytes = gb * 1e9;
-            let profile = machine.nfs.write_profile(bytes);
-            let mut perf = Perf::with_sigma(
-                cfg.seed ^ ((chip as u64) << 24) ^ ((si as u64) << 8),
-                cfg.noise_sigma,
-            );
-            for f in machine.cpu.ladder() {
-                let stat = perf.measure(&machine, f, &profile, cfg.reps);
-                records.push(TransitRecord {
-                    chip,
-                    bytes,
-                    f_ghz: f,
-                    power_w: stat.power_w,
-                    runtime_s: stat.runtime_s,
-                    energy_j: stat.energy_j,
-                    power_ci95_w: stat.power_ci95_w,
-                });
-            }
+        let bytes = gb * 1e9;
+        let profile = machine.nfs.write_profile(bytes);
+        let mut perf = Perf::with_sigma(
+            cfg.seed ^ ((chip as u64) << 24) ^ ((si as u64) << 8),
+            cfg.noise_sigma,
+        );
+        let mut records = Vec::new();
+        for f in machine.cpu.ladder() {
+            let stat = perf.measure(&machine, f, &profile, cfg.reps);
+            records.push(TransitRecord {
+                chip,
+                bytes,
+                f_ghz: f,
+                power_w: stat.power_w,
+                runtime_s: stat.runtime_s,
+                energy_j: stat.energy_j,
+                power_ci95_w: stat.power_ci95_w,
+            });
         }
-    }
-    records
+        records
+    });
+    per_combo.into_iter().flatten().collect()
 }
 
 /// Run both sweeps.

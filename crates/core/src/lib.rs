@@ -37,6 +37,7 @@ pub mod datadump;
 pub mod experiment;
 pub mod generalization;
 pub mod models;
+pub mod par;
 pub mod pareto;
 pub mod provenance;
 pub mod readback;

@@ -112,10 +112,11 @@ fn solve_damped(
         }
         a.swap(col, piv);
         let d = a[col][col];
-        for row in col + 1..p {
-            let f = a[row][col] / d;
-            for k in col..=p {
-                a[row][k] -= f * a[col][k];
+        let pivot_row = a[col];
+        for r in a.iter_mut().take(p).skip(col + 1) {
+            let f = r[col] / d;
+            for (x, &pv) in r[col..=p].iter_mut().zip(&pivot_row[col..=p]) {
+                *x -= f * pv;
             }
         }
     }

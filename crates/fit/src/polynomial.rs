@@ -69,13 +69,14 @@ pub fn fit_polynomial(x: &[f64], y: &[f64], degree: usize) -> Result<PolynomialF
         }
         ata.swap(col, piv);
         let d = ata[col][col];
-        for row in 0..p {
+        let pivot_row = ata[col].clone();
+        for (row, r) in ata.iter_mut().enumerate().take(p) {
             if row == col {
                 continue;
             }
-            let f = ata[row][col] / d;
-            for k in col..=p {
-                ata[row][k] -= f * ata[col][k];
+            let f = r[col] / d;
+            for (x, &pv) in r[col..=p].iter_mut().zip(&pivot_row[col..=p]) {
+                *x -= f * pv;
             }
         }
     }

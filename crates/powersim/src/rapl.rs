@@ -6,9 +6,8 @@
 //! equivalent accumulates the joules produced by the energy model; it is
 //! thread-safe so concurrent sweep workers can share one meter.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A power domain, mirroring RAPL's split.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -40,7 +39,7 @@ impl EnergyMeter {
     /// Accumulate joules into a domain (called by the simulator).
     pub fn add(&self, domain: Domain, joules: f64) {
         debug_assert!(joules >= 0.0, "energy must be non-negative");
-        let mut c = self.inner.lock();
+        let mut c = self.inner.lock().expect("meter lock");
         match domain {
             Domain::Package => c.package_j += joules,
             Domain::Dram => c.dram_j += joules,
@@ -49,7 +48,7 @@ impl EnergyMeter {
 
     /// Read a domain counter (monotone, like `/sys/.../energy_uj`).
     pub fn read(&self, domain: Domain) -> f64 {
-        let c = self.inner.lock();
+        let c = self.inner.lock().expect("meter lock");
         match domain {
             Domain::Package => c.package_j,
             Domain::Dram => c.dram_j,
@@ -58,7 +57,7 @@ impl EnergyMeter {
 
     /// Snapshot both domains at once.
     pub fn snapshot(&self) -> (f64, f64) {
-        let c = self.inner.lock();
+        let c = self.inner.lock().expect("meter lock");
         (c.package_j, c.dram_j)
     }
 }

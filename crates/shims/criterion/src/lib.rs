@@ -1,0 +1,218 @@
+//! Vendored minimal `criterion` replacement (the build environment cannot
+//! fetch crates.io). Implements the subset of the API the bench crate
+//! uses — groups, throughput annotation, `bench_with_input`, `iter` — with
+//! simple wall-clock median timing printed to stdout. No statistical
+//! analysis, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Label from a function name and a parameter rendering.
+    pub fn new(function: &str, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Times a closure over `sample_size` samples; passed to bench closures.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Vec<Duration>,
+}
+
+impl<'a> Bencher<'a> {
+    /// Measure one sample per configured sample count, one call each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call so lazy init (allocators, caches) is off-sample.
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.result.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotate subsequent benchmarks with a per-iteration workload size.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher { samples: self.criterion.sample_size, result: &mut samples };
+        f(&mut b, input);
+        self.report(&id.to_string(), &mut samples);
+        self
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher { samples: self.criterion.sample_size, result: &mut samples };
+        f(&mut b);
+        self.report(&id.to_string(), &mut samples);
+        self
+    }
+
+    fn report(&self, id: &str, samples: &mut Vec<Duration>) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>8.1} MiB/s", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>8.1} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: median {:>10.3} ms over {} samples{rate}",
+            self.name,
+            median.as_secs_f64() * 1e3,
+            samples.len(),
+        );
+    }
+
+    /// End the group (prints nothing; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup { name, criterion: self, throughput: None }
+    }
+
+    /// Benchmark a plain closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a benchmark group: either `criterion_group!(name, fn...)` or the
+/// long form with an explicit `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1 << 20));
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+            b.iter(|| (0..x).map(|i| i * i).sum::<u32>())
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = target
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,460 @@
+//! Vendored minimal `proptest` replacement (the build environment cannot
+//! fetch crates.io). Keeps the same test-authoring surface this workspace
+//! uses — `proptest! { #![proptest_config(...)] #[test] fn f(x in strat) }`,
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, `any::<T>()`, numeric
+//! range strategies, `Just`, and `proptest::collection::vec` — over a
+//! deterministic seeded generator. No shrinking: a failing case panics with
+//! its generated inputs so it can be minimized by hand.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Everything a test file needs via `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed a generator (each test case gets its own).
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values. Object-safe so `prop_oneof!` can mix
+/// heterogeneous arm types behind `Box<dyn Strategy<Value = V>>`.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Box a strategy for use in heterogeneous unions (`prop_oneof!`).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a full-range default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    #[inline]
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((0 A, 1 B)(0 A, 1 B, 2 C)(0 A, 1 B, 2 C, 3 D));
+
+/// Weighted choice between boxed strategies (the `prop_oneof!` backend).
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V> Union<V> {
+    /// Build from `(weight, strategy)` arms; total weight must be nonzero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        assert!(arms.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0, "prop_oneof: zero weight");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = ((rng.next_u64() as u128 * total as u128) >> 64) as u64;
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.arms.last().unwrap().1.generate(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Vec of `elem`-generated values with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Strategy for vectors.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Harness configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Smaller than upstream's 256: no shrinking here, and tier-1 runs
+        // these in debug mode. Overridable via PROPTEST_CASES.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property assertion (carried out of the case body).
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// Failure message.
+    pub msg: String,
+    /// Source file of the assertion.
+    pub file: &'static str,
+    /// Source line of the assertion.
+    pub line: u32,
+}
+
+impl TestCaseError {
+    /// Build a failure record.
+    pub fn fail(msg: &str, file: &'static str, line: u32) -> Self {
+        TestCaseError { msg: msg.to_string(), file, line }
+    }
+}
+
+/// FNV-1a over the test name, to decorrelate seeds between properties.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Drive one property: `body` generates inputs from the given rng and
+/// returns a rendering of them plus the case outcome.
+pub fn run_cases(
+    cases: u32,
+    name: &str,
+    mut body: impl FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+) {
+    let base = name_seed(name);
+    for case in 0..cases.max(1) {
+        let mut rng = TestRng::new(base ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let (inputs, outcome) = body(&mut rng);
+        if let Err(e) = outcome {
+            panic!(
+                "property `{name}` failed at case {case}/{cases} ({file}:{line}): {msg}\n  inputs: {inputs}",
+                file = e.file,
+                line = e.line,
+                msg = e.msg,
+            );
+        }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(config.cases, stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    (inputs, outcome)
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a property body; failure aborts only the current case
+/// with its inputs reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+                file!(),
+                line!(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                &format!($($fmt)+),
+                file!(),
+                line!(),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                &format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+                file!(),
+                line!(),
+            ));
+        }
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::boxed($strat))),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_are_deterministic() {
+        let s = 1usize..512;
+        let mut a = crate::TestRng::new(5);
+        let mut b = crate::TestRng::new(5);
+        for _ in 0..64 {
+            assert_eq!(
+                crate::Strategy::generate(&s, &mut a),
+                crate::Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn union_respects_value_sets() {
+        let s = prop_oneof![8 => -1.0f32..1.0, 1 => Just(7.0f32)];
+        let mut rng = crate::TestRng::new(11);
+        let mut saw_just = false;
+        for _ in 0..256 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!((-1.0..1.0).contains(&v) || v == 7.0);
+            saw_just |= v == 7.0;
+        }
+        assert!(saw_just, "weighted arm never chosen");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_honor_range(
+            data in crate::collection::vec(any::<u8>(), 3..17),
+            x in -5i32..0,
+        ) {
+            prop_assert!((3..17).contains(&data.len()));
+            prop_assert!((-5..0).contains(&x));
+        }
+
+        #[test]
+        fn tuples_generate(pair in (any::<u16>(), any::<u8>())) {
+            let (a, b) = pair;
+            prop_assert_eq!(a as u64 & 0xFFFF, a as u64);
+            prop_assert!(b as u32 <= 255);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing_property` failed")]
+    fn failures_report_inputs() {
+        crate::run_cases(8, "failing_property", |rng| {
+            let x = crate::Strategy::generate(&(0u32..10), rng);
+            let outcome = if x < 100 {
+                Err(crate::TestCaseError::fail("forced", file!(), line!()))
+            } else {
+                Ok(())
+            };
+            (format!("x = {x:?}"), outcome)
+        });
+    }
+}

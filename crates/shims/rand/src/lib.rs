@@ -1,0 +1,217 @@
+//! Vendored minimal `rand` replacement (the build environment cannot fetch
+//! crates.io). Provides the surface this workspace uses: `SmallRng`
+//! seeded via `seed_from_u64`, `Rng::gen` for floats/ints, and
+//! `Rng::gen_range` over half-open ranges. The generator is
+//! xoshiro256++, seeded through splitmix64 — the same algorithm family
+//! the real `SmallRng` uses on 64-bit targets, though the exact stream
+//! differs from any particular rand release.
+
+use std::ops::Range;
+
+pub mod rngs {
+    pub use crate::SmallRng;
+}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed with splitmix64, per the xoshiro authors'
+        // recommendation; guards against the all-zero state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        SmallRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types producible by `Rng::gen` (rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from the standard distribution.
+    fn sample(rng: &mut SmallRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi)`.
+    fn sample_range(rng: &mut SmallRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn sample_range(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift rejection-free mapping is fine here: span is
+                // tiny relative to 2^64, so bias is negligible for simulation.
+                let x = rng.next_u64() as u128;
+                let v = (x * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, i64, i32);
+
+impl UniformSample for f64 {
+    #[inline]
+    fn sample_range(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+impl UniformSample for f32 {
+    #[inline]
+    fn sample_range(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + (hi - lo) * f32::sample(rng)
+    }
+}
+
+/// The subset of rand's `Rng` extension trait the workspace uses.
+pub trait Rng {
+    /// Draw one value from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draw uniformly from a half-open range.
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T;
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for SmallRng {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let s = rng.gen_range(-5i32..0);
+            assert!((-5..0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,310 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! The build environment cannot fetch `syn`/`quote`, so this crate parses
+//! the derive input by walking the raw `TokenStream` directly and emits the
+//! impl as a formatted string. It supports exactly the shapes this
+//! workspace derives: non-generic structs with named fields, and
+//! non-generic enums whose variants are unit, newtype, or tuple.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input: the item kind, its name, and its members.
+enum Item {
+    /// Struct with named field identifiers.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with (variant name, payload arity) pairs; arity 0 = unit.
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+/// Skip any number of `#[...]` attributes (including doc comments) and
+/// visibility modifiers starting at `i`; returns the new position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracketed attribute body.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Count of top-level commas + 1 if nonempty: the payload arity of a tuple
+/// variant. Commas inside `<...>` or nested groups don't count.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut arity = 1usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+/// Field identifiers of a named-field struct body.
+fn struct_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect `:`, then skip the type up to the next top-level comma.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// (name, arity) pairs of an enum body.
+fn enum_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        let name = name.to_string();
+        i += 1;
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = tuple_arity(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive: struct-like enum variants are not supported")
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, arity));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("serde_derive: expected `,` after variant, got {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (on `{name}`)");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: expected braced body for `{name}`, got {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: struct_fields(body) },
+        "enum" => Item::Enum { name, variants: enum_variants(body) },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Comma-separated `x0, x1, ...` binder list for a tuple variant.
+fn binders(arity: usize) -> String {
+    (0..arity).map(|k| format!("x{k}")).collect::<Vec<_>>().join(", ")
+}
+
+/// Derive `serde::Serialize` (maps for structs, externally-tagged enums).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    &n => {
+                        let b = binders(n);
+                        let elems = (0..n)
+                            .map(|k| format!("::serde::Serialize::to_value(x{k})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{v}({b}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Seq(vec![{elems}]))]),"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (mirror of the Serialize layout).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(m, \"{f}\", \"{name}\")?,"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let m = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}\n}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| {
+                    format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let payload_arms = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                        )
+                    } else {
+                        let elems = (0..*arity)
+                            .map(|k| {
+                                format!("::serde::Deserialize::from_value(&seq[{k}])?")
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "\"{v}\" => {{\n\
+                                 let seq = inner.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}::{v}\"))?;\n\
+                                 if seq.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::expected(\"{arity}-tuple\", \"{name}::{v}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({elems}))\n\
+                             }}"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"known variant\", \"{name}\")),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (k, inner) = &m[0];\n\
+                                 let _ = inner;\n\
+                                 match k.as_str() {{\n\
+                                     {payload_arms}\n\
+                                     _ => ::std::result::Result::Err(::serde::DeError::expected(\"known variant\", \"{name}\")),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key map\", \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -3,13 +3,21 @@
 //! Bits are packed MSB-first within each byte, which keeps the encoded
 //! stream byte-order independent and makes canonical Huffman decoding a
 //! simple left-to-right walk.
+//!
+//! Both directions work a word at a time on the hot paths: the writer
+//! collects bits in a 64-bit accumulator and flushes whole bytes, and the
+//! reader's [`BitReader::peek_bits`] gathers an aligned 64-bit window with
+//! two shifts instead of a per-bit loop. The multi-bit Huffman decode LUT
+//! leans on that peek being cheap.
 
 /// Append-only bit sink backed by a `Vec<u8>`.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Number of valid bits in the final byte (0 ⇒ byte boundary).
-    bit_pos: u8,
+    /// Pending bits not yet flushed to `buf`, right-aligned (the next bit
+    /// to emit is the MSB of the low `nbits` bits). Always `nbits < 8`.
+    acc: u64,
+    nbits: u8,
 }
 
 impl BitWriter {
@@ -20,29 +28,33 @@ impl BitWriter {
 
     /// New writer with reserved capacity in bytes.
     pub fn with_capacity(bytes: usize) -> Self {
-        BitWriter { buf: Vec::with_capacity(bytes), bit_pos: 0 }
+        BitWriter { buf: Vec::with_capacity(bytes), acc: 0, nbits: 0 }
     }
 
     /// Append a single bit.
     #[inline]
     pub fn push_bit(&mut self, bit: bool) {
-        if self.bit_pos == 0 {
-            self.buf.push(0);
-        }
-        if bit {
-            let last = self.buf.len() - 1;
-            self.buf[last] |= 1 << (7 - self.bit_pos);
-        }
-        self.bit_pos = (self.bit_pos + 1) % 8;
+        self.push_bits(bit as u64, 1);
     }
 
     /// Append the low `n` bits of `value`, most-significant first.
     #[inline]
     pub fn push_bits(&mut self, value: u64, n: u8) {
         debug_assert!(n <= 64);
-        for i in (0..n).rev() {
-            self.push_bit((value >> i) & 1 == 1);
+        if n == 0 {
+            return;
         }
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        // nbits < 8 and n ≤ 64, so the combined width fits in 128 bits.
+        let mut acc = ((self.acc as u128) << n) | (value & mask) as u128;
+        let mut total = self.nbits as u32 + n as u32;
+        while total >= 8 {
+            total -= 8;
+            self.buf.push((acc >> total) as u8);
+        }
+        acc &= (1u128 << total) - 1;
+        self.acc = acc as u64;
+        self.nbits = total as u8;
     }
 
     /// Append a whole little-endian u32 (used for literal floats).
@@ -53,15 +65,31 @@ impl BitWriter {
 
     /// Number of bits written so far.
     pub fn bit_len(&self) -> usize {
-        if self.bit_pos == 0 {
-            self.buf.len() * 8
-        } else {
-            (self.buf.len() - 1) * 8 + self.bit_pos as usize
+        self.buf.len() * 8 + self.nbits as usize
+    }
+
+    /// Discard all written bits but keep the allocation (scratch reuse).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.acc = 0;
+        self.nbits = 0;
+    }
+
+    /// Flush any pending partial byte (zero-padded) and borrow the encoded
+    /// bytes. The writer stays usable: further pushes start a new byte.
+    pub fn finish(&mut self) -> &[u8] {
+        if self.nbits > 0 {
+            let pad = (self.acc << (8 - self.nbits)) as u8;
+            self.buf.push(pad);
+            self.acc = 0;
+            self.nbits = 0;
         }
+        &self.buf
     }
 
     /// Finish and return the byte buffer (final byte zero-padded).
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.finish();
         self.buf
     }
 }
@@ -91,6 +119,23 @@ impl<'a> BitReader<'a> {
         BitReader { buf, pos: 0 }
     }
 
+    /// 64-bit big-endian window starting at the byte containing `pos`,
+    /// zero-padded past the end of the buffer.
+    #[inline]
+    fn window(&self) -> u64 {
+        let byte = self.pos / 8;
+        if byte + 8 <= self.buf.len() {
+            // Hot path: a full aligned 8-byte load.
+            u64::from_be_bytes(self.buf[byte..byte + 8].try_into().unwrap())
+        } else {
+            let mut tmp = [0u8; 8];
+            let start = byte.min(self.buf.len());
+            let tail = &self.buf[start..];
+            tmp[..tail.len()].copy_from_slice(tail);
+            u64::from_be_bytes(tmp)
+        }
+    }
+
     /// Next single bit.
     #[inline]
     pub fn read_bit(&mut self) -> Result<bool, BitStreamExhausted> {
@@ -107,11 +152,21 @@ impl<'a> BitReader<'a> {
     #[inline]
     pub fn read_bits(&mut self, n: u8) -> Result<u64, BitStreamExhausted> {
         debug_assert!(n <= 64);
-        let mut v = 0u64;
-        for _ in 0..n {
-            v = (v << 1) | self.read_bit()? as u64;
+        if n == 0 {
+            return Ok(0);
         }
-        Ok(v)
+        if n <= 56 {
+            let (v, avail) = self.peek_bits(n);
+            if avail < n {
+                return Err(BitStreamExhausted);
+            }
+            self.pos += n as usize;
+            return Ok(v);
+        }
+        // Wide reads (57–64 bits) are cold: split into two window reads.
+        let hi = self.read_bits(n - 32)?;
+        let lo = self.read_bits(32)?;
+        Ok((hi << 32) | lo)
     }
 
     /// Next 32 bits as a u32.
@@ -123,22 +178,30 @@ impl<'a> BitReader<'a> {
     /// Peek up to `n` bits without consuming them. Returns the bits
     /// MSB-first in the low `n` positions (zero-padded past the end of the
     /// stream) plus the number of bits actually available.
+    ///
+    /// `n` may be at most 56 on the single-window fast path; larger widths
+    /// fall back to a second window read.
     #[inline]
     pub fn peek_bits(&self, n: u8) -> (u64, u8) {
         debug_assert!(n <= 64);
         let total = self.buf.len() * 8;
         let avail = (total.saturating_sub(self.pos)).min(n as usize) as u8;
-        let mut v = 0u64;
-        for i in 0..n as usize {
-            let pos = self.pos + i;
-            let bit = if pos < total {
-                (self.buf[pos / 8] >> (7 - (pos % 8))) & 1
-            } else {
-                0
-            };
-            v = (v << 1) | bit as u64;
+        if n == 0 {
+            return (0, 0);
         }
-        (v, avail)
+        let skew = (self.pos % 8) as u32;
+        if n <= 56 {
+            // The window holds 64 − skew ≥ 57 usable bits starting at
+            // `pos`, so any n ≤ 56 comes out of one load.
+            let v = (self.window() << skew) >> (64 - n as u32);
+            return (v, avail);
+        }
+        // Cold path for wide peeks: stitch two windows together.
+        let hi_n = n - 32;
+        let (hi, _) = self.peek_bits(hi_n);
+        let ahead = BitReader { buf: self.buf, pos: self.pos + hi_n as usize };
+        let (lo, _) = ahead.peek_bits(32);
+        ((hi << 32) | lo, avail)
     }
 
     /// Consume `n` bits previously inspected with [`BitReader::peek_bits`].
@@ -221,6 +284,41 @@ mod tests {
     }
 
     #[test]
+    fn full_width_values_survive() {
+        let mut w = BitWriter::new();
+        w.push_bit(true); // misalign everything that follows
+        w.push_bits(u64::MAX, 64);
+        w.push_bits(0x0123_4567_89AB_CDEF, 64);
+        w.push_bits(0x7FFF_FFFF_FFFF_FFFF, 63);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit().unwrap(), true);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(64).unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.read_bits(63).unwrap(), 0x7FFF_FFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn clear_resets_and_reuses_allocation() {
+        let mut w = BitWriter::new();
+        w.push_bits(0xABCD, 16);
+        w.push_bits(0b101, 3);
+        w.clear();
+        assert_eq!(w.bit_len(), 0);
+        w.push_bits(0b1011, 4);
+        assert_eq!(w.into_bytes(), vec![0b1011_0000]);
+    }
+
+    #[test]
+    fn finish_pads_and_stays_usable() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        assert_eq!(w.finish(), &[0b1010_0000]);
+        // Finishing twice is idempotent.
+        assert_eq!(w.finish(), &[0b1010_0000]);
+    }
+
+    #[test]
     fn peek_does_not_consume_and_pads_with_zeros() {
         let mut w = BitWriter::new();
         w.push_bits(0b1011, 4);
@@ -242,6 +340,38 @@ mod tests {
         let (_, avail) = r.peek_bits(8);
         assert_eq!(avail, 0);
         assert_eq!(r.read_bit(), Err(BitStreamExhausted));
+    }
+
+    #[test]
+    fn peek_matches_read_at_every_offset() {
+        // The windowed peek must agree with sequential bit reads across
+        // byte boundaries, near the end, and for wide widths.
+        let bytes: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(37) ^ 0x5A).collect();
+        for start in [0usize, 1, 5, 7, 8, 13, 200, 250, 255] {
+            for n in [1u8, 3, 8, 11, 24, 33, 56, 57, 64] {
+                let mut seq = BitReader::new(&bytes);
+                seq.pos = start.min(bytes.len() * 8);
+                let peeker = seq.clone();
+                let (v, avail) = peeker.peek_bits(n);
+                let mut expect = 0u64;
+                let total = bytes.len() * 8;
+                for i in 0..n as usize {
+                    let pos = seq.pos + i;
+                    let bit = if pos < total {
+                        (bytes[pos / 8] >> (7 - (pos % 8))) & 1
+                    } else {
+                        0
+                    };
+                    expect = (expect << 1) | bit as u64;
+                }
+                assert_eq!(v, expect, "start={start} n={n}");
+                assert_eq!(
+                    avail as usize,
+                    (total.saturating_sub(seq.pos)).min(n as usize),
+                    "start={start} n={n}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -254,16 +254,22 @@ impl HuffmanDecoder {
     }
 
     /// Canonical first-code walk (always correct; used for codes longer
-    /// than [`LUT_BITS`] and near the end of the stream).
+    /// than [`LUT_BITS`] and near the end of the stream). Works on a
+    /// single peeked word: the candidate code at each length is a shift of
+    /// the same 32-bit window, so no per-bit stream traffic.
     #[inline]
     pub fn decode_walk(&self, r: &mut BitReader<'_>) -> Result<u32, HuffmanError> {
-        let mut code = 0u32;
-        for l in 1..=MAX_CODE_LEN as usize {
-            code = (code << 1) | r.read_bit()? as u32;
-            let c = self.count[l];
-            if c > 0 && code >= self.first_code[l] && code < self.first_code[l] + c {
-                let off = code - self.first_code[l];
-                return Ok(self.sorted_syms[(self.first_sym_idx[l] + off) as usize]);
+        let (word, avail) = r.peek_bits(MAX_CODE_LEN);
+        for l in 1..=avail {
+            let c = self.count[l as usize];
+            if c == 0 {
+                continue;
+            }
+            let code = (word >> (MAX_CODE_LEN - l)) as u32;
+            if code >= self.first_code[l as usize] && code < self.first_code[l as usize] + c {
+                r.advance(l);
+                let off = code - self.first_code[l as usize];
+                return Ok(self.sorted_syms[(self.first_sym_idx[l as usize] + off) as usize]);
             }
         }
         Err(HuffmanError::Corrupt)

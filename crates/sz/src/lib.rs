@@ -32,6 +32,7 @@ pub mod element;
 pub mod header;
 pub mod huffman;
 pub mod lossless;
+pub mod parallel;
 mod pipeline;
 pub mod predictor;
 pub mod pwrel;
@@ -40,9 +41,10 @@ pub mod regression;
 pub mod stats;
 
 pub use element::Element;
+pub use parallel::{compress_chunked, decompress_chunked, is_chunked, CHUNKED_MAGIC};
 pub use pipeline::{
-    compress, compress_f64, compress_typed, decompress, decompress_f64, decompress_typed,
-    stream_type_tag,
+    compress, compress_f64, compress_typed, compress_typed_with, decompress, decompress_f64,
+    decompress_typed, stream_type_tag, SzScratch,
 };
 pub use pwrel::{compress_pointwise_rel, decompress_pointwise_rel};
 pub use quantizer::Quantizer;

@@ -68,6 +68,26 @@ impl Quantizer {
         Quantized::Code((q as i64 + self.radius as i64) as u32)
     }
 
+    /// Fused quantize + reconstruct for the encoder hot loop: one residual
+    /// scaling shared by both halves, no enum round-trip. Returns the
+    /// symbol and the reconstructed value, or `None` when the residual
+    /// escapes to a literal. Bit-identical to
+    /// `quantize` followed by `reconstruct` (the bin index round-trips
+    /// exactly through i64).
+    #[inline]
+    pub fn try_encode(&self, predicted: f64, actual: f64) -> Option<(u32, f64)> {
+        let diff = actual - predicted;
+        if !diff.is_finite() {
+            return None;
+        }
+        let q = (diff / (2.0 * self.eb)).round();
+        if q.abs() >= self.radius as f64 {
+            return None;
+        }
+        let sym = (q as i64 + self.radius as i64) as u32;
+        Some((sym, predicted + q * 2.0 * self.eb))
+    }
+
     /// Reconstruct a value from its prediction and symbol.
     #[inline]
     pub fn reconstruct(&self, predicted: f64, symbol: u32) -> f64 {
@@ -153,6 +173,23 @@ mod tests {
                 let rec = q.reconstruct(pred, c);
                 // Allow tiny slack for f64 rounding in reconstruct().
                 prop_assert!((rec - actual).abs() <= eb * (1.0 + 1e-9) + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_try_encode_matches_two_step(
+            pred in -1e6f64..1e6,
+            residual in -1e4f64..1e4,
+        ) {
+            let q = Quantizer::new(1e-3, 1024);
+            let actual = pred + residual;
+            match (q.try_encode(pred, actual), q.quantize(pred, actual)) {
+                (Some((sym, rec)), Quantized::Code(c)) => {
+                    prop_assert_eq!(sym, c);
+                    prop_assert_eq!(rec.to_bits(), q.reconstruct(pred, c).to_bits());
+                }
+                (None, Quantized::Unpredictable) => {}
+                (a, b) => prop_assert!(false, "fused/two-step disagree: {:?} vs {:?}", a, b),
             }
         }
 

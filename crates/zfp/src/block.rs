@@ -75,9 +75,9 @@ pub fn gather<T: Copy>(data: &[T], g: &Geom, bk: usize, bj: usize, bi: usize, ou
     let (k0, j0, i0) = (bk * SIDE, bj * SIDE, bi * SIDE);
     match g.d {
         1 => {
-            for i in 0..SIDE {
+            for (i, o) in out.iter_mut().enumerate() {
                 let src = (i0 + i).min(g.nx - 1);
-                out[i] = data[src];
+                *o = data[src];
             }
         }
         2 => {

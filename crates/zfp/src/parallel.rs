@@ -7,8 +7,8 @@
 //! boundaries align with blocks, the chunked stream reconstructs the exact
 //! same values as the serial codec — only the container framing differs.
 //!
-//! Workers are crossbeam scoped threads pulling chunks from an atomic
-//! cursor; output order is fixed by the chunk index, so results are
+//! Workers are scoped threads pulling chunks from an atomic cursor;
+//! output order is fixed by the chunk index, so results are
 //! deterministic regardless of scheduling.
 
 use crate::block::SIDE;
@@ -17,6 +17,10 @@ use crate::pipeline::{compress_typed, decompress_typed};
 use crate::{ZfpCompressed, ZfpError, ZfpMode, ZfpStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// One decompression job: destination slice, job index, chunk stream, and
+/// the chunk's slow-dimension range.
+type ChunkJob<'a, T> = (&'a mut [T], usize, &'a [u8], usize, usize);
 
 /// Container magic for chunked streams.
 pub const CHUNKED_MAGIC: [u8; 4] = *b"ZFLP";
@@ -66,9 +70,9 @@ pub fn compress_chunked<T: ZfpElement>(
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<ZfpCompressed, ZfpError>>>> =
         (0..ranges.len()).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads.min(ranges.len()) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= ranges.len() {
                     break;
@@ -80,8 +84,7 @@ pub fn compress_chunked<T: ZfpElement>(
                 *slots[i].lock().expect("slot lock") = Some(compress_typed(sub, &sub_dims, mode));
             });
         }
-    })
-    .expect("compression workers must not panic");
+    });
 
     let mut chunks = Vec::with_capacity(ranges.len());
     let mut stats = ZfpStats::default();
@@ -177,7 +180,7 @@ pub fn decompress_chunked<T: ZfpElement>(
     {
         let mut rest: &mut [T] = &mut out;
         let mut offset = 0usize;
-        let mut jobs: Vec<(&mut [T], usize, &[u8], usize, usize)> = Vec::new();
+        let mut jobs: Vec<ChunkJob<'_, T>> = Vec::new();
         for (i, &(a, b, _)) in meta.iter().enumerate() {
             let start = a * row;
             let end = b * row;
@@ -200,11 +203,11 @@ pub fn decompress_chunked<T: ZfpElement>(
         let errors: Vec<Mutex<Option<ZfpError>>> =
             (0..jobs.len()).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
-        let jobs_shared: Vec<Mutex<Option<(&mut [T], usize, &[u8], usize, usize)>>> =
+        let jobs_shared: Vec<Mutex<Option<ChunkJob<'_, T>>>> =
             jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads.min(jobs_shared.len()) {
-                s.spawn(|_| loop {
+                s.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs_shared.len() {
                         break;
@@ -230,8 +233,7 @@ pub fn decompress_chunked<T: ZfpElement>(
                     *errors[idx].lock().expect("error lock") = outcome;
                 });
             }
-        })
-        .expect("decompression workers must not panic");
+        });
         for e in errors {
             if let Some(err) = e.into_inner().expect("error lock") {
                 return Err(err);

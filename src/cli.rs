@@ -97,7 +97,7 @@ pub enum Command {
         rel: bool,
         /// Use a pointwise-relative bound (SZ only).
         pwrel: bool,
-        /// Worker threads for chunked ZFP (0 = serial).
+        /// Worker threads for chunked SZ/ZFP (0 or 1 = serial).
         threads: usize,
         /// Input field file.
         input: PathBuf,
@@ -326,9 +326,16 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                         } else {
                             sz::ErrorBound::Absolute(eb)
                         };
-                        sz::compress(&data, &dims, &sz::SzConfig::new(bound))
-                            .map_err(|e| CliError::Codec(e.to_string()))?
-                            .bytes
+                        let cfg = sz::SzConfig::new(bound);
+                        if threads > 1 {
+                            sz::compress_chunked(&data, &dims, &cfg, threads)
+                                .map_err(|e| CliError::Codec(e.to_string()))?
+                                .bytes
+                        } else {
+                            sz::compress(&data, &dims, &cfg)
+                                .map_err(|e| CliError::Codec(e.to_string()))?
+                                .bytes
+                        }
                     }
                 }
                 "zfp" => {
@@ -449,6 +456,9 @@ fn decode_any(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), CliError> {
         b"SZPR" => {
             sz::decompress_pointwise_rel::<f32>(bytes).map_err(|e| CliError::Codec(e.to_string()))
         }
+        b"SZLP" => {
+            sz::decompress_chunked::<f32>(bytes, 0).map_err(|e| CliError::Codec(e.to_string()))
+        }
         b"ZFL1" => zfp::decompress(bytes).map_err(|e| CliError::Codec(e.to_string())),
         b"ZFLP" => {
             zfp::decompress_chunked::<f32>(bytes, 0).map_err(|e| CliError::Codec(e.to_string()))
@@ -466,6 +476,7 @@ fn describe(bytes: &[u8]) -> String {
         b"LCPF" => "raw field container",
         b"SZL1" => "SZ compressed stream",
         b"SZPR" => "SZ pointwise-relative stream",
+        b"SZLP" => "SZ chunked (parallel) stream",
         b"ZFL1" => "ZFP compressed stream",
         b"ZFLP" => "ZFP chunked (parallel) stream",
         _ => "unrecognized",
@@ -609,9 +620,12 @@ mod tests {
             &mut out,
         )
         .expect("gen");
-        for (codec, extra, name) in
-            [("zfp", "", "auto.zfp"), ("zfp", "--threads 3", "auto.zfpp"), ("sz", "--pwrel", "auto.szpr")]
-        {
+        for (codec, extra, name) in [
+            ("zfp", "", "auto.zfp"),
+            ("zfp", "--threads 3", "auto.zfpp"),
+            ("sz", "--threads 3", "auto.szp"),
+            ("sz", "--pwrel", "auto.szpr"),
+        ] {
             let comp = tmp(name);
             let back = tmp(&format!("{name}.back"));
             run(
@@ -677,6 +691,7 @@ mod tests {
     #[test]
     fn describe_recognizes_magics() {
         assert!(describe(b"SZL1xxxx").contains("SZ compressed"));
+        assert!(describe(b"SZLPxxxx").contains("SZ chunked"));
         assert!(describe(b"ZFLPxxxx").contains("chunked"));
         assert!(describe(b"LCPFxxxx").contains("field"));
         assert!(describe(b"??").contains("unrecognized"));

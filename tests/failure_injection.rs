@@ -13,6 +13,13 @@ fn sz_stream() -> Vec<u8> {
         .bytes
 }
 
+fn sz_chunked_stream() -> Vec<u8> {
+    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
+    sz::compress_chunked(&data, &[32, 64], &SzConfig::new(ErrorBound::Absolute(1e-3)), 2)
+        .expect("compress")
+        .bytes
+}
+
 fn zfp_stream() -> Vec<u8> {
     let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
     zfp::compress(&data, &[32, 64], &ZfpMode::FixedAccuracy(1e-3))
@@ -31,6 +38,17 @@ fn sz_survives_every_truncation_length() {
 }
 
 #[test]
+fn sz_chunked_survives_every_truncation_length() {
+    let stream = sz_chunked_stream();
+    for len in 0..stream.len() {
+        // A strict prefix can never be a valid container (the chunk table
+        // and payload lengths must line up exactly), so every truncation
+        // must fail cleanly — never panic.
+        assert!(sz::decompress_chunked::<f32>(&stream[..len], 1).is_err());
+    }
+}
+
+#[test]
 fn zfp_survives_every_truncation_length() {
     let stream = zfp_stream();
     for len in 0..stream.len() {
@@ -45,6 +63,16 @@ fn sz_survives_single_byte_corruption_everywhere() {
         let mut s = stream.clone();
         s[pos] ^= 0xFF;
         let _ = sz::decompress(&s); // must not panic
+    }
+}
+
+#[test]
+fn sz_chunked_survives_single_byte_corruption_everywhere() {
+    let stream = sz_chunked_stream();
+    for pos in 0..stream.len() {
+        let mut s = stream.clone();
+        s[pos] ^= 0xFF;
+        let _ = sz::decompress_chunked::<f32>(&s, 2); // must not panic
     }
 }
 
@@ -69,6 +97,27 @@ proptest! {
     #[test]
     fn zfp_decompress_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
         let _ = zfp::decompress(&bytes);
+    }
+
+    #[test]
+    fn sz_chunked_decompress_never_panics_on_noise(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        let mut s = b"SZLP".to_vec();
+        s.extend_from_slice(&bytes);
+        let _ = sz::decompress_chunked::<f32>(&s, 1);
+    }
+
+    #[test]
+    fn sz_chunked_decompress_never_panics_on_mutated_valid_stream(
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)
+    ) {
+        let mut s = sz_chunked_stream();
+        for (pos, mask) in flips {
+            let idx = pos as usize % s.len();
+            s[idx] ^= mask;
+        }
+        let _ = sz::decompress_chunked::<f32>(&s, 2);
     }
 
     #[test]

@@ -59,6 +59,70 @@ proptest! {
     }
 
     #[test]
+    fn sz_chunked_bound_holds_and_values_are_thread_count_invariant(
+        nz in 1usize..30,
+        ny in 1usize..12,
+        nx in 1usize..12,
+        seed in any::<u64>(),
+        eb_exp in -4i32..-1,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let mut state = seed | 1;
+        let data: Vec<f32> = (0..nz * ny * nx)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / 1e4).sin() * 50.0
+            })
+            .collect();
+        let cfg = SzConfig::new(ErrorBound::Absolute(eb));
+        let mut prev: Option<(Vec<u8>, Vec<f32>)> = None;
+        for threads in [1usize, 2, 4] {
+            let out = sz::compress_chunked(&data, &[nz, ny, nx], &cfg, threads).unwrap();
+            let (rec, dims) = sz::decompress_chunked::<f32>(&out.bytes, threads).unwrap();
+            prop_assert_eq!(dims, vec![nz, ny, nx]);
+            for (a, b) in data.iter().zip(&rec) {
+                prop_assert!((*a as f64 - *b as f64).abs() <= eb * 1.001 + 1e-12);
+            }
+            if let Some((pb, pr)) = &prev {
+                // Container bytes and reconstructed values must not depend
+                // on the worker count.
+                prop_assert_eq!(pb, &out.bytes);
+                prop_assert_eq!(pr, &rec);
+            }
+            prev = Some((out.bytes, rec));
+        }
+    }
+
+    #[test]
+    fn sz_chunked_decode_is_bit_identical_to_per_chunk_serial(
+        nz in 7usize..40,
+        nx in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let data: Vec<f32> = (0..nz * nx)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / 1e4).sin() * 50.0
+            })
+            .collect();
+        let cfg = SzConfig::new(ErrorBound::Absolute(1e-3));
+        let out = sz::compress_chunked(&data, &[nz, nx], &cfg, 2).unwrap();
+        let (rec, _) = sz::decompress_chunked::<f32>(&out.bytes, 2).unwrap();
+        let info = sz::parallel::parse_chunked(&out.bytes).unwrap();
+        let mut serial: Vec<f32> = Vec::new();
+        for &(_, _, chunk) in &info.chunks {
+            let (vals, _) = sz::decompress(chunk).unwrap();
+            serial.extend_from_slice(&vals);
+        }
+        prop_assert_eq!(rec, serial);
+    }
+
+    #[test]
     fn zfp_error_bound_holds_for_arbitrary_3d_data(
         nz in 1usize..10,
         ny in 1usize..10,
