@@ -1,0 +1,119 @@
+//! Word-level ZFP kernel benchmarks: end-to-end compress/decompress
+//! throughput on a 128³ smooth field (the acceptance target for the
+//! batched bitstream + plane-wise coder rewrite), plus micro-benchmarks
+//! of the kernels the rewrite touched.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcpio_zfp::bitstream::{ReadStream, WriteStream};
+use lcpio_zfp::{self as zfp, transform, ZfpMode};
+
+const SIDE: usize = 128;
+
+/// Smooth 3-D field: the compressible regime the paper's NYX fields live in.
+fn smooth_field() -> Vec<f32> {
+    let mut out = Vec::with_capacity(SIDE * SIDE * SIDE);
+    for z in 0..SIDE {
+        for y in 0..SIDE {
+            for x in 0..SIDE {
+                let (x, y, z) = (x as f32, y as f32, z as f32);
+                out.push((x * 0.08).sin() * (y * 0.05).cos() + (z * 0.03).sin() * 2.0);
+            }
+        }
+    }
+    out
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let data = smooth_field();
+    let dims = vec![SIDE, SIDE, SIDE];
+    let bytes = (data.len() * 4) as u64;
+    let mode = ZfpMode::FixedAccuracy(1e-3);
+
+    let mut group = c.benchmark_group("zfp_kernels/compress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_with_input(BenchmarkId::new("serial", "128^3"), &mode, |b, mode| {
+        b.iter(|| zfp::compress(&data, &dims, mode).unwrap());
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("chunked", format!("128^3/t{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| zfp::compress_chunked(&data, &dims, &mode, threads).unwrap());
+            },
+        );
+    }
+    group.finish();
+
+    let stream = zfp::compress(&data, &dims, &mode).unwrap();
+    let chunked = zfp::compress_chunked(&data, &dims, &mode, 4).unwrap();
+    let mut group = c.benchmark_group("zfp_kernels/decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_with_input(BenchmarkId::new("serial", "128^3"), &stream.bytes, |b, s| {
+        b.iter(|| zfp::decompress(s).unwrap());
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("chunked", format!("128^3/t{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| zfp::decompress_chunked::<f32>(&chunked.bytes, threads).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // Bitstream: write then drain 1 MiB of mixed-width fields.
+    let widths: Vec<usize> = (0..4096).map(|i| (i * 7) % 65).collect();
+    let total_bits: usize = widths.iter().sum();
+    let mut group = c.benchmark_group("zfp_kernels/bitstream");
+    group.throughput(Throughput::Bytes((total_bits / 8) as u64));
+    group.bench_with_input(BenchmarkId::new("write_bits", "mixed"), &widths, |b, widths| {
+        b.iter(|| {
+            let mut w = WriteStream::new();
+            for (i, &n) in widths.iter().enumerate() {
+                w.write_bits(i as u64 ^ 0x9e37_79b9_7f4a_7c15, n);
+            }
+            w.into_bytes()
+        });
+    });
+    let mut w = WriteStream::new();
+    for (i, &n) in widths.iter().enumerate() {
+        w.write_bits(i as u64 ^ 0x9e37_79b9_7f4a_7c15, n);
+    }
+    let buf = w.into_bytes();
+    group.bench_with_input(BenchmarkId::new("read_bits", "mixed"), &buf, |b, buf| {
+        b.iter(|| {
+            let mut r = ReadStream::new(buf);
+            let mut acc = 0u64;
+            for &n in &widths {
+                acc = acc.wrapping_add(r.read_bits(n));
+            }
+            acc
+        });
+    });
+    group.finish();
+
+    // Transform: forward+inverse lift of a 3-D block, specialized kernels.
+    let block: Vec<i64> = (0..64).map(|i| (i as i64 * 977) % 4096 - 2048).collect();
+    let mut group = c.benchmark_group("zfp_kernels/transform");
+    group.throughput(Throughput::Bytes(64 * 8));
+    group.bench_with_input(BenchmarkId::new("lift3d", "roundtrip"), &block, |b, block| {
+        b.iter(|| {
+            let mut v = block.clone();
+            transform::forward(&mut v, 3);
+            transform::inverse(&mut v, 3);
+            v
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codec, bench_kernels
+}
+criterion_main!(benches);

@@ -145,9 +145,9 @@ pub fn run_checkpoint_study(cfg: &CheckpointConfig) -> CheckpointResult {
             (cfg.cost_model.sz_profile(&out.stats, scale), out.stats.ratio())
         }
         Compressor::Zfp => {
-            let out =
-                zfp::compress(&field.data, &dims, &zfp::ZfpMode::FixedAccuracy(cfg.error_bound))
-                    .expect("samples compress");
+            let mode = zfp::ZfpMode::FixedAccuracy(cfg.error_bound);
+            let out = zfp::compress_chunked(&field.data, &dims, &mode, cfg.threads)
+                .expect("samples compress");
             (cfg.cost_model.zfp_profile(&out.stats, scale), out.stats.ratio())
         }
     };

@@ -139,7 +139,8 @@ pub fn run_data_dump(cfg: &DataDumpConfig) -> (Vec<DumpRow>, DumpSummary) {
                 (cfg.cost_model.sz_profile(&out.stats, scale_factor), out.stats.ratio())
             }
             Compressor::Zfp => {
-                let out = zfp::compress(&field.data, &dims, &zfp::ZfpMode::FixedAccuracy(eb))
+                let mode = zfp::ZfpMode::FixedAccuracy(eb);
+                let out = zfp::compress_chunked(&field.data, &dims, &mode, cfg.threads)
                     .expect("NYX samples always compress");
                 (cfg.cost_model.zfp_profile(&out.stats, scale_factor), out.stats.ratio())
             }

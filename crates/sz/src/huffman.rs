@@ -213,28 +213,23 @@ impl HuffmanDecoder {
         // Fast path: expand every code of length ≤ LUT_BITS into all the
         // table slots sharing its prefix.
         let mut lut = vec![(0u32, 0u8); 1usize << LUT_BITS];
-        {
-            let mut idx = 0u32;
-            for l in 1..=LUT_BITS.min(MAX_CODE_LEN) as usize {
-                let c0 = first_code[l];
-                for k in 0..count[l] {
-                    let sym = sorted_syms[(first_sym_idx[l] + k) as usize];
-                    let code = c0 + k;
-                    let shift = LUT_BITS as usize - l;
-                    let base = (code as usize) << shift;
-                    // Kraft validation above guarantees this fits; keep a
-                    // defensive clamp so no table can ever overrun.
-                    let end = (base + (1 << shift)).min(lut.len());
-                    if base >= end {
-                        continue;
-                    }
-                    for slot in &mut lut[base..end] {
-                        *slot = (sym, l as u8);
-                    }
+        for l in 1..=LUT_BITS.min(MAX_CODE_LEN) as usize {
+            let c0 = first_code[l];
+            for k in 0..count[l] {
+                let sym = sorted_syms[(first_sym_idx[l] + k) as usize];
+                let code = c0 + k;
+                let shift = LUT_BITS as usize - l;
+                let base = (code as usize) << shift;
+                // Kraft validation above guarantees this fits; keep a
+                // defensive clamp so no table can ever overrun.
+                let end = (base + (1 << shift)).min(lut.len());
+                if base >= end {
+                    continue;
                 }
-                idx += count[l];
+                for slot in &mut lut[base..end] {
+                    *slot = (sym, l as u8);
+                }
             }
-            let _ = idx;
         }
         Ok(HuffmanDecoder { first_code, first_sym_idx, count, sorted_syms, lut })
     }
@@ -409,7 +404,6 @@ mod tests {
         let dec = HuffmanDecoder::from_lengths(&enc.lengths()).unwrap();
         let mut w = BitWriter::new();
         enc.encode(3, &mut w).unwrap(); // a multi-bit code
-        let bits = w.bit_len();
         let bytes = w.into_bytes();
         // Decode from an empty stream: must be Corrupt, not symbol 0.
         let empty: [u8; 0] = [];
@@ -418,7 +412,6 @@ mod tests {
         // Full stream decodes fine.
         let mut r = BitReader::new(&bytes);
         assert_eq!(dec.decode(&mut r).unwrap(), 3);
-        let _ = bits;
     }
 
     #[test]

@@ -69,10 +69,34 @@ impl Geom {
 }
 
 /// Gather block (bk, bj, bi) into `out` (length 4^d), padding partial
-/// blocks by replicating the nearest valid sample.
+/// blocks by replicating the nearest valid sample. Fully interior blocks
+/// take a row-copy fast path with no per-element clamping.
 pub fn gather<T: Copy>(data: &[T], g: &Geom, bk: usize, bj: usize, bi: usize, out: &mut [T]) {
     debug_assert_eq!(out.len(), g.block_len());
     let (k0, j0, i0) = (bk * SIDE, bj * SIDE, bi * SIDE);
+    let interior =
+        i0 + SIDE <= g.nx && (g.d < 2 || j0 + SIDE <= g.ny) && (g.d < 3 || k0 + SIDE <= g.nz);
+    if interior {
+        match g.d {
+            1 => out.copy_from_slice(&data[i0..i0 + SIDE]),
+            2 => {
+                for j in 0..SIDE {
+                    let src = (j0 + j) * g.nx + i0;
+                    out[j * SIDE..(j + 1) * SIDE].copy_from_slice(&data[src..src + SIDE]);
+                }
+            }
+            _ => {
+                for k in 0..SIDE {
+                    for j in 0..SIDE {
+                        let src = ((k0 + k) * g.ny + j0 + j) * g.nx + i0;
+                        let dst = (k * SIDE + j) * SIDE;
+                        out[dst..dst + SIDE].copy_from_slice(&data[src..src + SIDE]);
+                    }
+                }
+            }
+        }
+        return;
+    }
     match g.d {
         1 => {
             for (i, o) in out.iter_mut().enumerate() {
@@ -104,10 +128,34 @@ pub fn gather<T: Copy>(data: &[T], g: &Geom, bk: usize, bj: usize, bi: usize, ou
     }
 }
 
-/// Scatter a decoded block back, skipping padded lanes.
+/// Scatter a decoded block back, skipping padded lanes. Fully interior
+/// blocks take the mirror row-copy fast path of [`gather`].
 pub fn scatter<T: Copy>(block: &[T], g: &Geom, bk: usize, bj: usize, bi: usize, data: &mut [T]) {
     debug_assert_eq!(block.len(), g.block_len());
     let (k0, j0, i0) = (bk * SIDE, bj * SIDE, bi * SIDE);
+    let interior =
+        i0 + SIDE <= g.nx && (g.d < 2 || j0 + SIDE <= g.ny) && (g.d < 3 || k0 + SIDE <= g.nz);
+    if interior {
+        match g.d {
+            1 => data[i0..i0 + SIDE].copy_from_slice(block),
+            2 => {
+                for j in 0..SIDE {
+                    let dst = (j0 + j) * g.nx + i0;
+                    data[dst..dst + SIDE].copy_from_slice(&block[j * SIDE..(j + 1) * SIDE]);
+                }
+            }
+            _ => {
+                for k in 0..SIDE {
+                    for j in 0..SIDE {
+                        let dst = ((k0 + k) * g.ny + j0 + j) * g.nx + i0;
+                        let src = (k * SIDE + j) * SIDE;
+                        data[dst..dst + SIDE].copy_from_slice(&block[src..src + SIDE]);
+                    }
+                }
+            }
+        }
+        return;
+    }
     match g.d {
         1 => {
             for i in 0..SIDE {
@@ -204,6 +252,40 @@ mod tests {
         let mut out = [0.0f32; 5];
         scatter(&[9.0, 8.0, 7.0, 6.0], &g, 0, 0, 1, &mut out);
         assert_eq!(out, [0.0, 0.0, 0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn interior_fast_path_matches_clamped_gather() {
+        // Compare against the clamp formula on a geometry with both
+        // interior and border blocks, in all three dimensionalities.
+        for dims in [vec![9usize], vec![9, 10], vec![6, 9, 10]] {
+            let g = Geom::new(&dims).unwrap();
+            let data: Vec<f32> = (0..g.len()).map(|i| (i * 13 % 101) as f32).collect();
+            let blen = g.block_len();
+            let mut fast = vec![0.0f32; blen];
+            let mut slow = vec![0.0f32; blen];
+            let (bz, by, bx) = g.block_counts();
+            for bk in 0..bz {
+                for bj in 0..by {
+                    for bi in 0..bx {
+                        gather(&data, &g, bk, bj, bi, &mut fast);
+                        for (idx, o) in slow.iter_mut().enumerate() {
+                            let (i, j, k) = (idx % SIDE, (idx / SIDE) % SIDE, idx / (SIDE * SIDE));
+                            let (i, j, k) = match g.d {
+                                1 => (idx, 0, 0),
+                                2 => (i, j, 0),
+                                _ => (i, j, k),
+                            };
+                            let si = (bi * SIDE + i).min(g.nx - 1);
+                            let sj = (bj * SIDE + j).min(g.ny.saturating_sub(1));
+                            let sk = (bk * SIDE + k).min(g.nz.saturating_sub(1));
+                            *o = data[(sk * g.ny + sj) * g.nx + si];
+                        }
+                        assert_eq!(fast, slow, "block ({bk},{bj},{bi}) dims {dims:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

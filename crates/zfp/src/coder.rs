@@ -13,9 +13,129 @@
 
 use crate::bitstream::{ReadStream, WriteStream};
 
+/// In-place 64×64 bit-matrix transpose (LSB orientation): on return,
+/// bit `r` of `a[c]` equals bit `c` of the input's `a[r]`. The recursive
+/// block-swap runs in 6·32 word operations — far cheaper than the 64×64
+/// bit-by-bit gather it replaces, and it is its own inverse.
+fn transpose64_scalar(a: &mut [u64; 64]) {
+    let mut j = 32u32;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let s = j as usize;
+        let mut k = 0usize;
+        while k < 64 {
+            // Swap the (row-bit-j set, col-bit-j clear) block with its
+            // mirror across the diagonal.
+            let t = ((a[k] >> j) ^ a[k + s]) & m;
+            a[k] ^= t << j;
+            a[k + s] ^= t;
+            k = (k + s + 1) & !s;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// AVX2 transpose: the same butterfly network, four rows per vector. The
+/// four outer levels (partner distance ≥ 4 rows) are straight vector
+/// butterflies over contiguous register pairs; the last two levels swap
+/// within one register via lane permutes. Bit-exact with the scalar path.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// One butterfly level with partner distance `J` rows (`J ≥ 4`).
+    ///
+    /// # Safety
+    /// `p` must point at 64 readable/writable u64s; caller must have
+    /// verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    unsafe fn level<const J: i32>(p: *mut __m256i, mk: i64) {
+        let m = _mm256_set1_epi64x(mk);
+        let step = (J as usize) / 4;
+        let mut k = 0usize;
+        while k < 16 {
+            let lo = _mm256_loadu_si256(p.add(k));
+            let hi = _mm256_loadu_si256(p.add(k + step));
+            let t = _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi64(lo, J), hi), m);
+            _mm256_storeu_si256(p.add(k), _mm256_xor_si256(lo, _mm256_slli_epi64(t, J)));
+            _mm256_storeu_si256(p.add(k + step), _mm256_xor_si256(hi, t));
+            k += 1;
+            if k & step != 0 {
+                k += step;
+            }
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support (`is_x86_feature_detected!`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn transpose64(a: &mut [u64; 64]) {
+        let p = a.as_mut_ptr() as *mut __m256i;
+        level::<32>(p, 0x0000_0000_FFFF_FFFFu64 as i64);
+        level::<16>(p, 0x0000_FFFF_0000_FFFFu64 as i64);
+        level::<8>(p, 0x00FF_00FF_00FF_00FFu64 as i64);
+        level::<4>(p, 0x0F0F_0F0F_0F0F_0F0Fu64 as i64);
+        // Partner distances 2 and 1: partners live inside one register.
+        let m2 = _mm256_set1_epi64x(0x3333_3333_3333_3333u64 as i64);
+        let m1 = _mm256_set1_epi64x(0x5555_5555_5555_5555u64 as i64);
+        for k in 0..16 {
+            let v = _mm256_loadu_si256(p.add(k));
+            // Distance 2: pairs (lane0, lane2), (lane1, lane3).
+            let s = _mm256_permute4x64_epi64(v, 0b01_00_11_10);
+            let t = _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi64(v, 2), s), m2);
+            let tp = _mm256_permute4x64_epi64(t, 0b01_00_11_10);
+            let upd = _mm256_blend_epi32(_mm256_slli_epi64(t, 2), tp, 0b1111_0000);
+            let v = _mm256_xor_si256(v, upd);
+            // Distance 1: pairs (lane0, lane1), (lane2, lane3).
+            let s = _mm256_permute4x64_epi64(v, 0b10_11_00_01);
+            let t = _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi64(v, 1), s), m1);
+            let tp = _mm256_permute4x64_epi64(t, 0b10_11_00_01);
+            let upd = _mm256_blend_epi32(_mm256_slli_epi64(t, 1), tp, 0b1100_1100);
+            _mm256_storeu_si256(p.add(k), _mm256_xor_si256(v, upd));
+        }
+    }
+}
+
+/// Transpose dispatch: AVX2 when the CPU has it, scalar butterfly
+/// otherwise. Both produce identical results (tested below).
+fn transpose64(a: &mut [u64; 64]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified; `a` is a valid &mut.
+        unsafe { avx2::transpose64(a) };
+        return;
+    }
+    transpose64_scalar(a)
+}
+
+/// Gather the bit planes of up to 64 coefficients: `planes[k]` holds bit
+/// `k` of every coefficient, with coefficient `i` at bit `i`. Full blocks
+/// use the word-parallel transpose; partial blocks scatter only set bits.
+fn plane_masks(data: &[u64], planes: &mut [u64; 64]) {
+    if data.len() == 64 {
+        planes.copy_from_slice(data);
+        transpose64(planes);
+    } else {
+        planes.fill(0);
+        for (i, &v) in data.iter().enumerate() {
+            let mut v = v;
+            while v != 0 {
+                planes[v.trailing_zeros() as usize] |= 1u64 << i;
+                v &= v - 1;
+            }
+        }
+    }
+}
+
 /// Encode `size` negabinary coefficients from plane `intprec − 1` down to
 /// plane `kmin`, spending at most `budget` bits. Returns the number of
 /// bits actually written.
+///
+/// The stream is bit-identical to the historical bit-at-a-time coder: the
+/// planes are transposed out of the coefficients once up front, and each
+/// group-test run (`1` group bit, zero or more `0` skip bits, an optional
+/// `1` stop bit) is emitted as a single `write_bits` call.
 pub fn encode_ints(
     data: &[u64],
     intprec: u32,
@@ -26,50 +146,53 @@ pub fn encode_ints(
     let size = data.len();
     debug_assert!(size <= 64);
     let start = w.bit_len();
+    let mut planes = [0u64; 64];
+    plane_masks(data, &mut planes);
     let mut n = 0usize;
     let mut k = intprec;
     while budget > 0 && k > kmin {
         k -= 1;
-        // Step 1: extract bit plane k.
-        let mut x = 0u64;
-        for (i, &v) in data.iter().enumerate() {
-            x += ((v >> k) & 1) << i;
-        }
-        // Step 2: verbatim bits for coefficients before the frontier.
+        let mut x = planes[k as usize];
+        // Verbatim bits for coefficients before the significance frontier.
         let m = n.min(budget);
         budget -= m;
         x = w.write_bits(x, m);
-        // Step 3: group-tested remainder.
+        // Group-tested remainder: one batched emit per significant
+        // coefficient (or a lone 0 group bit when the plane is spent).
         while n < size && budget > 0 {
-            budget -= 1;
-            if !w.write_bit(x != 0) {
+            if x == 0 {
+                budget -= 1;
+                w.write_bit(false);
                 break;
             }
-            while n < size - 1 && budget > 0 {
-                budget -= 1;
-                if w.write_bit(x & 1 == 1) {
-                    break;
-                }
-                x >>= 1;
-                n += 1;
-            }
-            x >>= 1;
-            n += 1;
+            let z = x.trailing_zeros() as usize;
+            // The stop bit is implicit when the run reaches the last
+            // coefficient — the decoder infers it from `size`.
+            let stop = n + z < size - 1;
+            let run = 1 + z + stop as usize;
+            let pattern = if stop { 1u64 | (1u64 << (1 + z)) } else { 1u64 };
+            let emit = run.min(budget);
+            w.write_bits(pattern, emit);
+            budget -= emit;
+            x = x.checked_shr((z + 1) as u32).unwrap_or(0);
+            n += z + 1;
         }
     }
     w.bit_len() - start
 }
 
-/// Decode `size` negabinary coefficients written by [`encode_ints`].
-pub fn decode_ints(
-    size: usize,
+/// Decode `size` negabinary coefficients written by [`encode_ints`] into
+/// `data` (overwritten), reusing the caller's buffer.
+pub fn decode_ints_into(
+    data: &mut [u64],
     intprec: u32,
     kmin: u32,
     mut budget: usize,
     r: &mut ReadStream<'_>,
-) -> Vec<u64> {
+) {
+    let size = data.len();
     debug_assert!(size <= 64);
-    let mut data = vec![0u64; size];
+    let mut planes = [0u64; 64];
     let mut n = 0usize;
     let mut k = intprec;
     while budget > 0 && k > kmin {
@@ -84,25 +207,44 @@ pub fn decode_ints(
             if !r.read_bit() {
                 break;
             }
-            while n < size - 1 && budget > 0 {
-                budget -= 1;
-                if r.read_bit() {
-                    break;
-                }
-                n += 1;
-            }
+            // Batched unary scan up to the stop bit (or `avail` zeros when
+            // it falls past the budget/block end). Reads past the end see
+            // zeros, exactly like the bit-at-a-time loop.
+            let avail = (size - 1 - n).min(budget);
+            let (consumed, skipped) = r.scan_unary(avail);
+            budget -= consumed;
+            n += skipped;
             x += 1u64 << n;
             n += 1;
         }
-        // Deposit the plane.
-        let mut bits = x;
-        let mut i = 0usize;
-        while bits != 0 {
-            data[i] += (bits & 1) << k;
-            bits >>= 1;
-            i += 1;
+        planes[k as usize] = x;
+    }
+    // Scatter the planes back into coefficients.
+    if size == 64 {
+        transpose64(&mut planes);
+        data.copy_from_slice(&planes);
+    } else {
+        data.fill(0);
+        for (k, &p) in planes.iter().enumerate() {
+            let mut bits = p;
+            while bits != 0 {
+                data[bits.trailing_zeros() as usize] += 1u64 << k;
+                bits &= bits - 1;
+            }
         }
     }
+}
+
+/// Decode `size` negabinary coefficients written by [`encode_ints`].
+pub fn decode_ints(
+    size: usize,
+    intprec: u32,
+    kmin: u32,
+    budget: usize,
+    r: &mut ReadStream<'_>,
+) -> Vec<u64> {
+    let mut data = vec![0u64; size];
+    decode_ints_into(&mut data, intprec, kmin, budget, r);
     data
 }
 
@@ -122,6 +264,72 @@ mod tests {
             .into_iter()
             .map(negabinary::decode)
             .collect()
+    }
+
+    #[test]
+    fn transpose64_matches_naive_and_is_involutive() {
+        let mut x = 0x0123_4567_89ab_cdefu64;
+        let mut a = [0u64; 64];
+        for slot in a.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *slot = x;
+        }
+        let orig = a;
+        let mut naive = [0u64; 64];
+        for (c, out) in naive.iter_mut().enumerate() {
+            for (r, &row) in orig.iter().enumerate() {
+                *out |= ((row >> c) & 1) << r;
+            }
+        }
+        transpose64(&mut a);
+        assert_eq!(a, naive);
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+        // The scalar butterfly must agree with whatever the dispatcher
+        // picked (on AVX2 machines this pins the SIMD path to it).
+        let mut s = orig;
+        transpose64_scalar(&mut s);
+        assert_eq!(s, naive);
+    }
+
+    #[test]
+    fn plane_masks_match_per_plane_extraction() {
+        for size in [1usize, 4, 16, 33, 64] {
+            let mut x = 0x9e37_79b9_7f4a_7c15u64 ^ size as u64;
+            let data: Vec<u64> = (0..size)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x >> (x % 50)
+                })
+                .collect();
+            let mut planes = [0u64; 64];
+            plane_masks(&data, &mut planes);
+            for (k, &p) in planes.iter().enumerate() {
+                let mut expect = 0u64;
+                for (i, &v) in data.iter().enumerate() {
+                    expect += ((v >> k) & 1) << i;
+                }
+                assert_eq!(p, expect, "size {size} plane {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_into_reuses_buffer() {
+        let values: Vec<i64> = (0..64).map(|i| (i * 31 - 990) as i64).collect();
+        let nb: Vec<u64> = values.iter().map(|&v| negabinary::encode(v)).collect();
+        let mut w = WriteStream::new();
+        encode_ints(&nb, INTPREC, 0, usize::MAX / 2, &mut w);
+        let bytes = w.into_bytes();
+        let mut buf = vec![0xFFFF_FFFFu64; 64]; // stale contents must be overwritten
+        let mut r = ReadStream::new(&bytes);
+        decode_ints_into(&mut buf, INTPREC, 0, usize::MAX / 2, &mut r);
+        let dec: Vec<i64> = buf.iter().map(|&v| negabinary::decode(v)).collect();
+        assert_eq!(dec, values);
     }
 
     #[test]

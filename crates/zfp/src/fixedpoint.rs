@@ -44,9 +44,17 @@ pub fn forward<T: ZfpElement>(block: &[T], emax: i32, out: &mut [i64]) {
     for (o, &v) in out.iter_mut().zip(block) {
         let v = v.to_f64();
         let x = if v.is_finite() { v * scale } else { 0.0 };
+        // Round half away from zero, equivalent to `x.round() as i64` but
+        // without the libm call: truncate (saturating), then bump by one
+        // when the discarded fraction reaches one half. Exact for every
+        // finite x — |x| ≥ 2^53 has no fraction, and saturated values are
+        // pulled back by the clamp below.
+        let t = x as i64;
+        let frac = x - t as f64;
+        let r = t + (frac >= 0.5) as i64 - (frac <= -0.5) as i64;
         // Clamp pathological values (|v| slightly above 2^emax after
         // rounding) into range.
-        *o = x.round().clamp(-(1i64 << q) as f64, (1i64 << q) as f64) as i64;
+        *o = r.clamp(-(1i64 << q), 1i64 << q);
     }
 }
 

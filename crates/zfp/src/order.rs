@@ -44,6 +44,24 @@ pub fn invert(data: &[i64], perm: &[usize], out: &mut [i64]) {
     }
 }
 
+/// Fused gather + negabinary conversion: `out[r] = negabinary(data[perm[r]])`.
+/// One pass over the block instead of two — the reorder is a gather anyway,
+/// so the conversion rides along for free.
+pub fn apply_negabinary(data: &[i64], perm: &[usize], out: &mut [u64]) {
+    debug_assert_eq!(data.len(), perm.len());
+    for (o, &p) in out.iter_mut().zip(perm) {
+        *o = crate::negabinary::encode(data[p]);
+    }
+}
+
+/// Fused inverse of [`apply_negabinary`]: `out[perm[r]] = signed(data[r])`.
+pub fn invert_negabinary(data: &[u64], perm: &[usize], out: &mut [i64]) {
+    debug_assert_eq!(data.len(), perm.len());
+    for (r, &p) in perm.iter().enumerate() {
+        out[p] = crate::negabinary::decode(data[r]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -175,6 +175,15 @@ pub fn decompress_chunked<T: ZfpElement>(
         chunk_streams.push(take(&mut pos, len)?);
     }
 
+    // A stream spends at least one bit per block and each block covers at
+    // most 64 elements, so the element count claimed by the header cannot
+    // exceed 512× the payload bytes actually present. Rejecting here keeps
+    // a forged header from driving a huge output allocation.
+    let payload_bytes: usize = chunk_streams.iter().map(|c| c.len()).sum();
+    if n > payload_bytes.saturating_mul(512) {
+        return Err(ZfpError::Corrupt("dims exceed payload capacity"));
+    }
+
     // Carve the output into disjoint slices matching the chunk ranges.
     let mut out: Vec<T> = vec![T::from_f64(0.0); n];
     {

@@ -15,7 +15,6 @@ use crate::block::{self, Geom, SIDE};
 use crate::coder;
 use crate::element::ZfpElement;
 use crate::fixedpoint;
-use crate::negabinary;
 use crate::order;
 use crate::transform;
 use crate::{ZfpCompressed, ZfpError, ZfpMode, ZfpStats};
@@ -83,7 +82,6 @@ pub fn compress_typed<T: ZfpElement>(
     let mut w = WriteStream::new();
     let mut fblock: Vec<T> = vec![T::from_f64(0.0); blen];
     let mut ints = vec![0i64; blen];
-    let mut reordered = vec![0i64; blen];
     let mut nb = vec![0u64; blen];
     let mut zero_blocks = 0u64;
 
@@ -111,10 +109,7 @@ pub fn compress_typed<T: ZfpElement>(
                     w.write_bits((emax + T::EMAX_BIAS) as u64, T::EMAX_BITS);
                     fixedpoint::forward(&fblock, emax, &mut ints);
                     transform::forward(&mut ints, d);
-                    order::apply(&ints, &perm, &mut reordered);
-                    for (o, &v) in nb.iter_mut().zip(reordered.iter()) {
-                        *o = negabinary::encode(v);
-                    }
+                    order::apply_negabinary(&ints, &perm, &mut nb);
                     coder::encode_ints(&nb, T::INTPREC, p.kmin, p.budget, &mut w);
                 }
                 // Fixed-rate blocks are padded to their exact budget so the
@@ -225,7 +220,7 @@ pub fn decompress_typed<T: ZfpElement>(stream: &[u8]) -> Result<(Vec<T>, Vec<usi
     let mut out: Vec<T> = vec![T::from_f64(0.0); g.len()];
     let mut r = ReadStream::new(payload);
     let mut ints = vec![0i64; blen];
-    let mut unordered = vec![0i64; blen];
+    let mut nb = vec![0u64; blen];
     let mut fblock: Vec<T> = vec![T::from_f64(0.0); blen];
 
     let (bz, by, bx) = g.block_counts();
@@ -237,11 +232,8 @@ pub fn decompress_typed<T: ZfpElement>(stream: &[u8]) -> Result<(Vec<T>, Vec<usi
                 if nonzero {
                     let emax = r.read_bits(T::EMAX_BITS) as i32 - T::EMAX_BIAS;
                     let p = block_params::<T>(&mode, d, emax);
-                    let nb = coder::decode_ints(blen, T::INTPREC, p.kmin, p.budget, &mut r);
-                    for (o, &v) in unordered.iter_mut().zip(nb.iter()) {
-                        *o = negabinary::decode(v);
-                    }
-                    order::invert(&unordered, &perm, &mut ints);
+                    coder::decode_ints_into(&mut nb, T::INTPREC, p.kmin, p.budget, &mut r);
+                    order::invert_negabinary(&nb, &perm, &mut ints);
                     transform::inverse(&mut ints, d);
                     fixedpoint::inverse(&ints, emax, &mut fblock);
                 } else {

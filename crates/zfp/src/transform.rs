@@ -60,7 +60,9 @@ pub fn inv_lift(v: &mut [i64; 4]) {
     *v = [x, y, z, w];
 }
 
-/// Apply `f` to every axis-aligned lane of a 4^d block.
+/// Apply `f` to every axis-aligned lane of a 4^d block by rediscovering
+/// lane origins with index arithmetic. Retained as the executable
+/// specification the specialized kernels below are tested against.
 fn for_each_lane(block: &mut [i64], d: usize, axis: usize, f: impl Fn(&mut [i64; 4])) {
     debug_assert!(axis < d);
     let stride = SIDE.pow(axis as u32);
@@ -84,19 +86,102 @@ fn for_each_lane(block: &mut [i64], d: usize, axis: usize, f: impl Fn(&mut [i64;
     debug_assert_eq!(n / SIDE, lanes);
 }
 
-/// Forward transform of a full 4^d block (d = 1, 2, or 3).
-pub fn forward(block: &mut [i64], d: usize) {
+/// Generic (index-arithmetic) forward transform — the reference path.
+#[doc(hidden)]
+pub fn forward_generic(block: &mut [i64], d: usize) {
     debug_assert_eq!(block.len(), SIDE.pow(d as u32));
     for axis in 0..d {
         for_each_lane(block, d, axis, fwd_lift);
     }
 }
 
-/// Inverse transform of a full 4^d block.
-pub fn inverse(block: &mut [i64], d: usize) {
+/// Generic (index-arithmetic) inverse transform — the reference path.
+#[doc(hidden)]
+pub fn inverse_generic(block: &mut [i64], d: usize) {
     debug_assert_eq!(block.len(), SIDE.pow(d as u32));
     for axis in (0..d).rev() {
         for_each_lane(block, d, axis, inv_lift);
+    }
+}
+
+/// Lane-origin tables for the 3-D block: per axis, the 16 base indices of
+/// its lanes (strides 1, 4, 16). Precomputed so the kernels touch each
+/// element exactly once per axis with no per-index div/mod.
+const LANES_3D: [([usize; 16], usize); 3] = {
+    let mut s1 = [0usize; 16];
+    let mut s4 = [0usize; 16];
+    let mut s16 = [0usize; 16];
+    let mut i = 0;
+    while i < 16 {
+        s1[i] = i * 4; // x-lanes: one per (y, z)
+        s4[i] = (i / 4) * 16 + i % 4; // y-lanes: one per (x, z)
+        s16[i] = i; // z-lanes: one per (x, y)
+        i += 1;
+    }
+    [(s1, 1), (s4, 4), (s16, 16)]
+};
+
+/// Lane-origin tables for the 2-D block (strides 1, 4).
+const LANES_2D: [([usize; 4], usize); 2] = [([0, 4, 8, 12], 1), ([0, 1, 2, 3], 4)];
+
+/// Lift one lane at `base` with the given stride, in place.
+#[inline(always)]
+fn lift_at(block: &mut [i64], base: usize, stride: usize, f: impl Fn(&mut [i64; 4])) {
+    let mut lane = [
+        block[base],
+        block[base + stride],
+        block[base + 2 * stride],
+        block[base + 3 * stride],
+    ];
+    f(&mut lane);
+    block[base] = lane[0];
+    block[base + stride] = lane[1];
+    block[base + 2 * stride] = lane[2];
+    block[base + 3 * stride] = lane[3];
+}
+
+/// Forward transform of a full 4^d block (d = 1, 2, or 3), dispatching to
+/// a dimension-specialized kernel.
+pub fn forward(block: &mut [i64], d: usize) {
+    debug_assert_eq!(block.len(), SIDE.pow(d as u32));
+    match d {
+        1 => lift_at(block, 0, 1, fwd_lift),
+        2 => {
+            for &(bases, stride) in &LANES_2D {
+                for &base in &bases {
+                    lift_at(block, base, stride, fwd_lift);
+                }
+            }
+        }
+        _ => {
+            for &(bases, stride) in &LANES_3D {
+                for &base in &bases {
+                    lift_at(block, base, stride, fwd_lift);
+                }
+            }
+        }
+    }
+}
+
+/// Inverse transform of a full 4^d block (axes in reverse order).
+pub fn inverse(block: &mut [i64], d: usize) {
+    debug_assert_eq!(block.len(), SIDE.pow(d as u32));
+    match d {
+        1 => lift_at(block, 0, 1, inv_lift),
+        2 => {
+            for &(bases, stride) in LANES_2D.iter().rev() {
+                for &base in &bases {
+                    lift_at(block, base, stride, inv_lift);
+                }
+            }
+        }
+        _ => {
+            for &(bases, stride) in LANES_3D.iter().rev() {
+                for &base in &bases {
+                    lift_at(block, base, stride, inv_lift);
+                }
+            }
+        }
     }
 }
 
@@ -179,6 +264,52 @@ mod tests {
         assert!(v[0].abs() > 500);
         assert!(v[2].abs() <= 4, "{v:?}");
         assert!(v[3].abs() <= 4, "{v:?}");
+    }
+
+    #[test]
+    fn specialized_kernels_match_generic_path() {
+        let mut x = 0xfeed_f00d_dead_beefu64;
+        for d in 1..=3usize {
+            let n = SIDE.pow(d as u32);
+            for _ in 0..500 {
+                let mut block = vec![0i64; n];
+                for slot in block.iter_mut() {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    *slot = (x as i64) >> 33;
+                }
+                let mut generic = block.clone();
+                forward(&mut block, d);
+                forward_generic(&mut generic, d);
+                assert_eq!(block, generic, "forward d={d}");
+                inverse(&mut block, d);
+                inverse_generic(&mut generic, d);
+                assert_eq!(block, generic, "inverse d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_tables_cover_every_element_once_per_axis() {
+        for (bases, stride) in LANES_3D {
+            let mut seen = [0u32; 64];
+            for base in bases {
+                for s in 0..SIDE {
+                    seen[base + s * stride] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "stride {stride}: {seen:?}");
+        }
+        for (bases, stride) in LANES_2D {
+            let mut seen = [0u32; 16];
+            for base in bases {
+                for s in 0..SIDE {
+                    seen[base + s * stride] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "stride {stride}: {seen:?}");
+        }
     }
 
     #[test]

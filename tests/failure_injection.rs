@@ -27,6 +27,13 @@ fn zfp_stream() -> Vec<u8> {
         .bytes
 }
 
+fn zfp_chunked_stream() -> Vec<u8> {
+    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
+    zfp::compress_chunked(&data, &[32, 64], &ZfpMode::FixedAccuracy(1e-3), 2)
+        .expect("compress")
+        .bytes
+}
+
 #[test]
 fn sz_survives_every_truncation_length() {
     let stream = sz_stream();
@@ -53,6 +60,16 @@ fn zfp_survives_every_truncation_length() {
     let stream = zfp_stream();
     for len in 0..stream.len() {
         let _ = zfp::decompress(&stream[..len]);
+    }
+}
+
+#[test]
+fn zfp_chunked_survives_every_truncation_length() {
+    let stream = zfp_chunked_stream();
+    for len in 0..stream.len() {
+        // A strict prefix loses payload bytes the chunk table promises, so
+        // every truncation must fail cleanly — never panic.
+        assert!(zfp::decompress_chunked::<f32>(&stream[..len], 1).is_err());
     }
 }
 
@@ -84,6 +101,36 @@ fn zfp_survives_single_byte_corruption_everywhere() {
         s[pos] ^= 0xA5;
         let _ = zfp::decompress(&s);
     }
+}
+
+#[test]
+fn zfp_chunked_survives_single_byte_corruption_everywhere() {
+    let stream = zfp_chunked_stream();
+    for pos in 0..stream.len() {
+        let mut s = stream.clone();
+        s[pos] ^= 0xA5;
+        let _ = zfp::decompress_chunked::<f32>(&s, 2); // must not panic
+    }
+}
+
+#[test]
+fn zfp_chunked_oversized_dims_rejected_without_allocating() {
+    // Forge a container whose header claims a gigantic array backed by a
+    // tiny payload: the decoder must reject it up front instead of
+    // allocating the claimed output size.
+    let mut s = Vec::new();
+    s.extend_from_slice(b"ZFLP");
+    s.push(0); // f32 tag
+    s.push(3); // rank
+    for d in [1u64 << 20, 1 << 20, 1 << 20] {
+        s.extend_from_slice(&d.to_le_bytes());
+    }
+    s.extend_from_slice(&1u32.to_le_bytes()); // one chunk
+    s.extend_from_slice(&0u64.to_le_bytes()); // a = 0
+    s.extend_from_slice(&(1u64 << 20).to_le_bytes()); // b = full extent
+    s.extend_from_slice(&8u64.to_le_bytes()); // 8 payload bytes
+    s.extend_from_slice(&[0u8; 8]);
+    assert!(zfp::decompress_chunked::<f32>(&s, 1).is_err());
 }
 
 proptest! {
@@ -142,5 +189,26 @@ proptest! {
             s[idx] ^= mask;
         }
         let _ = zfp::decompress(&s);
+    }
+
+    #[test]
+    fn zfp_chunked_decompress_never_panics_on_noise(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        let mut s = b"ZFLP".to_vec();
+        s.extend_from_slice(&bytes);
+        let _ = zfp::decompress_chunked::<f32>(&s, 1);
+    }
+
+    #[test]
+    fn zfp_chunked_decompress_never_panics_on_mutated_valid_stream(
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)
+    ) {
+        let mut s = zfp_chunked_stream();
+        for (pos, mask) in flips {
+            let idx = pos as usize % s.len();
+            s[idx] ^= mask;
+        }
+        let _ = zfp::decompress_chunked::<f32>(&s, 2);
     }
 }
