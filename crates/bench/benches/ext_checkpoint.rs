@@ -10,7 +10,7 @@ fn main() {
         "simulation keeps f_max; only compress+write phases are tuned",
     );
     let cfg = CheckpointConfig::paper_like();
-    let r = run_checkpoint_study(&cfg);
+    let r = run_checkpoint_study(&cfg).expect("paper-like checkpoint config compresses");
     println!(
         "job: {} checkpoints x {:.0} GB (SZ @ {:.0e}), ratio {:.2}x",
         cfg.checkpoints,

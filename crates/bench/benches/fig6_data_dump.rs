@@ -13,7 +13,8 @@ fn main() {
         "FIGURE 6 — energy dissipation for data dumping (512 GB NYX, SZ, 10 GbE NFS)",
         "tuned clock always saves energy; mean 6.5 kJ / 13% across error bounds",
     );
-    let (rows, summary) = run_data_dump(&DataDumpConfig::paper());
+    let (rows, summary) =
+        run_data_dump(&DataDumpConfig::paper()).expect("paper dump config compresses");
     println!("{}", render_dump("base clock vs Eqn-3 tuning:", &rows));
     println!(
         "mean savings: {:.1} kJ ({:.1}%)   [paper: 6.5 kJ, 13%]",

@@ -8,6 +8,7 @@
 //! phases (the simulation itself keeps the full clock — §I: "when a user
 //! runs simulations, one needs the full CPU power").
 
+use crate::error::CoreError;
 use crate::records::Compressor;
 use crate::tuning::TuningRule;
 use crate::workmap::CostModel;
@@ -127,7 +128,11 @@ impl CheckpointResult {
 }
 
 /// Run the study.
-pub fn run_checkpoint_study(cfg: &CheckpointConfig) -> CheckpointResult {
+///
+/// Fails with [`CoreError`] when the sample checkpoint cannot be
+/// compressed under the configured bound.
+pub fn run_checkpoint_study(cfg: &CheckpointConfig) -> Result<CheckpointResult, CoreError> {
+    let _span = lcpio_trace::span("core.checkpoint");
     let machine = Machine::for_chip(cfg.chip);
     let fmax = machine.cpu.f_max_ghz;
     let f_comp = machine.cpu.snap(cfg.rule.compression_fraction * fmax);
@@ -140,14 +145,12 @@ pub fn run_checkpoint_study(cfg: &CheckpointConfig) -> CheckpointResult {
     let (comp_profile, ratio) = match cfg.compressor {
         Compressor::Sz => {
             let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(cfg.error_bound));
-            let out = sz::compress_chunked(&field.data, &dims, &sc, cfg.threads)
-                .expect("samples compress");
+            let out = sz::compress_chunked(&field.data, &dims, &sc, cfg.threads)?;
             (cfg.cost_model.sz_profile(&out.stats, scale), out.stats.ratio())
         }
         Compressor::Zfp => {
             let mode = zfp::ZfpMode::FixedAccuracy(cfg.error_bound);
-            let out = zfp::compress_chunked(&field.data, &dims, &mode, cfg.threads)
-                .expect("samples compress");
+            let out = zfp::compress_chunked(&field.data, &dims, &mode, cfg.threads)?;
             (cfg.cost_model.zfp_profile(&out.stats, scale), out.stats.ratio())
         }
     };
@@ -170,7 +173,23 @@ pub fn run_checkpoint_study(cfg: &CheckpointConfig) -> CheckpointResult {
             runtime_s: (sim.runtime_s + comp.runtime_s + write.runtime_s) * n,
         }
     };
-    CheckpointResult { base: outcome(fmax, fmax), tuned: outcome(f_comp, f_write), ratio }
+    let result =
+        CheckpointResult { base: outcome(fmax, fmax), tuned: outcome(f_comp, f_write), ratio };
+    if lcpio_trace::collecting() {
+        lcpio_trace::counter_add(
+            "core.checkpoint.simulation_uj",
+            (result.base.simulation_j * 1e6) as u64,
+        );
+        lcpio_trace::counter_add(
+            "core.checkpoint.compression_uj",
+            (result.base.compression_j * 1e6) as u64,
+        );
+        lcpio_trace::counter_add(
+            "core.checkpoint.writing_uj",
+            (result.base.writing_j * 1e6) as u64,
+        );
+    }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -179,14 +198,14 @@ mod tests {
 
     #[test]
     fn dump_tuning_saves_whole_job_energy() {
-        let r = run_checkpoint_study(&CheckpointConfig::quick());
+        let r = run_checkpoint_study(&CheckpointConfig::quick()).expect("quick study runs");
         assert!(r.savings() > 0.0, "savings {}", r.savings());
         assert!(r.ratio > 1.0);
     }
 
     #[test]
     fn simulation_phase_is_untouched() {
-        let r = run_checkpoint_study(&CheckpointConfig::quick());
+        let r = run_checkpoint_study(&CheckpointConfig::quick()).expect("quick study runs");
         assert_eq!(r.base.simulation_j, r.tuned.simulation_j);
     }
 
@@ -194,7 +213,7 @@ mod tests {
     fn whole_job_runtime_cost_is_diluted() {
         // Tuning only the dump phases: the whole-job runtime increase must
         // be smaller than the dump-phase-only increase (~8%).
-        let r = run_checkpoint_study(&CheckpointConfig::paper_like());
+        let r = run_checkpoint_study(&CheckpointConfig::paper_like()).expect("paper-like study runs");
         assert!(
             r.runtime_increase() < 0.08,
             "whole-job runtime increase {}",
@@ -208,8 +227,8 @@ mod tests {
         // More frequent checkpoints → dump phases dominate → bigger savings.
         let rare = CheckpointConfig { step_cycles: 1e12, ..CheckpointConfig::quick() };
         let frequent = CheckpointConfig { step_cycles: 1e10, ..CheckpointConfig::quick() };
-        let r_rare = run_checkpoint_study(&rare);
-        let r_freq = run_checkpoint_study(&frequent);
+        let r_rare = run_checkpoint_study(&rare).expect("study runs");
+        let r_freq = run_checkpoint_study(&frequent).expect("study runs");
         assert!(r_freq.dump_share() > r_rare.dump_share());
         assert!(r_freq.savings() > r_rare.savings());
     }
@@ -217,7 +236,7 @@ mod tests {
     #[test]
     fn zfp_checkpoints_also_save() {
         let cfg = CheckpointConfig { compressor: Compressor::Zfp, ..CheckpointConfig::quick() };
-        let r = run_checkpoint_study(&cfg);
+        let r = run_checkpoint_study(&cfg).expect("study runs");
         assert!(r.savings() > 0.0);
     }
 }

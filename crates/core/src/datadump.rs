@@ -5,6 +5,7 @@
 //! clock and once with Eqn-3 tuning (−12.5% for compression, −15% for the
 //! write). Tuning saves 6.5 kJ (13%) on average across the bounds.
 
+use crate::error::CoreError;
 use crate::records::Compressor;
 use crate::tuning::TuningRule;
 use crate::workmap::CostModel;
@@ -119,7 +120,11 @@ pub struct DumpSummary {
 }
 
 /// Run the Figure 6 experiment.
-pub fn run_data_dump(cfg: &DataDumpConfig) -> (Vec<DumpRow>, DumpSummary) {
+///
+/// Fails with [`CoreError`] when the sample field cannot be compressed
+/// under the configured bound (e.g. a non-finite `error_bounds` entry).
+pub fn run_data_dump(cfg: &DataDumpConfig) -> Result<(Vec<DumpRow>, DumpSummary), CoreError> {
+    let _span = lcpio_trace::span("core.dump");
     let machine = Machine::for_chip(cfg.chip);
     let fmax = machine.cpu.f_max_ghz;
     let f_comp = machine.cpu.snap(cfg.rule.compression_fraction * fmax);
@@ -134,14 +139,12 @@ pub fn run_data_dump(cfg: &DataDumpConfig) -> (Vec<DumpRow>, DumpSummary) {
         let (profile, ratio) = match cfg.compressor {
             Compressor::Sz => {
                 let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(eb));
-                let out = sz::compress_chunked(&field.data, &dims, &sc, cfg.threads)
-                    .expect("NYX samples always compress");
+                let out = sz::compress_chunked(&field.data, &dims, &sc, cfg.threads)?;
                 (cfg.cost_model.sz_profile(&out.stats, scale_factor), out.stats.ratio())
             }
             Compressor::Zfp => {
                 let mode = zfp::ZfpMode::FixedAccuracy(eb);
-                let out = zfp::compress_chunked(&field.data, &dims, &mode, cfg.threads)
-                    .expect("NYX samples always compress");
+                let out = zfp::compress_chunked(&field.data, &dims, &mode, cfg.threads)?;
                 (cfg.cost_model.zfp_profile(&out.stats, scale_factor), out.stats.ratio())
             }
         };
@@ -158,19 +161,28 @@ pub fn run_data_dump(cfg: &DataDumpConfig) -> (Vec<DumpRow>, DumpSummary) {
                 writing_s: w.runtime_s,
             }
         };
-        rows.push(DumpRow {
+        let row = DumpRow {
             error_bound: eb,
             ratio,
             base: energy_at(fmax, fmax),
             tuned: energy_at(f_comp, f_write),
-        });
+        };
+        if lcpio_trace::collecting() {
+            lcpio_trace::counter_add(
+                "core.dump.compression_uj",
+                (row.base.compression_j * 1e6) as u64,
+            );
+            lcpio_trace::counter_add("core.dump.writing_uj", (row.base.writing_j * 1e6) as u64);
+            lcpio_trace::counter_add("core.dump.saved_uj", (row.saved_j() * 1e6) as u64);
+        }
+        rows.push(row);
     }
     let n = rows.len().max(1) as f64;
     let summary = DumpSummary {
         mean_saved_j: rows.iter().map(|r| r.saved_j()).sum::<f64>() / n,
         mean_savings: rows.iter().map(|r| r.savings()).sum::<f64>() / n,
     };
-    (rows, summary)
+    Ok((rows, summary))
 }
 
 #[cfg(test)]
@@ -179,7 +191,7 @@ mod tests {
 
     #[test]
     fn tuning_always_saves_energy() {
-        let (rows, summary) = run_data_dump(&DataDumpConfig::quick());
+        let (rows, summary) = run_data_dump(&DataDumpConfig::quick()).expect("quick dump runs");
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(r.saved_j() > 0.0, "eb {}: no savings", r.error_bound);
@@ -190,7 +202,7 @@ mod tests {
     #[test]
     fn savings_fraction_matches_paper_band() {
         // Paper: 13% on average (6.5 kJ of ~50 kJ).
-        let (_, summary) = run_data_dump(&DataDumpConfig::paper());
+        let (_, summary) = run_data_dump(&DataDumpConfig::paper()).expect("paper dump runs");
         assert!(
             (0.06..0.20).contains(&summary.mean_savings),
             "savings {}",
@@ -202,7 +214,7 @@ mod tests {
     fn absolute_energy_is_tens_of_kilojoules() {
         // 512 GB of compression + writing lands in the 10–200 kJ decade —
         // same order as Figure 6's tens of kJ.
-        let (rows, _) = run_data_dump(&DataDumpConfig::paper());
+        let (rows, _) = run_data_dump(&DataDumpConfig::paper()).expect("paper dump runs");
         for r in &rows {
             let kj = r.base.total_j() / 1e3;
             assert!((10.0..400.0).contains(&kj), "eb {}: {kj} kJ", r.error_bound);
@@ -211,7 +223,7 @@ mod tests {
 
     #[test]
     fn finer_bounds_cost_more_energy_and_compress_less() {
-        let (rows, _) = run_data_dump(&DataDumpConfig::paper());
+        let (rows, _) = run_data_dump(&DataDumpConfig::paper()).expect("paper dump runs");
         // rows are ordered 1e-1 → 1e-4.
         assert!(rows.first().unwrap().ratio > rows.last().unwrap().ratio);
         assert!(rows.first().unwrap().base.total_j() < rows.last().unwrap().base.total_j());
@@ -219,7 +231,7 @@ mod tests {
 
     #[test]
     fn writing_shrinks_with_compression_ratio() {
-        let (rows, _) = run_data_dump(&DataDumpConfig::paper());
+        let (rows, _) = run_data_dump(&DataDumpConfig::paper()).expect("paper dump runs");
         for r in &rows {
             // Compressed write must be much cheaper than compression for
             // high ratios.
@@ -233,7 +245,7 @@ mod tests {
             compressor: Compressor::Zfp,
             ..DataDumpConfig::quick()
         };
-        let (_, summary) = run_data_dump(&cfg);
+        let (_, summary) = run_data_dump(&cfg).expect("dump runs");
         assert!(summary.mean_savings > 0.0);
     }
 }

@@ -1,0 +1,61 @@
+//! Error type for the experiment drivers.
+//!
+//! The drivers really compress sample fields, so codec failures (a bad
+//! error bound in a config, a degenerate sample) must surface to callers
+//! instead of aborting the process from library code.
+
+use lcpio_sz::SzError;
+use lcpio_zfp::ZfpError;
+
+/// An error from one of the experiment drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// SZ compression of a sample field failed.
+    Sz(SzError),
+    /// ZFP compression of a sample field failed.
+    Zfp(ZfpError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Sz(e) => write!(f, "sz compression failed: {e}"),
+            CoreError::Zfp(e) => write!(f, "zfp compression failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sz(e) => Some(e),
+            CoreError::Zfp(e) => Some(e),
+        }
+    }
+}
+
+impl From<SzError> for CoreError {
+    fn from(e: SzError) -> Self {
+        CoreError::Sz(e)
+    }
+}
+
+impl From<ZfpError> for CoreError {
+    fn from(e: ZfpError) -> Self {
+        CoreError::Zfp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_forward_to_codec_error() {
+        let e = CoreError::from(SzError::InvalidDims);
+        assert!(e.to_string().contains("sz compression failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::from(ZfpError::InvalidDims);
+        assert!(e.to_string().contains("zfp compression failed"));
+    }
+}

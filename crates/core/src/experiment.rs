@@ -157,6 +157,7 @@ fn run_compression_job(
 
 /// Run the full compression sweep of §IV-A.
 pub fn run_compression_sweep(cfg: &ExperimentConfig) -> Vec<CompressionRecord> {
+    let _span = lcpio_trace::span("core.sweep.compression");
     // Enumerate combinations with their deterministic seeds.
     let combos: Vec<(Compressor, Dataset, f64, u64)> = cfg
         .compressors
@@ -209,6 +210,7 @@ pub fn run_compression_sweep(cfg: &ExperimentConfig) -> Vec<CompressionRecord> {
 /// from its identity, so the combos fan out over the shared worker pool
 /// with record order fixed by the combo index.
 pub fn run_transit_sweep(cfg: &ExperimentConfig) -> Vec<TransitRecord> {
+    let _span = lcpio_trace::span("core.sweep.transit");
     let combos: Vec<(Chip, usize, f64)> = cfg
         .chips
         .iter()

@@ -34,6 +34,7 @@
 pub mod characteristics;
 pub mod checkpoint;
 pub mod datadump;
+pub mod error;
 pub mod experiment;
 pub mod generalization;
 pub mod models;
@@ -48,6 +49,7 @@ pub mod tuning;
 pub mod validation;
 pub mod workmap;
 
+pub use error::CoreError;
 pub use experiment::{ExperimentConfig, SweepResult};
 pub use records::{CompressionRecord, Compressor, TransitRecord};
 pub use tuning::{TuningReport, TuningRule};
@@ -79,7 +81,8 @@ mod tests {
         );
         assert!(report.combined_savings() > 0.05);
 
-        let (rows, summary) = datadump::run_data_dump(&datadump::DataDumpConfig::quick());
+        let (rows, summary) = datadump::run_data_dump(&datadump::DataDumpConfig::quick())
+            .expect("quick dump runs");
         assert!(!rows.is_empty());
         assert!(summary.mean_savings > 0.0);
     }

@@ -145,7 +145,7 @@ mod tests {
         let rb = run_readback(&ReadbackConfig::quick());
         let mut dump_cfg = DataDumpConfig::quick();
         dump_cfg.error_bounds = vec![1e-3];
-        let (rows, _) = run_data_dump(&dump_cfg);
+        let (rows, _) = run_data_dump(&dump_cfg).expect("quick dump runs");
         assert!(
             rb.base.compression_j < rows[0].base.compression_j,
             "decompress {} !< compress {}",

@@ -74,10 +74,18 @@ pub fn simulate(machine: &Machine, f_ghz: f64, profile: &WorkProfile) -> Measure
     let t_io = profile.io_bytes / (machine.nfs.net_bw_gbs * 1e9);
     let t = t_c + t_m + t_io;
     let dyn_w = cpu.dynamic_power(f_ghz);
-    let e = cpu.p_static_w * t
-        + dyn_w * profile.compute_intensity * t_c
-        + (cpu.p_mem_w + cpu.uncore_dyn_frac * dyn_w) * t_m
-        + (cpu.p_io_w + cpu.uncore_dyn_frac * dyn_w) * t_io;
+    // Per-phase energies: static power is attributed to the phase it is
+    // burned in, so the three terms sum exactly to the total.
+    let e_c = (cpu.p_static_w + dyn_w * profile.compute_intensity) * t_c;
+    let e_m = (cpu.p_static_w + cpu.p_mem_w + cpu.uncore_dyn_frac * dyn_w) * t_m;
+    let e_io = (cpu.p_static_w + cpu.p_io_w + cpu.uncore_dyn_frac * dyn_w) * t_io;
+    let e = e_c + e_m + e_io;
+    if lcpio_trace::collecting() {
+        lcpio_trace::counter_add("powersim.calls", 1);
+        lcpio_trace::counter_add("powersim.compute_uj", (e_c * 1e6) as u64);
+        lcpio_trace::counter_add("powersim.memory_uj", (e_m * 1e6) as u64);
+        lcpio_trace::counter_add("powersim.io_uj", (e_io * 1e6) as u64);
+    }
     Measurement {
         f_ghz,
         runtime_s: t,

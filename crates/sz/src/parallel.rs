@@ -104,6 +104,7 @@ pub fn compress_chunked<T: Element>(
     let ranges = chunk_ranges(slow);
 
     // Compress chunks in parallel; each result lands in its own slot.
+    let outer = lcpio_trace::span("sz.compress_chunked");
     let cursor = AtomicUsize::new(0);
     let slots: Vec<ChunkSlot<Compressed>> =
         (0..ranges.len()).map(|_| Mutex::new(None)).collect();
@@ -111,6 +112,7 @@ pub fn compress_chunked<T: Element>(
         for _ in 0..threads.min(ranges.len()) {
             s.spawn(|| {
                 let mut scratch = SzScratch::<T>::new();
+                let mut laps = lcpio_trace::Stopwatch::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= ranges.len() {
@@ -120,12 +122,16 @@ pub fn compress_chunked<T: Element>(
                     let mut sub_dims = dims.to_vec();
                     sub_dims[0] = b - a;
                     let sub = &data[a * row..b * row];
-                    *slots[i].lock().expect("slot lock") =
-                        Some(compress_typed_with(sub, &sub_dims, cfg, &mut scratch));
+                    let compressed =
+                        laps.lap(|| compress_typed_with(sub, &sub_dims, cfg, &mut scratch));
+                    *slots[i].lock().expect("slot lock") = Some(compressed);
                 }
+                laps.commit("sz.chunk.compress");
             });
         }
     });
+    lcpio_trace::counter_add("sz.chunks", ranges.len() as u64);
+    drop(outer);
 
     let mut chunks = Vec::with_capacity(ranges.len());
     let mut stats = CompressionStats::default();

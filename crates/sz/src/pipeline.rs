@@ -347,13 +347,17 @@ pub fn compress_typed_with<T: Element>(
     s.coeffs.clear();
     s.lit_bytes.clear();
 
-    let (regression_blocks, lorenzo_blocks) = if block_mode {
-        encode_blocks(data, g, &q, s)
-    } else {
-        encode_classic(data, g, cfg.lorenzo_order, &q, s)
+    let (regression_blocks, lorenzo_blocks) = {
+        let _span = lcpio_trace::span("sz.predict_quantize");
+        if block_mode {
+            encode_blocks(data, g, &q, s)
+        } else {
+            encode_classic(data, g, cfg.lorenzo_order, &q, s)
+        }
     };
 
     // Histogram + Huffman table over the dense symbol alphabet.
+    let huff_span = lcpio_trace::span("sz.huffman");
     s.freqs.clear();
     s.freqs.resize(q.alphabet_size(), 0);
     for &sym in &s.symbols {
@@ -365,6 +369,7 @@ pub fn compress_typed_with<T: Element>(
         huff.encode(sym, &mut s.sym_bits).map_err(|_| SzError::Internal("huffman encode"))?;
     }
     let huffman_bits = s.sym_bits.bit_len() as u64;
+    drop(huff_span);
 
     // ---- assemble payload ----
     let mut p = Writer::new();
@@ -409,6 +414,7 @@ pub fn compress_typed_with<T: Element>(
 
     // ---- envelope ----
     let (flags, body) = if cfg.lossless {
+        let _span = lcpio_trace::span("sz.lossless");
         let z = lossless::compress(&payload);
         if z.len() < payload.len() {
             (FLAG_LOSSLESS, z)
@@ -436,6 +442,17 @@ pub fn compress_typed_with<T: Element>(
         huffman_table_entries: n_present as u64,
         huffman_bits,
     };
+    if lcpio_trace::collecting() {
+        lcpio_trace::counter_add("sz.elements", stats.elements);
+        lcpio_trace::counter_add("sz.bytes_in", stats.input_bytes);
+        lcpio_trace::counter_add("sz.bytes_out", stats.output_bytes);
+        lcpio_trace::counter_add("sz.predictable", stats.predictable);
+        lcpio_trace::counter_add("sz.literal_escapes", stats.unpredictable);
+        lcpio_trace::counter_add("sz.regression_blocks", stats.regression_blocks);
+        lcpio_trace::counter_add("sz.lorenzo_blocks", stats.lorenzo_blocks);
+        lcpio_trace::counter_add("sz.huffman.table_entries", stats.huffman_table_entries);
+        lcpio_trace::counter_add("sz.huffman.bits", stats.huffman_bits);
+    }
     Ok(Compressed { bytes, stats })
 }
 
@@ -476,6 +493,7 @@ fn unwrap_envelope(stream: &[u8]) -> Result<Vec<u8>, SzError> {
 /// [`SzError::TypeMismatch`] when the stream holds a different element
 /// type.
 pub fn decompress_typed<T: Element>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>), SzError> {
+    let _span = lcpio_trace::span("sz.decompress");
     let payload = unwrap_envelope(stream)?;
     let mut r = Reader::new(&payload);
     let tag = r.u8()?;

@@ -50,7 +50,10 @@ pub fn compress_chunked<T: ZfpElement>(
     if dims.is_empty() || dims.len() > 4 || dims.contains(&0) {
         return Err(ZfpError::InvalidDims);
     }
-    let n: usize = dims.iter().product();
+    let n = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(ZfpError::InvalidDims)?;
     if n != data.len() {
         return Err(ZfpError::InvalidDims);
     }
@@ -67,24 +70,32 @@ pub fn compress_chunked<T: ZfpElement>(
     let ranges = chunk_ranges(slow, threads);
 
     // Compress chunks in parallel; each result lands in its own slot.
+    let outer = lcpio_trace::span("zfp.compress_chunked");
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<ZfpCompressed, ZfpError>>>> =
         (0..ranges.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads.min(ranges.len()) {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= ranges.len() {
-                    break;
+            s.spawn(|| {
+                let mut laps = lcpio_trace::Stopwatch::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= ranges.len() {
+                        break;
+                    }
+                    let (a, b) = ranges[i];
+                    let mut sub_dims = dims.to_vec();
+                    sub_dims[0] = b - a;
+                    let sub = &data[a * row..b * row];
+                    let compressed = laps.lap(|| compress_typed(sub, &sub_dims, mode));
+                    *slots[i].lock().expect("slot lock") = Some(compressed);
                 }
-                let (a, b) = ranges[i];
-                let mut sub_dims = dims.to_vec();
-                sub_dims[0] = b - a;
-                let sub = &data[a * row..b * row];
-                *slots[i].lock().expect("slot lock") = Some(compress_typed(sub, &sub_dims, mode));
+                laps.commit("zfp.chunk.compress");
             });
         }
     });
+    lcpio_trace::counter_add("zfp.chunks", ranges.len() as u64);
+    drop(outer);
 
     let mut chunks = Vec::with_capacity(ranges.len());
     let mut stats = ZfpStats::default();

@@ -84,6 +84,11 @@ pub fn compress_typed<T: ZfpElement>(
     let mut ints = vec![0i64; blen];
     let mut nb = vec![0u64; blen];
     let mut zero_blocks = 0u64;
+    // Per-block timings accumulate locally; the global registry is touched
+    // once per compress call (after the loop), never per block.
+    let mut transform_laps = lcpio_trace::Stopwatch::new();
+    let mut coder_laps = lcpio_trace::Stopwatch::new();
+    let mut bit_planes = 0u64;
 
     let (bz, by, bx) = g.block_counts();
     for bk in 0..bz {
@@ -107,10 +112,14 @@ pub fn compress_typed<T: ZfpElement>(
                     let p = params.expect("skip guard covers None");
                     w.write_bit(true);
                     w.write_bits((emax + T::EMAX_BIAS) as u64, T::EMAX_BITS);
-                    fixedpoint::forward(&fblock, emax, &mut ints);
-                    transform::forward(&mut ints, d);
-                    order::apply_negabinary(&ints, &perm, &mut nb);
-                    coder::encode_ints(&nb, T::INTPREC, p.kmin, p.budget, &mut w);
+                    transform_laps.lap(|| {
+                        fixedpoint::forward(&fblock, emax, &mut ints);
+                        transform::forward(&mut ints, d);
+                        order::apply_negabinary(&ints, &perm, &mut nb);
+                    });
+                    coder_laps
+                        .lap(|| coder::encode_ints(&nb, T::INTPREC, p.kmin, p.budget, &mut w));
+                    bit_planes += (T::INTPREC - p.kmin) as u64;
                 }
                 // Fixed-rate blocks are padded to their exact budget so the
                 // stream supports random block access.
@@ -120,7 +129,10 @@ pub fn compress_typed<T: ZfpElement>(
             }
         }
     }
+    transform_laps.commit("zfp.transform");
+    coder_laps.commit("zfp.coder");
 
+    let bitstream_span = lcpio_trace::span("zfp.bitstream");
     let payload = w.into_bytes();
     let bitstream_bits = payload.len() * 8;
 
@@ -137,6 +149,7 @@ pub fn compress_typed<T: ZfpElement>(
     out.extend_from_slice(&param.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&payload);
+    drop(bitstream_span);
 
     let stats = ZfpStats {
         elements: data.len() as u64,
@@ -146,6 +159,15 @@ pub fn compress_typed<T: ZfpElement>(
         zero_blocks,
         payload_bits: bitstream_bits as u64,
     };
+    if lcpio_trace::collecting() {
+        lcpio_trace::counter_add("zfp.elements", stats.elements);
+        lcpio_trace::counter_add("zfp.bytes_in", stats.input_bytes);
+        lcpio_trace::counter_add("zfp.bytes_out", stats.output_bytes);
+        lcpio_trace::counter_add("zfp.blocks", stats.blocks);
+        lcpio_trace::counter_add("zfp.zero_blocks", stats.zero_blocks);
+        lcpio_trace::counter_add("zfp.payload_bits", stats.payload_bits);
+        lcpio_trace::counter_add("zfp.bit_planes", bit_planes);
+    }
     Ok(ZfpCompressed { bytes: out, stats })
 }
 
@@ -175,6 +197,7 @@ pub fn stream_type_tag(stream: &[u8]) -> Result<u8, ZfpError> {
 /// [`ZfpError::TypeMismatch`] when the stream holds a different element
 /// type.
 pub fn decompress_typed<T: ZfpElement>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>), ZfpError> {
+    let _span = lcpio_trace::span("zfp.decompress");
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Result<&[u8], ZfpError> {
         if *pos + n > stream.len() {

@@ -11,7 +11,7 @@ use lcpio::core::checkpoint::{run_checkpoint_study, CheckpointConfig};
 fn main() {
     println!("simulating a checkpointing job on the Broadwell node...\n");
     let cfg = CheckpointConfig::paper_like();
-    let r = run_checkpoint_study(&cfg);
+    let r = run_checkpoint_study(&cfg).expect("paper-like checkpoint config compresses");
     println!(
         "{} checkpoints x {:.0} GB, SZ at eb {:.0e} (ratio {:.2}x)\n",
         cfg.checkpoints,

@@ -12,7 +12,7 @@ use lcpio::core::report::render_dump;
 fn main() {
     println!("simulating the 512 GB NYX data dump on the Broadwell node...\n");
     let cfg = DataDumpConfig::paper();
-    let (rows, summary) = run_data_dump(&cfg);
+    let (rows, summary) = run_data_dump(&cfg).expect("paper dump config compresses");
     println!("{}", render_dump("FIGURE 6 — energy dissipation for data dumping", &rows));
     println!(
         "mean savings: {:.1} kJ ({:.1}%)   [paper: 6.5 kJ, 13%]",

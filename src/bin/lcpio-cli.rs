@@ -2,8 +2,8 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = match lcpio::cli::parse(&args) {
-        Ok(c) => c,
+    let inv = match lcpio::cli::parse_invocation(&args) {
+        Ok(inv) => inv,
         Err(e) => {
             eprintln!("{e}");
             eprintln!("{}", lcpio::cli::usage());
@@ -11,7 +11,7 @@ fn main() {
         }
     };
     let mut stdout = std::io::stdout().lock();
-    if let Err(e) = lcpio::cli::run(cmd, &mut stdout) {
+    if let Err(e) = lcpio::cli::run_invocation(inv, &mut stdout) {
         eprintln!("{e}");
         std::process::exit(1);
     }

@@ -24,6 +24,13 @@
 //! tune       -i sweep.json
 //! dump       [--gb 512]
 //! ```
+//!
+//! Every subcommand additionally accepts `--metrics out.json` (anywhere
+//! on the line): after the command finishes, the spans and counters
+//! collected by `lcpio-trace` during the run are written to the given
+//! path as JSON, together with the command name and wall time. With the
+//! `trace` feature disabled the file is still written but the report is
+//! empty.
 
 use lcpio_core::characteristics::{
     compression_power_curves, compression_runtime_curves, transit_power_curves,
@@ -202,6 +209,73 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
     s.parse().map_err(|_| CliError::Usage(format!("cannot parse {what} `{s}`")))
 }
 
+/// Parse a flag that must be a finite, strictly positive number
+/// (`--eb`, `--gb`): zeros, negatives, `inf` and `nan` are usage errors,
+/// not values to hand to the codecs.
+fn parse_pos_f64(s: &str, what: &str) -> Result<f64, CliError> {
+    let v: f64 = parse_num(s, what)?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(CliError::Usage(format!("{what} must be finite and positive, got `{s}`")));
+    }
+    Ok(v)
+}
+
+/// Parse an integer flag that must be at least 1 (`--scale`, `--reps`).
+fn parse_nonzero<T>(s: &str, what: &str) -> Result<T, CliError>
+where
+    T: std::str::FromStr + PartialEq + From<u8>,
+{
+    let v: T = parse_num(s, what)?;
+    if v == T::from(0u8) {
+        return Err(CliError::Usage(format!("{what} must be at least 1, got `{s}`")));
+    }
+    Ok(v)
+}
+
+/// Hard ceiling on `--threads` (0 still means "all available cores").
+const MAX_THREADS: usize = 4096;
+
+fn parse_threads(s: &str) -> Result<usize, CliError> {
+    let v: usize = parse_num(s, "threads")?;
+    if v > MAX_THREADS {
+        return Err(CliError::Usage(format!("threads must be at most {MAX_THREADS}, got `{s}`")));
+    }
+    Ok(v)
+}
+
+/// A parsed command plus session-level options that apply to every
+/// subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The subcommand to execute.
+    pub command: Command,
+    /// Write a JSON metrics report (spans, counters, wall time) to this
+    /// path after the command finishes.
+    pub metrics: Option<PathBuf>,
+}
+
+/// Parse an argument vector (without the program name), extracting
+/// session-level flags like `--metrics out.json` that may appear anywhere
+/// on the command line.
+pub fn parse_invocation(args: &[String]) -> Result<Invocation, CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut metrics = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics" {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage("flag `--metrics` needs a value".to_string()))?;
+            metrics = Some(PathBuf::from(v));
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok(Invocation { command: parse(&rest)?, metrics })
+}
+
 /// Parse an argument vector (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let (cmd, rest) = args.split_first().ok_or_else(|| CliError::Usage(usage().to_string()))?;
@@ -209,16 +283,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     match cmd.as_str() {
         "gen" => Ok(Command::Gen {
             dataset: parse_dataset(req(&m, &["dataset", "d"])?)?,
-            scale: parse_num(m.get("scale").map(String::as_str).unwrap_or("4096"), "scale")?,
+            scale: parse_nonzero(m.get("scale").map(String::as_str).unwrap_or("4096"), "scale")?,
             seed: parse_num(m.get("seed").map(String::as_str).unwrap_or("1"), "seed")?,
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
         "compress" => Ok(Command::Compress {
             codec: req(&m, &["codec", "c"])?.to_ascii_lowercase(),
-            eb: parse_num(m.get("eb").map(String::as_str).unwrap_or("1e-3"), "error bound")?,
+            eb: parse_pos_f64(m.get("eb").map(String::as_str).unwrap_or("1e-3"), "error bound")?,
             rel: m.contains_key("rel"),
             pwrel: m.contains_key("pwrel"),
-            threads: parse_num(m.get("threads").map(String::as_str).unwrap_or("0"), "threads")?,
+            threads: parse_threads(m.get("threads").map(String::as_str).unwrap_or("0"))?,
             input: PathBuf::from(req(&m, &["i", "input"])?),
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
@@ -232,14 +306,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             b: PathBuf::from(req(&m, &["b"])?),
         }),
         "sweep" => Ok(Command::Sweep {
-            scale: parse_num(m.get("scale").map(String::as_str).unwrap_or("256"), "scale")?,
-            reps: parse_num(m.get("reps").map(String::as_str).unwrap_or("10"), "reps")?,
+            scale: parse_nonzero(m.get("scale").map(String::as_str).unwrap_or("256"), "scale")?,
+            reps: parse_nonzero(m.get("reps").map(String::as_str).unwrap_or("10"), "reps")?,
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
         "tables" => Ok(Command::Tables { input: PathBuf::from(req(&m, &["i", "input"])?) }),
         "tune" => Ok(Command::Tune { input: PathBuf::from(req(&m, &["i", "input"])?) }),
         "dump" => Ok(Command::Dump {
-            gb: parse_num(m.get("gb").map(String::as_str).unwrap_or("512"), "gb")?,
+            gb: parse_pos_f64(m.get("gb").map(String::as_str).unwrap_or("512"), "gb")?,
         }),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{}", usage()))),
     }
@@ -279,9 +353,19 @@ pub fn read_field(path: &Path) -> Result<(Vec<f32>, Vec<usize>), CliError> {
         let off = 6 + r * 8;
         dims.push(u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes")) as usize);
     }
-    let n: usize = dims.iter().product();
+    // A forged header must not be allowed to overflow the expected-length
+    // arithmetic (wrapping could make a bogus size "match" in release
+    // builds, and the multiplications panic in debug builds).
+    let n = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| CliError::Codec("field dims overflow".to_string()))?;
     let data_off = 6 + rank * 8;
-    if bytes.len() != data_off + n * 4 {
+    let expected = n
+        .checked_mul(4)
+        .and_then(|b| b.checked_add(data_off))
+        .ok_or_else(|| CliError::Codec("field dims overflow".to_string()))?;
+    if bytes.len() != expected {
         return Err(CliError::Codec("field payload length mismatch".to_string()));
     }
     let data: Vec<f32> = bytes[data_off..]
@@ -289,6 +373,50 @@ pub fn read_field(path: &Path) -> Result<(Vec<f32>, Vec<usize>), CliError> {
         .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
     Ok((data, dims))
+}
+
+/// The subcommand's name, as typed on the command line.
+fn command_name(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Gen { .. } => "gen",
+        Command::Compress { .. } => "compress",
+        Command::Decompress { .. } => "decompress",
+        Command::Info { .. } => "info",
+        Command::Quality { .. } => "quality",
+        Command::Sweep { .. } => "sweep",
+        Command::Tables { .. } => "tables",
+        Command::Tune { .. } => "tune",
+        Command::Dump { .. } => "dump",
+    }
+}
+
+/// Execute an invocation: run the command, then — when `--metrics` was
+/// given — write the trace report collected during the run as JSON.
+///
+/// The report is written even when the command itself fails (the spans
+/// and counters up to the failure are often exactly what's needed to
+/// debug it), but a command error takes precedence over a report-write
+/// error.
+pub fn run_invocation(inv: Invocation, out: &mut dyn Write) -> Result<(), CliError> {
+    let name = command_name(&inv.command);
+    lcpio_trace::reset();
+    let start = std::time::Instant::now();
+    let result = run(inv.command, out);
+    if let Some(path) = &inv.metrics {
+        let report = lcpio_trace::snapshot();
+        let json = format!(
+            "{{\n\"command\": \"{}\",\n\"wall_s\": {:.6},\n\"trace_enabled\": {},\n\"report\": {}\n}}\n",
+            name,
+            start.elapsed().as_secs_f64(),
+            lcpio_trace::collecting(),
+            report.to_json()
+        );
+        let write_result = std::fs::write(path, json);
+        result?;
+        write_result?;
+        return Ok(());
+    }
+    result
 }
 
 /// Execute a command, writing human-readable output to `out`.
@@ -428,7 +556,8 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
         }
         Command::Dump { gb } => {
             let cfg = DataDumpConfig { total_bytes: gb * 1e9, ..DataDumpConfig::paper() };
-            let (rows, summary) = run_data_dump(&cfg);
+            let (rows, summary) =
+                run_data_dump(&cfg).map_err(|e| CliError::Codec(e.to_string()))?;
             writeln!(out, "{}", render_dump(&format!("{gb:.0} GB data dump:"), &rows))?;
             writeln!(
                 out,
@@ -550,6 +679,115 @@ mod tests {
         let path = tmp("corrupt.lcpf");
         std::fs::write(&path, b"not a field").expect("write");
         assert!(read_field(&path).is_err());
+    }
+
+    #[test]
+    fn read_field_rejects_forged_oversized_dims() {
+        // A header whose dims multiply past usize::MAX (or whose byte count
+        // does) must be rejected with an error — not a debug-build panic or
+        // a release-build wraparound that could "match" the payload length.
+        for dims in [
+            vec![u64::MAX, u64::MAX],
+            vec![u64::MAX / 2, 3],
+            vec![(usize::MAX / 4) as u64 + 1], // n*4 overflows, n itself fits
+        ] {
+            let path = tmp("forged.lcpf");
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&FIELD_MAGIC);
+            bytes.push(0); // f32 tag
+            bytes.push(dims.len() as u8);
+            for &d in &dims {
+                bytes.extend_from_slice(&d.to_le_bytes());
+            }
+            bytes.extend_from_slice(&[0u8; 16]); // token payload
+            std::fs::write(&path, bytes).expect("write");
+            let err = read_field(&path).expect_err("forged dims must be rejected");
+            assert!(
+                matches!(err, CliError::Codec(_)),
+                "dims {dims:?}: wrong error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_degenerate_numbers() {
+        // Zero / negative / non-finite numeric flags are usage errors at
+        // parse time, before any work starts.
+        for cmd in [
+            "compress --codec sz --eb 0 -i a -o b",
+            "compress --codec sz --eb -1e-3 -i a -o b",
+            "compress --codec sz --eb inf -i a -o b",
+            "compress --codec sz --eb nan -i a -o b",
+            "compress --codec sz --threads 1000000 -i a -o b",
+            "gen --dataset nyx --scale 0 -o x",
+            "sweep --scale 0 -o x",
+            "sweep --reps 0 -o x",
+            "dump --gb 0",
+            "dump --gb -512",
+            "dump --gb inf",
+        ] {
+            let err = parse(&argv(cmd)).expect_err(cmd);
+            assert!(matches!(err, CliError::Usage(_)), "{cmd}: wrong error {err:?}");
+        }
+        // The boundary values stay accepted.
+        assert!(parse(&argv("compress --codec sz --eb 1e-12 --threads 0 -i a -o b")).is_ok());
+        assert!(parse(&argv("gen --dataset nyx --scale 1 -o x")).is_ok());
+        assert!(parse(&argv("sweep --reps 1 -o x")).is_ok());
+    }
+
+    #[test]
+    fn parse_invocation_extracts_metrics_anywhere() {
+        let inv = parse_invocation(&argv("--metrics m.json dump --gb 64")).expect("parse");
+        assert_eq!(inv.metrics, Some(PathBuf::from("m.json")));
+        assert_eq!(inv.command, Command::Dump { gb: 64.0 });
+        let inv = parse_invocation(&argv("dump --gb 64 --metrics m.json")).expect("parse");
+        assert_eq!(inv.metrics, Some(PathBuf::from("m.json")));
+        let inv = parse_invocation(&argv("dump --gb 64")).expect("parse");
+        assert_eq!(inv.metrics, None);
+        assert!(parse_invocation(&argv("dump --metrics")).is_err());
+    }
+
+    #[test]
+    fn metrics_report_is_written_as_json() {
+        let field = tmp("metrics.lcpf");
+        let comp = tmp("metrics.sz");
+        let report = tmp("metrics.json");
+        let mut out = Vec::new();
+        run_invocation(
+            parse_invocation(&argv(&format!(
+                "gen --dataset nyx --scale 65536 --seed 9 -o {}",
+                field.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("gen");
+        run_invocation(
+            parse_invocation(&argv(&format!(
+                "compress --codec sz --eb 1e-2 --threads 2 -i {} -o {} --metrics {}",
+                field.display(),
+                comp.display(),
+                report.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("compress");
+        let json = std::fs::read_to_string(&report).expect("metrics file written");
+        assert!(json.contains("\"command\": \"compress\""), "{json}");
+        assert!(json.contains("\"wall_s\""), "{json}");
+        assert!(json.contains("\"spans\""), "{json}");
+        assert!(json.contains("\"counters\""), "{json}");
+        // Span/counter contents exist only when the trace feature is on
+        // (the --no-default-features CI leg writes an empty report).
+        if cfg!(feature = "trace") {
+            assert!(json.contains("\"trace_enabled\": true"), "{json}");
+            assert!(json.contains("sz.predict_quantize"), "{json}");
+            assert!(json.contains("sz.chunk.compress"), "{json}");
+            assert!(json.contains("\"sz.bytes_in\""), "{json}");
+        } else {
+            assert!(json.contains("\"trace_enabled\": false"), "{json}");
+        }
     }
 
     #[test]

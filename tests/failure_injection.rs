@@ -20,6 +20,13 @@ fn sz_chunked_stream() -> Vec<u8> {
         .bytes
 }
 
+fn sz_pwrel_stream() -> Vec<u8> {
+    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
+    sz::compress_pointwise_rel(&data, &[32, 64], 1e-3, &SzConfig::new(ErrorBound::Absolute(1.0)))
+        .expect("compress")
+        .bytes
+}
+
 fn zfp_stream() -> Vec<u8> {
     let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
     zfp::compress(&data, &[32, 64], &ZfpMode::FixedAccuracy(1e-3))
@@ -52,6 +59,17 @@ fn sz_chunked_survives_every_truncation_length() {
         // and payload lengths must line up exactly), so every truncation
         // must fail cleanly — never panic.
         assert!(sz::decompress_chunked::<f32>(&stream[..len], 1).is_err());
+    }
+}
+
+#[test]
+fn sz_pwrel_survives_every_truncation_length() {
+    let stream = sz_pwrel_stream();
+    for len in 0..stream.len() {
+        // The header, sign-bitmap section, and inner SZ stream are all
+        // length-prefixed, so any strict prefix must fail cleanly — never
+        // panic.
+        assert!(sz::decompress_pointwise_rel::<f32>(&stream[..len]).is_err());
     }
 }
 
@@ -91,6 +109,53 @@ fn sz_chunked_survives_single_byte_corruption_everywhere() {
         s[pos] ^= 0xFF;
         let _ = sz::decompress_chunked::<f32>(&s, 2); // must not panic
     }
+}
+
+#[test]
+fn sz_pwrel_survives_single_byte_corruption_everywhere() {
+    let stream = sz_pwrel_stream();
+    for pos in 0..stream.len() {
+        let mut s = stream.clone();
+        s[pos] ^= 0xFF;
+        let _ = sz::decompress_pointwise_rel::<f32>(&s); // must not panic
+    }
+}
+
+#[test]
+fn sz_pwrel_survives_corrupted_sign_bitmap() {
+    // The sign bitmap starts right after the 13-byte header and the 8-byte
+    // section length prefix. Flipping bits there flips signs in the output
+    // (or trips a length check) but must never panic.
+    let stream = sz_pwrel_stream();
+    let bitmap_start = 21;
+    assert!(stream.len() > bitmap_start + 8, "stream too short for the test");
+    for pos in bitmap_start..(bitmap_start + 8) {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut s = stream.clone();
+            s[pos] ^= mask;
+            let _ = sz::decompress_pointwise_rel::<f32>(&s); // must not panic
+        }
+    }
+}
+
+#[test]
+fn sz_pwrel_rejects_forged_magic_and_type_tag() {
+    let stream = sz_pwrel_stream();
+
+    // Wrong magic: every other container magic in the workspace must be
+    // refused, not misinterpreted.
+    for magic in [b"SZL1", b"SZLP", b"ZFLP", b"XXXX"] {
+        let mut s = stream.clone();
+        s[..4].copy_from_slice(magic);
+        assert!(sz::decompress_pointwise_rel::<f32>(&s).is_err());
+    }
+
+    // An f32 payload presented with a forged f64 type tag (and vice versa)
+    // must be a type mismatch, never a reinterpretation.
+    let mut s = stream.clone();
+    s[4] ^= 0xFF;
+    assert!(sz::decompress_pointwise_rel::<f32>(&s).is_err());
+    assert!(sz::decompress_pointwise_rel::<f64>(&stream).is_err());
 }
 
 #[test]
@@ -189,6 +254,27 @@ proptest! {
             s[idx] ^= mask;
         }
         let _ = zfp::decompress(&s);
+    }
+
+    #[test]
+    fn sz_pwrel_decompress_never_panics_on_noise(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        let mut s = b"SZPR".to_vec();
+        s.extend_from_slice(&bytes);
+        let _ = sz::decompress_pointwise_rel::<f32>(&s);
+    }
+
+    #[test]
+    fn sz_pwrel_decompress_never_panics_on_mutated_valid_stream(
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)
+    ) {
+        let mut s = sz_pwrel_stream();
+        for (pos, mask) in flips {
+            let idx = pos as usize % s.len();
+            s[idx] ^= mask;
+        }
+        let _ = sz::decompress_pointwise_rel::<f32>(&s);
     }
 
     #[test]

@@ -60,7 +60,7 @@ fn paper_reproduction_shapes_hold_end_to_end() {
     assert!(val.gof.rmse < 0.08, "validation rmse {}", val.gof.rmse);
 
     // Figure 6: tuning the 512 GB dump always saves energy.
-    let (rows, summary) = run_data_dump(&DataDumpConfig::quick());
+    let (rows, summary) = run_data_dump(&DataDumpConfig::quick()).expect("quick dump runs");
     assert!(rows.iter().all(|r| r.saved_j() > 0.0));
     assert!((0.05..0.25).contains(&summary.mean_savings), "{}", summary.mean_savings);
 }
