@@ -1,10 +1,12 @@
-//! Criterion micro-benchmarks of both codecs: compression and
+//! Criterion micro-benchmarks of every registered codec: compression and
 //! decompression throughput on a NYX-like field at two error bounds.
+//!
+//! The benchmark iterates [`registry()`], so a newly registered backend
+//! shows up here with no edits.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcpio_codec::{registry, BoundSpec};
 use lcpio_datagen::nyx;
-use lcpio_sz::{self as sz, ErrorBound, SzConfig};
-use lcpio_zfp::{self as zfp, ZfpMode};
 
 fn bench_compressors(c: &mut Criterion) {
     let field = nyx::velocity_x(48, 11);
@@ -14,38 +16,33 @@ fn bench_compressors(c: &mut Criterion) {
     let mut group = c.benchmark_group("compress");
     group.throughput(Throughput::Bytes(bytes));
     for eb in [1e-2f64, 1e-4] {
-        group.bench_with_input(BenchmarkId::new("sz", format!("{eb:e}")), &eb, |b, &eb| {
-            let cfg = SzConfig::new(ErrorBound::Absolute(eb));
-            b.iter(|| sz::compress(&field.data, &dims, &cfg).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("zfp", format!("{eb:e}")), &eb, |b, &eb| {
-            let mode = ZfpMode::FixedAccuracy(eb);
-            b.iter(|| zfp::compress(&field.data, &dims, &mode).unwrap());
-        });
+        for codec in registry().codecs() {
+            group.bench_with_input(
+                BenchmarkId::new(codec.name(), format!("{eb:e}")),
+                &eb,
+                |b, &eb| {
+                    b.iter(|| {
+                        codec.compress(&field.data, &dims, BoundSpec::Absolute(eb)).unwrap()
+                    });
+                },
+            );
+        }
     }
     group.finish();
 
     let mut group = c.benchmark_group("decompress");
     group.throughput(Throughput::Bytes(bytes));
     for eb in [1e-2f64, 1e-4] {
-        let sz_stream = sz::compress(
-            &field.data,
-            &dims,
-            &SzConfig::new(ErrorBound::Absolute(eb)),
-        )
-        .unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("sz", format!("{eb:e}")),
-            &sz_stream.bytes,
-            |b, bytes| b.iter(|| sz::decompress(bytes).unwrap()),
-        );
-        let zfp_stream =
-            zfp::compress(&field.data, &dims, &ZfpMode::FixedAccuracy(eb)).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("zfp", format!("{eb:e}")),
-            &zfp_stream.bytes,
-            |b, bytes| b.iter(|| zfp::decompress(bytes).unwrap()),
-        );
+        for codec in registry().codecs() {
+            let stream = codec
+                .compress(&field.data, &dims, BoundSpec::Absolute(eb))
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(codec.name(), format!("{eb:e}")),
+                &stream.bytes,
+                |b, bytes| b.iter(|| registry().decompress_auto(bytes, 1).unwrap()),
+            );
+        }
     }
     group.finish();
 }

@@ -7,8 +7,8 @@
 //! every thread count, so the speedup comes with full reproducibility.
 
 use lcpio_bench::banner;
+use lcpio_codec::{registry, BoundSpec};
 use lcpio_datagen::nyx;
-use lcpio_sz::{compress, compress_chunked, decompress_chunked, ErrorBound, SzConfig};
 use std::time::Instant;
 
 fn main() {
@@ -18,10 +18,11 @@ fn main() {
     );
     let field = nyx::velocity_x(256, 3); // 256^3 = 16.8 M elements
     let dims: Vec<usize> = field.dims().extents().to_vec();
-    let cfg = SzConfig::new(ErrorBound::Absolute(1e-3));
+    let codec = registry().by_name("sz").expect("sz is registered");
+    let bound = BoundSpec::Absolute(1e-3);
 
     let t0 = Instant::now();
-    let serial = compress(&field.data, &dims, &cfg).expect("compress");
+    let serial = codec.compress(&field.data, &dims, bound).expect("compress");
     let serial_time = t0.elapsed();
     println!(
         "serial:             {:>8.1} ms   {:>9} bytes",
@@ -31,10 +32,10 @@ fn main() {
 
     for threads in [1usize, 2, 4, 8] {
         let t0 = Instant::now();
-        let out = compress_chunked(&field.data, &dims, &cfg, threads).expect("compress");
+        let out = codec.compress_chunked(&field.data, &dims, bound, threads).expect("compress");
         let dt = t0.elapsed();
         let t1 = Instant::now();
-        let (rec, _) = decompress_chunked::<f32>(&out.bytes, threads).expect("decompress");
+        let (rec, _) = registry().decompress_auto(&out.bytes, threads).expect("decompress");
         let ddt = t1.elapsed();
         let overhead = out.bytes.len() as f64 / serial.bytes.len() as f64 - 1.0;
         assert_eq!(rec.len(), field.data.len());

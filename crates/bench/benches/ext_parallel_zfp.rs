@@ -2,8 +2,8 @@
 //! (tiny) size overhead of the chunk container.
 
 use lcpio_bench::banner;
+use lcpio_codec::{registry, BoundSpec};
 use lcpio_datagen::nyx;
-use lcpio_zfp::{compress, compress_chunked, decompress_chunked, ZfpMode};
 use std::time::Instant;
 
 fn main() {
@@ -13,10 +13,11 @@ fn main() {
     );
     let field = nyx::velocity_x(96, 3);
     let dims: Vec<usize> = field.dims().extents().to_vec();
-    let mode = ZfpMode::FixedAccuracy(1e-3);
+    let codec = registry().by_name("zfp").expect("zfp is registered");
+    let bound = BoundSpec::Absolute(1e-3);
 
     let t0 = Instant::now();
-    let serial = compress(&field.data, &dims, &mode).expect("compress");
+    let serial = codec.compress(&field.data, &dims, bound).expect("compress");
     let serial_time = t0.elapsed();
     println!(
         "serial:             {:>8.1} ms   {:>9} bytes",
@@ -26,10 +27,10 @@ fn main() {
 
     for threads in [1usize, 2, 4, 8] {
         let t0 = Instant::now();
-        let out = compress_chunked(&field.data, &dims, &mode, threads).expect("compress");
+        let out = codec.compress_chunked(&field.data, &dims, bound, threads).expect("compress");
         let dt = t0.elapsed();
         let t1 = Instant::now();
-        let (rec, _) = decompress_chunked::<f32>(&out.bytes, threads).expect("decompress");
+        let (rec, _) = registry().decompress_auto(&out.bytes, threads).expect("decompress");
         let ddt = t1.elapsed();
         let overhead = out.bytes.len() as f64 / serial.bytes.len() as f64 - 1.0;
         assert_eq!(rec.len(), field.data.len());

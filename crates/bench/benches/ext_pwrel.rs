@@ -2,10 +2,8 @@
 //! field spanning many decades — NYX baryon density.
 
 use lcpio_bench::banner;
+use lcpio_codec::{registry, BoundSpec};
 use lcpio_datagen::nyx;
-use lcpio_sz::{
-    compress, compress_pointwise_rel, decompress_pointwise_rel, ErrorBound, SzConfig,
-};
 
 fn main() {
     banner(
@@ -17,21 +15,19 @@ fn main() {
     let (lo, hi) = field.value_range();
     println!("field range: [{lo:.3e}, {hi:.3e}]  ({:.1} decades)\n", (hi / lo).log10());
 
+    let codec = registry().by_name("sz").expect("sz is registered");
     println!("{:>10} {:>12} {:>16}", "rel bound", "pwrel ratio", "abs-mode ratio*");
     for r in [1e-1, 1e-2, 1e-3, 1e-4] {
-        let pw = compress_pointwise_rel(
-            &field.data,
-            &dims,
-            r,
-            &SzConfig::new(ErrorBound::Absolute(1.0)),
-        )
-        .expect("compress");
+        let pw = codec
+            .compress(&field.data, &dims, BoundSpec::PointwiseRelative(r))
+            .expect("compress");
         // The "equivalent" absolute bound needed to protect the smallest
         // value: r * lo — brutally tight for the large values.
         let abs_eb = (r * lo as f64).max(1e-12);
-        let abs = compress(&field.data, &dims, &SzConfig::new(ErrorBound::Absolute(abs_eb)))
+        let abs = codec
+            .compress(&field.data, &dims, BoundSpec::Absolute(abs_eb))
             .expect("compress");
-        let (rec, _) = decompress_pointwise_rel::<f32>(&pw.bytes).expect("decompress");
+        let (rec, _) = registry().decompress_auto(&pw.bytes, 1).expect("decompress");
         let worst_rel = field
             .data
             .iter()

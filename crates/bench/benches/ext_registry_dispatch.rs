@@ -1,0 +1,80 @@
+//! Registry dispatch overhead: the unified codec abstraction routes every
+//! compression through one `&dyn Codec` virtual call per field. This bench
+//! pins that indirection at <1% against the direct backend call on the
+//! 128³ acceptance field, and checks the two paths emit identical bytes.
+//!
+//! (This file is deliberately exempt from the no-direct-backend-calls rule
+//! enforced by `tests/codec_dispatch.rs` — it *is* the baseline.)
+
+use lcpio_bench::banner;
+use lcpio_codec::{registry, BoundSpec};
+use lcpio_sz::{compress_chunked, ErrorBound, SzConfig};
+use std::time::{Duration, Instant};
+
+const SIDE: usize = 128;
+const THREADS: usize = 4;
+const REPS: usize = 9;
+
+fn smooth_field() -> Vec<f32> {
+    let mut out = Vec::with_capacity(SIDE * SIDE * SIDE);
+    for z in 0..SIDE {
+        for y in 0..SIDE {
+            for x in 0..SIDE {
+                let (x, y, z) = (x as f32, y as f32, z as f32);
+                out.push((x * 0.08).sin() * (y * 0.05).cos() + (z * 0.03).sin() * 2.0);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    banner(
+        "EXTENSION — trait-object dispatch overhead of the codec registry",
+        "registry compress_chunked vs direct sz::compress_chunked on a 128^3 field",
+    );
+    let data = smooth_field();
+    let dims = vec![SIDE, SIDE, SIDE];
+    let cfg = SzConfig::new(ErrorBound::Absolute(1e-3));
+    let codec = registry().by_name("sz").expect("sz is registered");
+    let bound = BoundSpec::Absolute(1e-3);
+
+    // Same bytes on both paths — the registry is a router, not a format.
+    let direct_out = compress_chunked(&data, &dims, &cfg, THREADS).expect("compress");
+    let registry_out = codec.compress_chunked(&data, &dims, bound, THREADS).expect("compress");
+    assert_eq!(direct_out.bytes, registry_out.bytes, "dispatch must not change the stream");
+
+    // Interleave the two paths and keep the minimum wall time of each: the
+    // minimum is robust to scheduler noise, which dwarfs one virtual call.
+    let mut best_direct = Duration::MAX;
+    let mut best_registry = Duration::MAX;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = compress_chunked(&data, &dims, &cfg, THREADS).expect("compress");
+        best_direct = best_direct.min(t0.elapsed());
+        std::hint::black_box(out.bytes.len());
+
+        let t0 = Instant::now();
+        let out = codec.compress_chunked(&data, &dims, bound, THREADS).expect("compress");
+        best_registry = best_registry.min(t0.elapsed());
+        std::hint::black_box(out.bytes.len());
+    }
+
+    let overhead =
+        best_registry.as_secs_f64() / best_direct.as_secs_f64() - 1.0;
+    println!(
+        "direct:   {:>8.2} ms  (best of {REPS})",
+        best_direct.as_secs_f64() * 1e3
+    );
+    println!(
+        "registry: {:>8.2} ms  (best of {REPS})",
+        best_registry.as_secs_f64() * 1e3
+    );
+    println!("overhead: {:+.3}%", overhead * 100.0);
+    assert!(
+        overhead < 0.01,
+        "registry dispatch added {:.3}% (>1%) over the direct call",
+        overhead * 100.0
+    );
+    println!("\nPASS — trait-object dispatch adds <1% on a 128^3 field");
+}

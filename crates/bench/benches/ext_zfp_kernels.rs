@@ -4,8 +4,9 @@
 //! of the kernels the rewrite touched.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcpio_codec::{registry, BoundSpec, Codec};
 use lcpio_zfp::bitstream::{ReadStream, WriteStream};
-use lcpio_zfp::{self as zfp, transform, ZfpMode};
+use lcpio_zfp::transform;
 
 const SIDE: usize = 128;
 
@@ -27,37 +28,38 @@ fn bench_codec(c: &mut Criterion) {
     let data = smooth_field();
     let dims = vec![SIDE, SIDE, SIDE];
     let bytes = (data.len() * 4) as u64;
-    let mode = ZfpMode::FixedAccuracy(1e-3);
+    let zfp: &dyn Codec = registry().by_name("zfp").expect("zfp is registered");
+    let bound = BoundSpec::Absolute(1e-3);
 
     let mut group = c.benchmark_group("zfp_kernels/compress");
     group.throughput(Throughput::Bytes(bytes));
-    group.bench_with_input(BenchmarkId::new("serial", "128^3"), &mode, |b, mode| {
-        b.iter(|| zfp::compress(&data, &dims, mode).unwrap());
+    group.bench_with_input(BenchmarkId::new("serial", "128^3"), &bound, |b, &bound| {
+        b.iter(|| zfp.compress(&data, &dims, bound).unwrap());
     });
     for threads in [2usize, 4] {
         group.bench_with_input(
             BenchmarkId::new("chunked", format!("128^3/t{threads}")),
             &threads,
             |b, &threads| {
-                b.iter(|| zfp::compress_chunked(&data, &dims, &mode, threads).unwrap());
+                b.iter(|| zfp.compress_chunked(&data, &dims, bound, threads).unwrap());
             },
         );
     }
     group.finish();
 
-    let stream = zfp::compress(&data, &dims, &mode).unwrap();
-    let chunked = zfp::compress_chunked(&data, &dims, &mode, 4).unwrap();
+    let stream = zfp.compress(&data, &dims, bound).unwrap();
+    let chunked = zfp.compress_chunked(&data, &dims, bound, 4).unwrap();
     let mut group = c.benchmark_group("zfp_kernels/decompress");
     group.throughput(Throughput::Bytes(bytes));
     group.bench_with_input(BenchmarkId::new("serial", "128^3"), &stream.bytes, |b, s| {
-        b.iter(|| zfp::decompress(s).unwrap());
+        b.iter(|| zfp.decompress(s, 1).unwrap());
     });
     for threads in [2usize, 4] {
         group.bench_with_input(
             BenchmarkId::new("chunked", format!("128^3/t{threads}")),
             &threads,
             |b, &threads| {
-                b.iter(|| zfp::decompress_chunked::<f32>(&chunked.bytes, threads).unwrap());
+                b.iter(|| zfp.decompress(&chunked.bytes, threads).unwrap());
             },
         );
     }

@@ -1,0 +1,149 @@
+//! The static codec registry: name → codec and magic → codec resolution.
+
+use crate::sz_adapter::SzCodec;
+use crate::zfp_adapter::ZfpCodec;
+use crate::{Codec, CodecError, ContainerInfo};
+
+static SZ: SzCodec = SzCodec::new();
+static ZFP: ZfpCodec = ZfpCodec::new();
+static REGISTRY: CodecRegistry = CodecRegistry { codecs: &[&SZ, &ZFP] };
+
+/// The process-wide registry holding every built-in backend.
+pub fn registry() -> &'static CodecRegistry {
+    &REGISTRY
+}
+
+/// Resolves codecs by CLI name and compressed containers by magic bytes.
+///
+/// Registration is static: the backends live in `static` items and the
+/// registry is a `const` slice over them, so lookups are allocation-free
+/// and `&'static dyn Codec` handles can be stored anywhere.
+pub struct CodecRegistry {
+    codecs: &'static [&'static dyn Codec],
+}
+
+impl CodecRegistry {
+    /// All registered codecs, in registration order.
+    pub fn codecs(&self) -> &'static [&'static dyn Codec] {
+        self.codecs
+    }
+
+    /// Registered codec names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.codecs.iter().map(|c| c.name()).collect()
+    }
+
+    /// Every `(codec, container)` pair the registry knows, in
+    /// registration order — the CLI renders its supported-container table
+    /// from this.
+    pub fn list(&self) -> Vec<(&'static dyn Codec, &'static ContainerInfo)> {
+        self.codecs
+            .iter()
+            .flat_map(|&c| c.containers().iter().map(move |info| (c, info)))
+            .collect()
+    }
+
+    /// Look a codec up by its CLI name (ASCII case-insensitive, so the
+    /// driver-facing `Compressor::name()` spellings "SZ"/"ZFP" also
+    /// resolve).
+    pub fn by_name(&self, name: &str) -> Option<&'static dyn Codec> {
+        self.codecs.iter().copied().find(|c| c.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Resolve the codec and container behind a stream's 4-byte magic.
+    pub fn by_magic(
+        &self,
+        stream: &[u8],
+    ) -> Result<(&'static dyn Codec, &'static ContainerInfo), CodecError> {
+        if stream.len() < 4 {
+            return Err(CodecError::TooShort);
+        }
+        let magic: [u8; 4] = stream[..4].try_into().expect("4 bytes");
+        for (codec, info) in self.list() {
+            if info.magic == magic {
+                return Ok((codec, info));
+            }
+        }
+        Err(CodecError::UnknownMagic(magic))
+    }
+
+    /// One-line description of a stream's container, if recognized.
+    pub fn describe(&self, stream: &[u8]) -> Option<&'static str> {
+        self.by_magic(stream).ok().map(|(_, info)| info.description)
+    }
+
+    /// Decompress a stream into `f32` after sniffing its container.
+    pub fn decompress_auto(
+        &self,
+        stream: &[u8],
+        threads: usize,
+    ) -> Result<(Vec<f32>, Vec<usize>), CodecError> {
+        let (codec, _) = self.by_magic(stream)?;
+        codec.decompress(stream, threads)
+    }
+
+    /// Decompress a stream into `f64` after sniffing its container.
+    pub fn decompress_auto_f64(
+        &self,
+        stream: &[u8],
+        threads: usize,
+    ) -> Result<(Vec<f64>, Vec<usize>), CodecError> {
+        let (codec, _) = self.by_magic(stream)?;
+        codec.decompress_f64(stream, threads)
+    }
+}
+
+/// Render the registry's containers as a Markdown table (the README's
+/// "Supported containers" section is generated from this and pinned by a
+/// test).
+pub fn render_container_table() -> String {
+    let mut out = String::from("| Magic | Codec | Container |\n|-------|-------|-----------|\n");
+    for (codec, info) in registry().list() {
+        out.push_str(&format!(
+            "| `{}` | {} | {} |\n",
+            info.magic_str(),
+            codec.name(),
+            info.description
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_lookup() {
+        assert_eq!(registry().names(), vec!["sz", "zfp"]);
+        assert_eq!(registry().by_name("sz").expect("sz").name(), "sz");
+        assert_eq!(registry().by_name("ZFP").expect("zfp case-insensitive").name(), "zfp");
+        assert!(registry().by_name("lz4").is_none());
+    }
+
+    #[test]
+    fn list_covers_all_five_containers() {
+        let magics: Vec<&str> = registry().list().iter().map(|(_, i)| i.magic_str()).collect();
+        assert_eq!(magics, vec!["SZL1", "SZLP", "SZPR", "ZFL1", "ZFLP"]);
+    }
+
+    #[test]
+    fn magic_resolution() {
+        let (codec, info) = registry().by_magic(b"SZLP....").expect("sz chunked");
+        assert_eq!(codec.name(), "sz");
+        assert_eq!(info.description, "SZ chunked (parallel) stream");
+        assert_eq!(registry().by_magic(b"XY").err(), Some(CodecError::TooShort));
+        assert_eq!(
+            registry().by_magic(b"NOPE").err(),
+            Some(CodecError::UnknownMagic(*b"NOPE"))
+        );
+    }
+
+    #[test]
+    fn table_lists_every_magic() {
+        let table = render_container_table();
+        for magic in ["SZL1", "SZLP", "SZPR", "ZFL1", "ZFLP"] {
+            assert!(table.contains(magic), "table missing {magic}:\n{table}");
+        }
+    }
+}

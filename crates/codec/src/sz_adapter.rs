@@ -1,0 +1,180 @@
+//! [`Codec`] adapter over `lcpio-sz`.
+
+use crate::{BoundSpec, Codec, CodecError, CodecStats, ContainerInfo, Encoded};
+use lcpio_sz as sz;
+use lcpio_sz::{CompressionStats, SzScratchPool};
+
+/// The SZ backend: Lorenzo/regression prediction, error-bounded
+/// quantization, Huffman coding, LZSS lossless stage.
+///
+/// Owns an [`SzScratchPool`] so chunked compression reuses worker scratch
+/// buffers across calls instead of reallocating per field.
+pub struct SzCodec {
+    pool_f32: SzScratchPool<f32>,
+}
+
+/// Containers the SZ adapter produces/decodes. Descriptions are the CLI's
+/// historical `info` strings — tests pin them.
+static SZ_CONTAINERS: [ContainerInfo; 3] = [
+    ContainerInfo { magic: sz::header::MAGIC, description: "SZ compressed stream" },
+    ContainerInfo {
+        magic: sz::CHUNKED_MAGIC,
+        description: "SZ chunked (parallel) stream",
+    },
+    ContainerInfo {
+        magic: sz::pwrel::PWREL_MAGIC,
+        description: "SZ pointwise-relative stream",
+    },
+];
+
+impl SzCodec {
+    /// New adapter with empty scratch pools (usable in a `static`).
+    pub const fn new() -> Self {
+        SzCodec { pool_f32: SzScratchPool::new() }
+    }
+
+    /// Map a portable bound onto an SZ config; pointwise-relative streams
+    /// take a separate wrapper pipeline and are handled by the caller.
+    fn config(bound: BoundSpec) -> Option<sz::SzConfig> {
+        match bound {
+            BoundSpec::Absolute(eb) => Some(sz::SzConfig::new(sz::ErrorBound::Absolute(eb))),
+            BoundSpec::ValueRangeRelative(r) => {
+                Some(sz::SzConfig::new(sz::ErrorBound::ValueRangeRelative(r)))
+            }
+            BoundSpec::PointwiseRelative(_) => None,
+        }
+    }
+
+    /// The inner config the pointwise-relative wrapper runs its log-domain
+    /// pipeline with (the wrapper substitutes the real log-domain bound).
+    fn pwrel_inner_config() -> sz::SzConfig {
+        sz::SzConfig::new(sz::ErrorBound::Absolute(1.0))
+    }
+}
+
+impl Default for SzCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// SZ stats → codec-neutral stats: literals are the unpredictable
+/// elements, coded bits are the Huffman payload.
+fn convert(stats: &CompressionStats) -> CodecStats {
+    CodecStats {
+        elements: stats.elements,
+        input_bytes: stats.input_bytes,
+        output_bytes: stats.output_bytes,
+        literal_elements: stats.unpredictable,
+        coded_bits: stats.huffman_bits,
+    }
+}
+
+fn encoded(out: sz::Compressed) -> Encoded {
+    Encoded { stats: convert(&out.stats), bytes: out.bytes }
+}
+
+impl Codec for SzCodec {
+    fn name(&self) -> &'static str {
+        "sz"
+    }
+
+    fn containers(&self) -> &'static [ContainerInfo] {
+        &SZ_CONTAINERS
+    }
+
+    fn compress(
+        &self,
+        data: &[f32],
+        dims: &[usize],
+        bound: BoundSpec,
+    ) -> Result<Encoded, CodecError> {
+        let out = match Self::config(bound) {
+            Some(cfg) => sz::compress(data, dims, &cfg)?,
+            None => {
+                let BoundSpec::PointwiseRelative(r) = bound else { unreachable!() };
+                sz::compress_pointwise_rel(data, dims, r, &Self::pwrel_inner_config())?
+            }
+        };
+        Ok(encoded(out))
+    }
+
+    fn compress_chunked(
+        &self,
+        data: &[f32],
+        dims: &[usize],
+        bound: BoundSpec,
+        threads: usize,
+    ) -> Result<Encoded, CodecError> {
+        match Self::config(bound) {
+            Some(cfg) => Ok(encoded(sz::compress_chunked_pooled(
+                data,
+                dims,
+                &cfg,
+                threads,
+                &self.pool_f32,
+            )?)),
+            // Pointwise-relative has no chunked container; the serial
+            // wrapper stream is the only on-disk format.
+            None => self.compress(data, dims, bound),
+        }
+    }
+
+    fn compress_for_profile(
+        &self,
+        data: &[f32],
+        dims: &[usize],
+        bound: BoundSpec,
+    ) -> Result<Encoded, CodecError> {
+        // SZ's chunk layout is a pure function of the array shape, so the
+        // chunked stream (and its stats) is identical at every worker
+        // count. Characterize that stream — it is what the parallel dump
+        // writes — with one inner worker, since profile sampling runs
+        // inside an already-parallel sweep pool.
+        self.compress_chunked(data, dims, bound, 1)
+    }
+
+    fn compress_f64(
+        &self,
+        data: &[f64],
+        dims: &[usize],
+        bound: BoundSpec,
+    ) -> Result<Encoded, CodecError> {
+        let out = match Self::config(bound) {
+            Some(cfg) => sz::compress_f64(data, dims, &cfg)?,
+            None => {
+                let BoundSpec::PointwiseRelative(r) = bound else { unreachable!() };
+                sz::compress_pointwise_rel(data, dims, r, &Self::pwrel_inner_config())?
+            }
+        };
+        Ok(encoded(out))
+    }
+
+    fn decompress(
+        &self,
+        stream: &[u8],
+        threads: usize,
+    ) -> Result<(Vec<f32>, Vec<usize>), CodecError> {
+        if stream.starts_with(&sz::CHUNKED_MAGIC) {
+            Ok(sz::decompress_chunked::<f32>(stream, threads)?)
+        } else if stream.starts_with(&sz::pwrel::PWREL_MAGIC) {
+            Ok(sz::decompress_pointwise_rel::<f32>(stream)?)
+        } else {
+            Ok(sz::decompress(stream)?)
+        }
+    }
+
+    fn decompress_f64(
+        &self,
+        stream: &[u8],
+        threads: usize,
+    ) -> Result<(Vec<f64>, Vec<usize>), CodecError> {
+        if stream.starts_with(&sz::CHUNKED_MAGIC) {
+            Ok(sz::decompress_chunked::<f64>(stream, threads)?)
+        } else if stream.starts_with(&sz::pwrel::PWREL_MAGIC) {
+            Ok(sz::decompress_pointwise_rel::<f64>(stream)?)
+        } else {
+            Ok(sz::decompress_f64(stream)?)
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! [`Codec`] adapter over `lcpio-zfp`.
+
+use crate::{BoundSpec, Codec, CodecError, CodecStats, ContainerInfo, Encoded};
+use lcpio_zfp as zfp;
+use lcpio_zfp::ZfpStats;
+
+/// The ZFP backend: block floating point, lifted transform, embedded
+/// bit-plane coding. Only fixed-accuracy (absolute) bounds travel through
+/// the portable trait; fixed-rate/precision stay backend-specific.
+///
+/// ZFP's chunked path is allocation-light (no per-worker scratch type),
+/// so the adapter carries no buffer pool.
+pub struct ZfpCodec;
+
+/// Containers the ZFP adapter produces/decodes. Descriptions are the
+/// CLI's historical `info` strings — tests pin them.
+static ZFP_CONTAINERS: [ContainerInfo; 2] = [
+    ContainerInfo { magic: zfp::MAGIC, description: "ZFP compressed stream" },
+    ContainerInfo {
+        magic: zfp::CHUNKED_MAGIC,
+        description: "ZFP chunked (parallel) stream",
+    },
+];
+
+impl ZfpCodec {
+    /// New adapter (usable in a `static`).
+    pub const fn new() -> Self {
+        ZfpCodec
+    }
+
+    /// ZFP supports only absolute (fixed-accuracy) bounds.
+    fn mode(bound: BoundSpec) -> Result<zfp::ZfpMode, CodecError> {
+        match bound {
+            BoundSpec::Absolute(eb) => Ok(zfp::ZfpMode::FixedAccuracy(eb)),
+            other => Err(CodecError::UnsupportedBound { codec: "zfp", bound: other }),
+        }
+    }
+}
+
+impl Default for ZfpCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// ZFP stats → codec-neutral stats: no literal path, coded bits are the
+/// bit-plane payload.
+fn convert(stats: &ZfpStats) -> CodecStats {
+    CodecStats {
+        elements: stats.elements,
+        input_bytes: stats.input_bytes,
+        output_bytes: stats.output_bytes,
+        literal_elements: 0,
+        coded_bits: stats.payload_bits,
+    }
+}
+
+fn encoded(out: zfp::ZfpCompressed) -> Encoded {
+    Encoded { stats: convert(&out.stats), bytes: out.bytes }
+}
+
+impl Codec for ZfpCodec {
+    fn name(&self) -> &'static str {
+        "zfp"
+    }
+
+    fn containers(&self) -> &'static [ContainerInfo] {
+        &ZFP_CONTAINERS
+    }
+
+    fn compress(
+        &self,
+        data: &[f32],
+        dims: &[usize],
+        bound: BoundSpec,
+    ) -> Result<Encoded, CodecError> {
+        Ok(encoded(zfp::compress(data, dims, &Self::mode(bound)?)?))
+    }
+
+    fn compress_chunked(
+        &self,
+        data: &[f32],
+        dims: &[usize],
+        bound: BoundSpec,
+        threads: usize,
+    ) -> Result<Encoded, CodecError> {
+        Ok(encoded(zfp::compress_chunked(data, dims, &Self::mode(bound)?, threads)?))
+    }
+
+    // compress_for_profile: default (serial). Unlike SZ, ZFP's chunked
+    // framing depends on the worker count, so the thread-neutral stream
+    // to characterize is the serial one.
+
+    fn compress_f64(
+        &self,
+        data: &[f64],
+        dims: &[usize],
+        bound: BoundSpec,
+    ) -> Result<Encoded, CodecError> {
+        Ok(encoded(zfp::compress_f64(data, dims, &Self::mode(bound)?)?))
+    }
+
+    fn decompress(
+        &self,
+        stream: &[u8],
+        threads: usize,
+    ) -> Result<(Vec<f32>, Vec<usize>), CodecError> {
+        if stream.starts_with(&zfp::CHUNKED_MAGIC) {
+            Ok(zfp::decompress_chunked::<f32>(stream, threads)?)
+        } else {
+            Ok(zfp::decompress(stream)?)
+        }
+    }
+
+    fn decompress_f64(
+        &self,
+        stream: &[u8],
+        threads: usize,
+    ) -> Result<(Vec<f64>, Vec<usize>), CodecError> {
+        if stream.starts_with(&zfp::CHUNKED_MAGIC) {
+            Ok(zfp::decompress_chunked::<f64>(stream, threads)?)
+        } else {
+            Ok(zfp::decompress_f64(stream)?)
+        }
+    }
+}

@@ -61,7 +61,9 @@ impl CurveSeries {
                 return w[0].mean + t * (w[1].mean - w[0].mean);
             }
         }
-        self.points.last().unwrap().mean
+        // Past the last point: clamp to the curve's f_max value. Total —
+        // the empty case returned NaN above.
+        self.at_fmax()
     }
 }
 
@@ -121,7 +123,9 @@ fn build_curves<R>(
                     CurvePoint { f_ghz: *fk as f64 / 1000.0, mean, ci95 }
                 })
                 .collect();
-            points.sort_by(|a, b| a.f_ghz.partial_cmp(&b.f_ghz).unwrap());
+            // Total ordering: a NaN frequency (degenerate input record)
+            // must not panic the sort — it sorts last and is harmless.
+            points.sort_by(|a, b| a.f_ghz.total_cmp(&b.f_ghz));
             CurveSeries { label, chip, points }
         })
         .collect();
@@ -250,6 +254,32 @@ mod tests {
         assert!((s.value_at(1.5) - 0.9).abs() < 1e-12);
         assert_eq!(s.value_at(0.5), 0.8);
         assert_eq!(s.value_at(2.5), 1.0);
+    }
+
+    #[test]
+    fn empty_series_value_at_is_nan_not_panic() {
+        let s = CurveSeries { label: "empty".into(), chip: Chip::Broadwell, points: vec![] };
+        assert!(s.value_at(1.0).is_nan());
+        assert!(s.floor().is_nan());
+        assert!(s.at_fmax().is_nan());
+    }
+
+    #[test]
+    fn nan_frequency_records_do_not_panic_curve_building() {
+        // A degenerate record with a NaN clock must not abort the sort in
+        // build_curves (historically partial_cmp().unwrap() panicked here).
+        let mut recs = quick_recs();
+        let mut bad = recs[0];
+        bad.f_ghz = f64::NAN;
+        recs.push(bad);
+        let curves = compression_power_curves(&recs);
+        assert!(!curves.is_empty());
+        for c in &curves {
+            // NaN keys sort last under total_cmp; finite points stay ordered.
+            let finite: Vec<f64> =
+                c.points.iter().map(|p| p.f_ghz).filter(|f| f.is_finite()).collect();
+            assert!(finite.windows(2).all(|w| w[0] <= w[1]), "{}: {:?}", c.label, finite);
+        }
     }
 
     #[test]

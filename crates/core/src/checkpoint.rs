@@ -14,8 +14,7 @@ use crate::tuning::TuningRule;
 use crate::workmap::CostModel;
 use lcpio_datagen::nyx;
 use lcpio_powersim::{simulate, Chip, Machine, WorkProfile};
-use lcpio_sz as sz;
-use lcpio_zfp as zfp;
+use lcpio_codec::BoundSpec;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the checkpointing job.
@@ -142,18 +141,14 @@ pub fn run_checkpoint_study(cfg: &CheckpointConfig) -> Result<CheckpointResult, 
     let field = nyx::velocity_x(cfg.sample_side, cfg.seed);
     let dims: Vec<usize> = field.dims().extents().to_vec();
     let scale = cfg.checkpoint_bytes / field.sample_bytes() as f64;
-    let (comp_profile, ratio) = match cfg.compressor {
-        Compressor::Sz => {
-            let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(cfg.error_bound));
-            let out = sz::compress_chunked(&field.data, &dims, &sc, cfg.threads)?;
-            (cfg.cost_model.sz_profile(&out.stats, scale), out.stats.ratio())
-        }
-        Compressor::Zfp => {
-            let mode = zfp::ZfpMode::FixedAccuracy(cfg.error_bound);
-            let out = zfp::compress_chunked(&field.data, &dims, &mode, cfg.threads)?;
-            (cfg.cost_model.zfp_profile(&out.stats, scale), out.stats.ratio())
-        }
-    };
+    let out = cfg.compressor.codec().compress_chunked(
+        &field.data,
+        &dims,
+        BoundSpec::Absolute(cfg.error_bound),
+        cfg.threads,
+    )?;
+    let comp_profile = cfg.cost_model.compression_profile(cfg.compressor, &out.stats, scale);
+    let ratio = out.stats.ratio();
     let write_profile = machine.nfs.write_profile(cfg.checkpoint_bytes / ratio);
     let sim_profile = WorkProfile {
         compute_cycles: cfg.step_cycles,

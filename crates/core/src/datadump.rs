@@ -9,10 +9,9 @@ use crate::error::CoreError;
 use crate::records::Compressor;
 use crate::tuning::TuningRule;
 use crate::workmap::CostModel;
+use lcpio_codec::BoundSpec;
 use lcpio_datagen::nyx;
 use lcpio_powersim::{simulate, Chip, Machine};
-use lcpio_sz as sz;
-use lcpio_zfp as zfp;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the dump experiment.
@@ -136,18 +135,14 @@ pub fn run_data_dump(cfg: &DataDumpConfig) -> Result<(Vec<DumpRow>, DumpSummary)
 
     let mut rows = Vec::new();
     for &eb in &cfg.error_bounds {
-        let (profile, ratio) = match cfg.compressor {
-            Compressor::Sz => {
-                let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(eb));
-                let out = sz::compress_chunked(&field.data, &dims, &sc, cfg.threads)?;
-                (cfg.cost_model.sz_profile(&out.stats, scale_factor), out.stats.ratio())
-            }
-            Compressor::Zfp => {
-                let mode = zfp::ZfpMode::FixedAccuracy(eb);
-                let out = zfp::compress_chunked(&field.data, &dims, &mode, cfg.threads)?;
-                (cfg.cost_model.zfp_profile(&out.stats, scale_factor), out.stats.ratio())
-            }
-        };
+        let out = cfg.compressor.codec().compress_chunked(
+            &field.data,
+            &dims,
+            BoundSpec::Absolute(eb),
+            cfg.threads,
+        )?;
+        let profile = cfg.cost_model.compression_profile(cfg.compressor, &out.stats, scale_factor);
+        let ratio = out.stats.ratio();
         let compressed_bytes = cfg.total_bytes / ratio;
         let write = machine.nfs.write_profile(compressed_bytes);
 

@@ -4,6 +4,7 @@
 //! error bound in a config, a degenerate sample) must surface to callers
 //! instead of aborting the process from library code.
 
+use lcpio_codec::CodecError;
 use lcpio_sz::SzError;
 use lcpio_zfp::ZfpError;
 
@@ -14,6 +15,9 @@ pub enum CoreError {
     Sz(SzError),
     /// ZFP compression of a sample field failed.
     Zfp(ZfpError),
+    /// The codec abstraction rejected the request (unsupported bound,
+    /// unknown container, …); the message carries the detail.
+    Codec(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -21,6 +25,7 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::Sz(e) => write!(f, "sz compression failed: {e}"),
             CoreError::Zfp(e) => write!(f, "zfp compression failed: {e}"),
+            CoreError::Codec(msg) => write!(f, "codec error: {msg}"),
         }
     }
 }
@@ -30,6 +35,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Sz(e) => Some(e),
             CoreError::Zfp(e) => Some(e),
+            CoreError::Codec(_) => None,
         }
     }
 }
@@ -46,6 +52,18 @@ impl From<ZfpError> for CoreError {
     }
 }
 
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        // Backend failures keep their historical variants (and Display
+        // strings); only abstraction-level failures take the new one.
+        match e {
+            CodecError::Sz(e) => CoreError::Sz(e),
+            CodecError::Zfp(e) => CoreError::Zfp(e),
+            other => CoreError::Codec(other.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +75,23 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e = CoreError::from(ZfpError::InvalidDims);
         assert!(e.to_string().contains("zfp compression failed"));
+    }
+
+    #[test]
+    fn codec_errors_map_onto_historical_variants() {
+        use lcpio_codec::BoundSpec;
+        assert_eq!(
+            CoreError::from(CodecError::Sz(SzError::InvalidDims)),
+            CoreError::Sz(SzError::InvalidDims)
+        );
+        assert_eq!(
+            CoreError::from(CodecError::Zfp(ZfpError::InvalidMode)),
+            CoreError::Zfp(ZfpError::InvalidMode)
+        );
+        let e = CoreError::from(CodecError::UnsupportedBound {
+            codec: "zfp",
+            bound: BoundSpec::PointwiseRelative(1e-3),
+        });
+        assert!(matches!(&e, CoreError::Codec(msg) if msg.contains("zfp")));
     }
 }

@@ -13,8 +13,7 @@ use crate::records::{CompressionRecord, Compressor, TransitRecord};
 use crate::workmap::CostModel;
 use lcpio_datagen::Dataset;
 use lcpio_powersim::{Chip, Machine, Perf};
-use lcpio_sz as sz;
-use lcpio_zfp as zfp;
+use lcpio_codec::BoundSpec;
 use serde::{Deserialize, Serialize};
 
 /// The paper's four error bounds (§III-A).
@@ -136,22 +135,16 @@ fn run_compression_job(
     let field = ds.generate(cfg.scale, cfg.seed ^ 0xD5);
     let dims: Vec<usize> = field.dims().extents().to_vec();
     let scale_factor = field.scale_factor();
-    let (profile, ratio) = match comp {
-        Compressor::Sz => {
-            let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(eb));
-            // Chunked container with one inner worker: the sweep's own pool
-            // already saturates the cores, and the chunked bytes/stats are
-            // identical at every inner thread count anyway.
-            let out = sz::compress_chunked(&field.data, &dims, &sc, 1)
-                .expect("generated fields always compress");
-            (cfg.cost_model.sz_profile(&out.stats, scale_factor), out.stats.ratio())
-        }
-        Compressor::Zfp => {
-            let out = zfp::compress(&field.data, &dims, &zfp::ZfpMode::FixedAccuracy(eb))
-                .expect("generated fields always compress");
-            (cfg.cost_model.zfp_profile(&out.stats, scale_factor), out.stats.ratio())
-        }
-    };
+    // `compress_for_profile` picks each codec's thread-neutral container:
+    // SZ's chunked stream (bytes/stats identical at every inner thread
+    // count) with one inner worker — the sweep's own pool already
+    // saturates the cores — and ZFP's serial stream.
+    let out = comp
+        .codec()
+        .compress_for_profile(&field.data, &dims, BoundSpec::Absolute(eb))
+        .expect("generated fields always compress");
+    let profile = cfg.cost_model.compression_profile(comp, &out.stats, scale_factor);
+    let ratio = out.stats.ratio();
     CompressedJob { compressor: comp, dataset: ds, error_bound: eb, profile, ratio, seed }
 }
 

@@ -12,8 +12,7 @@ use crate::tuning::TuningRule;
 use crate::workmap::CostModel;
 use lcpio_datagen::nyx;
 use lcpio_powersim::{simulate, Chip, Machine};
-use lcpio_sz as sz;
-use lcpio_zfp as zfp;
+use lcpio_codec::BoundSpec;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the read-back experiment.
@@ -89,24 +88,14 @@ pub fn run_readback(cfg: &ReadbackConfig) -> ReadbackResult {
     let dims: Vec<usize> = field.dims().extents().to_vec();
     let scale_factor = cfg.total_bytes / field.sample_bytes() as f64;
 
-    let (decomp_profile, ratio) = match cfg.compressor {
-        Compressor::Sz => {
-            let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(cfg.error_bound));
-            let out = sz::compress(&field.data, &dims, &sc).expect("NYX samples compress");
-            (
-                cfg.cost_model.sz_decompress_profile(&out.stats, scale_factor),
-                out.stats.ratio(),
-            )
-        }
-        Compressor::Zfp => {
-            let out =
-                zfp::compress(&field.data, &dims, &zfp::ZfpMode::FixedAccuracy(cfg.error_bound))
-                    .expect("NYX samples compress");
-            // ZFP decompression mirrors compression closely; reuse the 0.7
-            // decompression discount via the SZ helper convention.
-            (cfg.cost_model.zfp_profile(&out.stats, scale_factor).scaled(0.7), out.stats.ratio())
-        }
-    };
+    let out = cfg
+        .compressor
+        .codec()
+        .compress(&field.data, &dims, BoundSpec::Absolute(cfg.error_bound))
+        .expect("NYX samples compress");
+    let decomp_profile =
+        cfg.cost_model.decompression_profile(cfg.compressor, &out.stats, scale_factor);
+    let ratio = out.stats.ratio();
     let compressed_bytes = cfg.total_bytes / ratio;
     // Reading from NFS exercises the same single-core copy path as writing.
     let fetch_profile = machine.nfs.write_profile(compressed_bytes);

@@ -24,6 +24,14 @@ impl Compressor {
             Compressor::Zfp => "ZFP",
         }
     }
+
+    /// The registry-backed [`Codec`](lcpio_codec::Codec) implementing this
+    /// compressor — the drivers' single dispatch point.
+    pub fn codec(self) -> &'static dyn lcpio_codec::Codec {
+        lcpio_codec::registry()
+            .by_name(self.name())
+            .expect("every built-in compressor is registered")
+    }
 }
 
 /// One averaged measurement of a compression job at one frequency.
@@ -105,6 +113,13 @@ mod tests {
         assert_eq!(Compressor::Sz.name(), "SZ");
         assert_eq!(Compressor::Zfp.name(), "ZFP");
         assert_eq!(Compressor::ALL.len(), 2);
+    }
+
+    #[test]
+    fn every_compressor_resolves_to_a_codec() {
+        for comp in Compressor::ALL {
+            assert_eq!(comp.codec().name(), comp.name().to_ascii_lowercase());
+        }
     }
 
     #[test]

@@ -12,8 +12,7 @@ use lcpio_datagen::isabel::{self, IsabelField};
 use lcpio_fit::powerlaw::PowerLawFit;
 use lcpio_fit::GoodnessOfFit;
 use lcpio_powersim::{Chip, Machine, Perf};
-use lcpio_sz as sz;
-use lcpio_zfp as zfp;
+use lcpio_codec::BoundSpec;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the ISABEL validation run.
@@ -85,23 +84,11 @@ pub fn validate_on_isabel(cfg: &ValidationConfig, model: &PowerLawFit) -> Valida
         let full_bytes = 100.0 * 500.0 * 500.0 * 4.0;
         let scale_factor = full_bytes / field.sample_bytes() as f64;
         for comp in Compressor::ALL {
-            let profile = match comp {
-                Compressor::Sz => {
-                    let sc = sz::SzConfig::new(sz::ErrorBound::Absolute(cfg.error_bound));
-                    let out = sz::compress(&field.data, &dims, &sc)
-                        .expect("ISABEL fields always compress");
-                    cfg.cost_model.sz_profile(&out.stats, scale_factor)
-                }
-                Compressor::Zfp => {
-                    let out = zfp::compress(
-                        &field.data,
-                        &dims,
-                        &zfp::ZfpMode::FixedAccuracy(cfg.error_bound),
-                    )
-                    .expect("ISABEL fields always compress");
-                    cfg.cost_model.zfp_profile(&out.stats, scale_factor)
-                }
-            };
+            let out = comp
+                .codec()
+                .compress(&field.data, &dims, BoundSpec::Absolute(cfg.error_bound))
+                .expect("ISABEL fields always compress");
+            let profile = cfg.cost_model.compression_profile(comp, &out.stats, scale_factor);
             let mut perf = Perf::with_sigma(
                 cfg.seed ^ ((fi as u64) << 16) ^ (comp as u64),
                 cfg.noise_sigma,

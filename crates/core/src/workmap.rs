@@ -14,6 +14,8 @@
 //! `ablation_cost_model` bench quantifies how sensitive the headline
 //! results are to these constants.
 
+use crate::records::Compressor;
+use lcpio_codec::CodecStats;
 use lcpio_powersim::WorkProfile;
 use lcpio_sz::CompressionStats;
 use lcpio_zfp::ZfpStats;
@@ -54,6 +56,47 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// Profile for a compression run of either codec, from the
+    /// codec-neutral [`CodecStats`] the registry adapters report,
+    /// extrapolated by `scale_factor` (full-size bytes / sample bytes).
+    ///
+    /// Applies exactly the per-codec formulas of [`CostModel::sz_profile`]
+    /// / [`CostModel::zfp_profile`]: SZ literals arrive as
+    /// `literal_elements` and Huffman bits as `coded_bits`; ZFP payload
+    /// bits arrive as `coded_bits` (its literal count is zero, so the
+    /// shared formula shape costs it nothing).
+    pub fn compression_profile(
+        &self,
+        compressor: Compressor,
+        stats: &CodecStats,
+        scale_factor: f64,
+    ) -> WorkProfile {
+        let cycles = match compressor {
+            Compressor::Sz => {
+                self.sz_cycles_per_element * stats.elements as f64
+                    + self.sz_cycles_per_literal * stats.literal_elements as f64
+                    + self.sz_cycles_per_huffman_bit * stats.coded_bits as f64
+            }
+            Compressor::Zfp => {
+                self.zfp_cycles_per_element * stats.elements as f64
+                    + self.zfp_cycles_per_payload_bit * stats.coded_bits as f64
+            }
+        };
+        self.finish(cycles, scale_factor)
+    }
+
+    /// Decompression is cheaper than compression for both codecs (no
+    /// predictor search / no symbol histogramming); model it at 70% of
+    /// [`CostModel::compression_profile`].
+    pub fn decompression_profile(
+        &self,
+        compressor: Compressor,
+        stats: &CodecStats,
+        scale_factor: f64,
+    ) -> WorkProfile {
+        self.compression_profile(compressor, stats, scale_factor).scaled(0.7)
+    }
+
     /// Profile for an SZ compression run, extrapolated by `scale_factor`
     /// (full-size bytes / sample bytes).
     pub fn sz_profile(&self, stats: &CompressionStats, scale_factor: f64) -> WorkProfile {
@@ -154,6 +197,36 @@ mod tests {
         let small = ZfpStats { elements: 1000, payload_bits: 4000, ..Default::default() };
         let big = ZfpStats { elements: 1000, payload_bits: 32_000, ..Default::default() };
         assert!(cm.zfp_profile(&big, 1.0).compute_cycles > cm.zfp_profile(&small, 1.0).compute_cycles);
+    }
+
+    #[test]
+    fn unified_profile_matches_legacy_sz_and_zfp_formulas() {
+        let cm = CostModel::default();
+        let sz = sz_stats(50_000);
+        let unified = CodecStats {
+            elements: sz.elements,
+            input_bytes: sz.input_bytes,
+            output_bytes: sz.output_bytes,
+            literal_elements: sz.unpredictable,
+            coded_bits: sz.huffman_bits,
+        };
+        let a = cm.sz_profile(&sz, 37.0);
+        let b = cm.compression_profile(Compressor::Sz, &unified, 37.0);
+        assert_eq!(a.compute_cycles, b.compute_cycles);
+        assert_eq!(a.memory_bytes, b.memory_bytes);
+
+        let zfp = ZfpStats { elements: 50_000, payload_bits: 240_000, ..Default::default() };
+        let unified = CodecStats {
+            elements: zfp.elements,
+            coded_bits: zfp.payload_bits,
+            ..Default::default()
+        };
+        let a = cm.zfp_profile(&zfp, 37.0);
+        let b = cm.compression_profile(Compressor::Zfp, &unified, 37.0);
+        assert_eq!(a.compute_cycles, b.compute_cycles);
+
+        let d = cm.decompression_profile(Compressor::Zfp, &unified, 37.0);
+        assert_eq!(d.compute_cycles, a.compute_cycles * 0.7);
     }
 
     #[test]

@@ -169,7 +169,7 @@ pub struct CpuSpec {
     /// Fraction of the core dynamic power that the *uncore* (mesh, LLC,
     /// memory/IO controllers) keeps drawing during memory and I/O waits.
     /// Skylake-SP's uncore is notoriously power-hungry (Schöne et al.,
-    /// HPCS'19 — the paper's ref [22]), which is what keeps its data-
+    /// HPCS'19 — the paper's ref \[22\]), which is what keeps its data-
     /// transit power frequency-sensitive even though the core mostly idles.
     pub uncore_dyn_frac: f64,
 }

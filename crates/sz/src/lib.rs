@@ -41,7 +41,10 @@ pub mod regression;
 pub mod stats;
 
 pub use element::Element;
-pub use parallel::{compress_chunked, decompress_chunked, is_chunked, CHUNKED_MAGIC};
+pub use parallel::{
+    compress_chunked, compress_chunked_pooled, decompress_chunked, is_chunked, SzScratchPool,
+    CHUNKED_MAGIC,
+};
 pub use pipeline::{
     compress, compress_f64, compress_typed, compress_typed_with, decompress, decompress_f64,
     decompress_typed, stream_type_tag, SzScratch,

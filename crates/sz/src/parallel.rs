@@ -69,6 +69,53 @@ pub fn is_chunked(stream: &[u8]) -> bool {
     stream.starts_with(&CHUNKED_MAGIC)
 }
 
+/// A lock-guarded pool of reusable [`SzScratch`] buffers.
+///
+/// [`compress_chunked`] amortizes allocations *within* one call by giving
+/// each worker its own scratch; a pool extends that reuse *across* calls,
+/// so a driver compressing many fields (the registry's chunked path) stops
+/// paying the warm-up allocations per field. `new` is `const`, so a pool
+/// can live in a `static`. Scratch reuse never changes output bytes — see
+/// [`compress_typed_with`].
+pub struct SzScratchPool<T> {
+    slots: Mutex<Vec<SzScratch<T>>>,
+}
+
+impl<T> SzScratchPool<T> {
+    /// Ceiling on scratches parked between calls; beyond this they are
+    /// dropped rather than retained, bounding idle memory.
+    pub const MAX_RETAINED: usize = 32;
+
+    /// New empty pool (usable in `static` items).
+    pub const fn new() -> Self {
+        SzScratchPool { slots: Mutex::new(Vec::new()) }
+    }
+
+    /// Pop a parked scratch, or make a fresh one.
+    fn acquire(&self) -> SzScratch<T> {
+        self.slots.lock().expect("pool lock").pop().unwrap_or_default()
+    }
+
+    /// Park a scratch for the next call (dropped when full).
+    fn release(&self, scratch: SzScratch<T>) {
+        let mut slots = self.slots.lock().expect("pool lock");
+        if slots.len() < Self::MAX_RETAINED {
+            slots.push(scratch);
+        }
+    }
+
+    /// Number of scratches currently parked.
+    pub fn idle(&self) -> usize {
+        self.slots.lock().expect("pool lock").len()
+    }
+}
+
+impl<T> Default for SzScratchPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Resolve a worker-count request (0 ⇒ all available cores).
 fn effective_threads(threads: usize) -> usize {
     if threads == 0 {
@@ -85,6 +132,19 @@ pub fn compress_chunked<T: Element>(
     dims: &[usize],
     cfg: &SzConfig,
     threads: usize,
+) -> Result<Compressed, SzError> {
+    compress_chunked_pooled(data, dims, cfg, threads, &SzScratchPool::new())
+}
+
+/// [`compress_chunked`] with worker scratches drawn from (and returned to)
+/// `pool`, so repeated calls reuse their buffers. Output bytes are
+/// identical to [`compress_chunked`] for the same inputs.
+pub fn compress_chunked_pooled<T: Element>(
+    data: &[T],
+    dims: &[usize],
+    cfg: &SzConfig,
+    threads: usize,
+    pool: &SzScratchPool<T>,
 ) -> Result<Compressed, SzError> {
     if dims.is_empty() || dims.len() > 4 || dims.contains(&0) {
         return Err(SzError::InvalidDims);
@@ -111,7 +171,7 @@ pub fn compress_chunked<T: Element>(
     std::thread::scope(|s| {
         for _ in 0..threads.min(ranges.len()) {
             s.spawn(|| {
-                let mut scratch = SzScratch::<T>::new();
+                let mut scratch = pool.acquire();
                 let mut laps = lcpio_trace::Stopwatch::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -126,6 +186,7 @@ pub fn compress_chunked<T: Element>(
                         laps.lap(|| compress_typed_with(sub, &sub_dims, cfg, &mut scratch));
                     *slots[i].lock().expect("slot lock") = Some(compressed);
                 }
+                pool.release(scratch);
                 laps.commit("sz.chunk.compress");
             });
         }
@@ -454,6 +515,34 @@ mod tests {
         let mut padded = out.bytes.clone();
         padded.push(0);
         assert!(decompress_chunked::<f32>(&padded, 1).is_err());
+    }
+
+    #[test]
+    fn pooled_output_matches_unpooled() {
+        let dims = [30usize, 9, 7];
+        let data = smooth(dims.iter().product());
+        let pool = SzScratchPool::<f32>::new();
+        let fresh = compress_chunked(&data, &dims, &cfg(1e-3), 4).expect("compress");
+        let pooled =
+            compress_chunked_pooled(&data, &dims, &cfg(1e-3), 4, &pool).expect("compress");
+        assert_eq!(fresh.bytes, pooled.bytes);
+        // Workers parked their scratches; a second call reuses them and
+        // still produces the same bytes.
+        assert!(pool.idle() > 0, "pool retained no scratch");
+        let parked = pool.idle();
+        let again =
+            compress_chunked_pooled(&data, &dims, &cfg(1e-3), 4, &pool).expect("compress");
+        assert_eq!(again.bytes, fresh.bytes);
+        assert!(pool.idle() >= parked, "reused scratches must be returned");
+    }
+
+    #[test]
+    fn pool_retention_is_bounded() {
+        let pool = SzScratchPool::<f32>::new();
+        for _ in 0..SzScratchPool::<f32>::MAX_RETAINED + 8 {
+            pool.release(SzScratch::new());
+        }
+        assert_eq!(pool.idle(), SzScratchPool::<f32>::MAX_RETAINED);
     }
 
     #[test]

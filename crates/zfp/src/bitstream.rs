@@ -10,7 +10,7 @@
 //! costs one or two shift/mask operations per call instead of one pass of
 //! the carry loop per bit; reads load one or two words per call. The byte
 //! layout is identical to the historical bit-at-a-time implementation
-//! (retained in [`reference`] and pinned by property tests): bit `p` of
+//! (retained in [`mod@reference`] and pinned by property tests): bit `p` of
 //! the stream lives in byte `p / 8` at in-byte position `p % 8`.
 
 /// Append-only LSB-first bit sink.
@@ -215,7 +215,8 @@ impl<'a> ReadStream<'a> {
         }
     }
 
-    /// Consume `n` bits (`n ≤ 64`) previously examined with [`peek_bits`].
+    /// Consume `n` bits (`n ≤ 64`) previously examined with
+    /// [`peek_bits`](Self::peek_bits).
     #[inline]
     pub fn advance(&mut self, n: usize) {
         let n32 = n as u32;

@@ -50,10 +50,10 @@ mod pipeline;
 pub mod transform;
 
 pub use element::ZfpElement;
-pub use parallel::{compress_chunked, decompress_chunked};
+pub use parallel::{compress_chunked, decompress_chunked, CHUNKED_MAGIC};
 pub use pipeline::{
     compress, compress_f64, compress_typed, decompress, decompress_f64, decompress_typed,
-    stream_type_tag,
+    stream_type_tag, MAGIC,
 };
 
 use serde::{Deserialize, Serialize};

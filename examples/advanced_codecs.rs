@@ -1,23 +1,26 @@
-//! The codec extensions in one tour: f64 fields, pointwise-relative
-//! bounds, and multi-threaded chunked ZFP.
+//! The codec extensions in one tour, all through the registry: f64 fields,
+//! pointwise-relative bounds, and multi-threaded chunked ZFP.
 //!
 //! ```text
 //! cargo run --release --example advanced_codecs
 //! ```
 
+use lcpio::codec::{registry, BoundSpec};
 use lcpio::datagen::nyx;
-use lcpio::sz::{self, ErrorBound, SzConfig};
-use lcpio::zfp::{self, ZfpMode};
 use std::time::Instant;
 
 fn main() {
+    let sz = registry().by_name("sz").expect("sz is registered");
+    let zfp = registry().by_name("zfp").expect("zfp is registered");
+
     // --- f64 precision beyond what f32 can hold ---
     let fine: Vec<f64> = (0..65536)
         .map(|i| 1.0 + i as f64 * 1e-10 + (i as f64 * 0.001).sin() * 1e-6)
         .collect();
-    let out = sz::compress_f64(&fine, &[65536], &SzConfig::new(ErrorBound::Absolute(1e-9)))
+    let out = sz
+        .compress_f64(&fine, &[65536], BoundSpec::Absolute(1e-9))
         .expect("compress");
-    let (rec, _) = sz::decompress_f64(&out.bytes).expect("decompress");
+    let (rec, _) = registry().decompress_auto_f64(&out.bytes, 1).expect("decompress");
     let max_err = fine.iter().zip(&rec).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
     println!(
         "SZ f64:  eb 1e-9 on double-precision data  ratio {:>6.2}x  max err {max_err:.2e}",
@@ -28,13 +31,9 @@ fn main() {
     let density = nyx::baryon_density(40, 11);
     let dims: Vec<usize> = density.dims().extents().to_vec();
     let (lo, hi) = density.value_range();
-    let out = sz::compress_pointwise_rel(
-        &density.data,
-        &dims,
-        1e-3,
-        &SzConfig::new(ErrorBound::Absolute(1.0)),
-    )
-    .expect("compress");
+    let out = sz
+        .compress(&density.data, &dims, BoundSpec::PointwiseRelative(1e-3))
+        .expect("compress");
     println!(
         "SZ PW_REL: 0.1% relative bound on density spanning [{lo:.2e}, {hi:.2e}]  ratio {:>6.2}x",
         out.stats.ratio()
@@ -43,14 +42,14 @@ fn main() {
     // --- parallel chunked ZFP ---
     let velocity = nyx::velocity_x(96, 5);
     let dims: Vec<usize> = velocity.dims().extents().to_vec();
-    let mode = ZfpMode::FixedAccuracy(1e-3);
+    let bound = BoundSpec::Absolute(1e-3);
     let t0 = Instant::now();
-    let serial = zfp::compress(&velocity.data, &dims, &mode).expect("compress");
+    let serial = zfp.compress(&velocity.data, &dims, bound).expect("compress");
     let t_serial = t0.elapsed();
     let t0 = Instant::now();
-    let chunked = zfp::compress_chunked(&velocity.data, &dims, &mode, 0).expect("compress");
+    let chunked = zfp.compress_chunked(&velocity.data, &dims, bound, 0).expect("compress");
     let t_par = t0.elapsed();
-    let (rec, _) = zfp::decompress_chunked::<f32>(&chunked.bytes, 0).expect("decompress");
+    let (rec, _) = registry().decompress_auto(&chunked.bytes, 0).expect("decompress");
     assert_eq!(rec.len(), velocity.data.len());
     println!(
         "ZFP parallel: 96^3 field  serial {:.0} ms → chunked {:.0} ms ({:.1}x), size {:+.2}%",

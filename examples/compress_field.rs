@@ -8,11 +8,11 @@
 //! cargo run --release --example compress_field
 //! ```
 
+use lcpio::codec::BoundSpec;
+use lcpio::core::records::Compressor;
 use lcpio::core::workmap::CostModel;
 use lcpio::datagen::Dataset;
 use lcpio::powersim::{simulate, Chip, Machine};
-use lcpio::sz::{self, ErrorBound, SzConfig};
-use lcpio::zfp::{self, ZfpMode};
 
 fn main() {
     let cost = CostModel::default();
@@ -28,32 +28,23 @@ fn main() {
         let dims: Vec<usize> = field.dims().extents().to_vec();
         let scale = field.scale_factor();
         for &eb in &[1e-1, 1e-2, 1e-3, 1e-4] {
-            // SZ
-            let out = sz::compress(&field.data, &dims, &SzConfig::new(ErrorBound::Absolute(eb)))
-                .expect("compression");
-            let m = simulate(&machine, fmax, &cost.sz_profile(&out.stats, scale));
-            println!(
-                "{:<10} {:<5} {:>8.0e} {:>7.1}x {:>10.1} {:>10.2}",
-                ds.name(),
-                "SZ",
-                eb,
-                out.stats.ratio(),
-                m.runtime_s,
-                m.energy_j / 1e3
-            );
-            // ZFP
-            let out = zfp::compress(&field.data, &dims, &ZfpMode::FixedAccuracy(eb))
-                .expect("compression");
-            let m = simulate(&machine, fmax, &cost.zfp_profile(&out.stats, scale));
-            println!(
-                "{:<10} {:<5} {:>8.0e} {:>7.1}x {:>10.1} {:>10.2}",
-                ds.name(),
-                "ZFP",
-                eb,
-                out.stats.ratio(),
-                m.runtime_s,
-                m.energy_j / 1e3
-            );
+            for comp in Compressor::ALL {
+                let out = comp
+                    .codec()
+                    .compress(&field.data, &dims, BoundSpec::Absolute(eb))
+                    .expect("compression");
+                let m =
+                    simulate(&machine, fmax, &cost.compression_profile(comp, &out.stats, scale));
+                println!(
+                    "{:<10} {:<5} {:>8.0e} {:>7.1}x {:>10.1} {:>10.2}",
+                    ds.name(),
+                    comp.name(),
+                    eb,
+                    out.stats.ratio(),
+                    m.runtime_s,
+                    m.energy_j / 1e3
+                );
+            }
         }
     }
     println!("\n(full_t / full_E are extrapolated to each dataset's Table-I size\n on the simulated Broadwell node at its 2.0 GHz base clock)");

@@ -1,15 +1,16 @@
-//! Quickstart: compress a synthetic NYX field with both codecs, verify the
-//! error bound, and estimate compression energy on both simulated chips.
+//! Quickstart: compress a synthetic NYX field with both registered codecs,
+//! verify the error bound, and estimate compression energy on both
+//! simulated chips.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use lcpio::codec::{registry, BoundSpec};
+use lcpio::core::records::Compressor;
 use lcpio::core::workmap::CostModel;
 use lcpio::datagen::nyx;
 use lcpio::powersim::{simulate, Chip, Machine};
-use lcpio::sz::{self, ErrorBound, SzConfig};
-use lcpio::zfp::{self, ZfpMode};
 
 fn main() {
     let eb = 1e-3;
@@ -17,36 +18,33 @@ fn main() {
     let field = nyx::velocity_x(64, 42);
     let dims: Vec<usize> = field.dims().extents().to_vec();
 
-    // --- SZ ---
-    let sz_out = sz::compress(&field.data, &dims, &SzConfig::new(ErrorBound::Absolute(eb)))
-        .expect("compression");
-    let (sz_rec, _) = sz::decompress(&sz_out.bytes).expect("decompression");
-    let sz_err = max_err(&field.data, &sz_rec);
-    println!(
-        "SZ : ratio {:>6.2}x  hit-rate {:>5.1}%  max-error {:.2e} (bound {eb:.0e})",
-        sz_out.stats.ratio(),
-        sz_out.stats.hit_rate() * 100.0,
-        sz_err
-    );
-    assert!(sz_err <= eb * 1.01);
-
-    // --- ZFP ---
-    let zfp_out = zfp::compress(&field.data, &dims, &ZfpMode::FixedAccuracy(eb))
-        .expect("compression");
-    let (zfp_rec, _) = zfp::decompress(&zfp_out.bytes).expect("decompression");
-    let zfp_err = max_err(&field.data, &zfp_rec);
-    println!(
-        "ZFP: ratio {:>6.2}x  zero-blocks {:>4}  max-error {:.2e} (bound {eb:.0e})",
-        zfp_out.stats.ratio(),
-        zfp_out.stats.zero_blocks,
-        zfp_err
-    );
-    assert!(zfp_err <= eb);
+    // Both backends through the same trait: compress, auto-detect the
+    // container on decode, verify the bound held.
+    let mut sz_stats = None;
+    for codec in registry().codecs() {
+        let out = codec
+            .compress(&field.data, &dims, BoundSpec::Absolute(eb))
+            .expect("compression");
+        let (rec, _) = registry().decompress_auto(&out.bytes, 1).expect("decompression");
+        let err = max_err(&field.data, &rec);
+        println!(
+            "{:<3}: ratio {:>6.2}x  hit-rate {:>5.1}%  {:>5.2} bits/elem  max-error {:.2e} (bound {eb:.0e})",
+            codec.name().to_uppercase(),
+            out.stats.ratio(),
+            out.stats.hit_rate() * 100.0,
+            out.stats.bits_per_element(),
+            err
+        );
+        assert!(err <= eb * 1.01);
+        if codec.name() == "sz" {
+            sz_stats = Some(out.stats);
+        }
+    }
 
     // --- What would this cost at full 512^3 scale, on real-ish hardware? ---
     let cost = CostModel::default();
     let scale = (512usize * 512 * 512) as f64 / field.data.len() as f64;
-    let profile = cost.sz_profile(&sz_out.stats, scale);
+    let profile = cost.compression_profile(Compressor::Sz, &sz_stats.expect("sz ran"), scale);
     println!("\nestimated full-size (512^3) SZ compression cost:");
     for chip in Chip::ALL {
         let m = Machine::for_chip(chip);

@@ -13,6 +13,9 @@ fn main() {
     let mut stdout = std::io::stdout().lock();
     if let Err(e) = lcpio::cli::run_invocation(inv, &mut stdout) {
         eprintln!("{e}");
-        std::process::exit(1);
+        // Same split as parse time: bad user input is 2, everything else
+        // (codec/io failures) is 1.
+        let code = if matches!(e, lcpio::cli::CliError::Usage(_)) { 2 } else { 1 };
+        std::process::exit(code);
     }
 }

@@ -18,12 +18,17 @@
 //! compress   --codec sz|zfp --eb 1e-3 [--rel|--pwrel] [--threads N] -i in.lcpf -o out.bin
 //! decompress -i out.bin -o restored.lcpf
 //! info       -i out.bin
+//! codecs
 //! quality    -a original.lcpf -b restored.lcpf
 //! sweep      [--scale N] [--reps R] -o sweep.json
 //! tables     -i sweep.json
 //! tune       -i sweep.json
 //! dump       [--gb 512]
 //! ```
+//!
+//! Codec dispatch goes through [`lcpio_codec::registry`]: `compress`
+//! resolves the backend by name, `decompress`/`info` sniff the container
+//! magic, and `codecs` prints the registry's supported-container table.
 //!
 //! Every subcommand additionally accepts `--metrics out.json` (anywhere
 //! on the line): after the command finishes, the spans and counters
@@ -41,9 +46,8 @@ use lcpio_core::experiment::{run_full_sweep, ExperimentConfig, SweepResult};
 use lcpio_core::models::{compression_model_table, transit_model_table};
 use lcpio_core::report::{render_dump, render_model_table, render_tuning};
 use lcpio_core::tuning::{evaluate_rule, TuningRule};
+use lcpio_codec::{registry, render_container_table, BoundSpec, CodecError};
 use lcpio_datagen::{metrics, Dataset};
-use lcpio_sz as sz;
-use lcpio_zfp as zfp;
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -123,6 +127,8 @@ pub enum Command {
         /// File to describe.
         input: PathBuf,
     },
+    /// List the registered codecs and their container formats.
+    Codecs,
     /// Compare two field files.
     Quality {
         /// Original field.
@@ -158,7 +164,7 @@ pub enum Command {
 
 /// Top-level usage text.
 pub fn usage() -> &'static str {
-    "lcpio-cli <gen|compress|decompress|info|quality|sweep|tables|tune|dump> [options]\n\
+    "lcpio-cli <gen|compress|decompress|info|codecs|quality|sweep|tables|tune|dump> [options]\n\
      run `lcpio-cli <command>` with missing options to see its requirements"
 }
 
@@ -301,6 +307,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
         "info" => Ok(Command::Info { input: PathBuf::from(req(&m, &["i", "input"])?) }),
+        "codecs" => Ok(Command::Codecs),
         "quality" => Ok(Command::Quality {
             a: PathBuf::from(req(&m, &["a"])?),
             b: PathBuf::from(req(&m, &["b"])?),
@@ -382,6 +389,7 @@ fn command_name(cmd: &Command) -> &'static str {
         Command::Compress { .. } => "compress",
         Command::Decompress { .. } => "decompress",
         Command::Info { .. } => "info",
+        Command::Codecs => "codecs",
         Command::Quality { .. } => "quality",
         Command::Sweep { .. } => "sweep",
         Command::Tables { .. } => "tables",
@@ -437,56 +445,32 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
         }
         Command::Compress { codec, eb, rel, pwrel, threads, input, output } => {
             let (data, dims) = read_field(&input)?;
-            let bytes = match codec.as_str() {
-                "sz" => {
-                    if pwrel {
-                        sz::compress_pointwise_rel(
-                            &data,
-                            &dims,
-                            eb,
-                            &sz::SzConfig::new(sz::ErrorBound::Absolute(1.0)),
-                        )
-                        .map_err(|e| CliError::Codec(e.to_string()))?
-                        .bytes
-                    } else {
-                        let bound = if rel {
-                            sz::ErrorBound::ValueRangeRelative(eb)
-                        } else {
-                            sz::ErrorBound::Absolute(eb)
-                        };
-                        let cfg = sz::SzConfig::new(bound);
-                        if threads > 1 {
-                            sz::compress_chunked(&data, &dims, &cfg, threads)
-                                .map_err(|e| CliError::Codec(e.to_string()))?
-                                .bytes
-                        } else {
-                            sz::compress(&data, &dims, &cfg)
-                                .map_err(|e| CliError::Codec(e.to_string()))?
-                                .bytes
-                        }
-                    }
-                }
-                "zfp" => {
-                    if rel || pwrel {
-                        return Err(CliError::Usage(
-                            "relative bounds are SZ-only; ZFP uses fixed accuracy".to_string(),
-                        ));
-                    }
-                    let mode = zfp::ZfpMode::FixedAccuracy(eb);
-                    if threads > 1 {
-                        zfp::compress_chunked(&data, &dims, &mode, threads)
-                            .map_err(|e| CliError::Codec(e.to_string()))?
-                            .bytes
-                    } else {
-                        zfp::compress(&data, &dims, &mode)
-                            .map_err(|e| CliError::Codec(e.to_string()))?
-                            .bytes
-                    }
-                }
-                other => return Err(CliError::Usage(format!("unknown codec `{other}`"))),
+            let backend = registry().by_name(&codec).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown codec `{codec}`; registered codecs: {}",
+                    registry().names().join(", ")
+                ))
+            })?;
+            if rel && pwrel {
+                return Err(CliError::Usage(
+                    "--rel and --pwrel are mutually exclusive".to_string(),
+                ));
+            }
+            let bound = if pwrel {
+                BoundSpec::PointwiseRelative(eb)
+            } else if rel {
+                BoundSpec::ValueRangeRelative(eb)
+            } else {
+                BoundSpec::Absolute(eb)
             };
-            let ratio = (data.len() * 4) as f64 / bytes.len() as f64;
-            std::fs::write(&output, &bytes)?;
+            let encoded = if threads > 1 {
+                backend.compress_chunked(&data, &dims, bound, threads)
+            } else {
+                backend.compress(&data, &dims, bound)
+            }
+            .map_err(codec_error)?;
+            let ratio = encoded.stats.ratio();
+            std::fs::write(&output, &encoded.bytes)?;
             writeln!(
                 out,
                 "compressed {} -> {} ({:.2}x) with {codec}",
@@ -510,6 +494,10 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Info { input } => {
             let bytes = std::fs::read(&input)?;
             writeln!(out, "{}", describe(&bytes))?;
+        }
+        Command::Codecs => {
+            writeln!(out, "registered codecs: {}\n", registry().names().join(", "))?;
+            write!(out, "{}", render_container_table())?;
         }
         Command::Quality { a, b } => {
             let (da, _) = read_field(&a)?;
@@ -575,25 +563,40 @@ fn load_sweep(path: &Path) -> Result<SweepResult, CliError> {
     serde_json::from_str(&json).map_err(|e| CliError::Codec(format!("bad sweep file: {e}")))
 }
 
+/// Map a codec-layer failure onto the CLI error taxonomy: a bound the
+/// backend cannot honor is the user's mistake (usage), everything else is
+/// a codec failure.
+fn codec_error(e: CodecError) -> CliError {
+    match e {
+        CodecError::UnsupportedBound { .. } => CliError::Usage(e.to_string()),
+        other => CliError::Codec(other.to_string()),
+    }
+}
+
+/// The registry's known magics, comma-separated, for error messages.
+fn known_containers() -> String {
+    registry().list().iter().map(|(_, i)| i.magic_str()).collect::<Vec<_>>().join(", ")
+}
+
 /// Decode a compressed buffer whose codec is identified by its magic.
 fn decode_any(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), CliError> {
-    if bytes.len() < 4 {
-        return Err(CliError::Codec("stream too short".to_string()));
-    }
-    match &bytes[..4] {
-        b"SZL1" => sz::decompress(bytes).map_err(|e| CliError::Codec(e.to_string())),
-        b"SZPR" => {
-            sz::decompress_pointwise_rel::<f32>(bytes).map_err(|e| CliError::Codec(e.to_string()))
+    registry().decompress_auto(bytes, 0).map_err(|e| match e {
+        CodecError::UnknownMagic(m) => {
+            let ascii: String =
+                m.iter().map(|&b| if b.is_ascii_graphic() { b as char } else { '.' }).collect();
+            CliError::Codec(format!(
+                "unrecognized stream: first 4 bytes are {m:02x?} (`{ascii}`); \
+                 known containers: {}",
+                known_containers()
+            ))
         }
-        b"SZLP" => {
-            sz::decompress_chunked::<f32>(bytes, 0).map_err(|e| CliError::Codec(e.to_string()))
-        }
-        b"ZFL1" => zfp::decompress(bytes).map_err(|e| CliError::Codec(e.to_string())),
-        b"ZFLP" => {
-            zfp::decompress_chunked::<f32>(bytes, 0).map_err(|e| CliError::Codec(e.to_string()))
-        }
-        other => Err(CliError::Codec(format!("unknown stream magic {other:?}"))),
-    }
+        CodecError::TooShort => CliError::Codec(format!(
+            "stream too short ({} bytes, need at least a 4-byte magic); known containers: {}",
+            bytes.len(),
+            known_containers()
+        )),
+        other => CliError::Codec(other.to_string()),
+    })
 }
 
 /// One-line description of a stream or field file.
@@ -601,14 +604,10 @@ fn describe(bytes: &[u8]) -> String {
     if bytes.len() < 4 {
         return "unrecognized (too short)".to_string();
     }
-    let kind = match &bytes[..4] {
-        b"LCPF" => "raw field container",
-        b"SZL1" => "SZ compressed stream",
-        b"SZPR" => "SZ pointwise-relative stream",
-        b"SZLP" => "SZ chunked (parallel) stream",
-        b"ZFL1" => "ZFP compressed stream",
-        b"ZFLP" => "ZFP chunked (parallel) stream",
-        _ => "unrecognized",
+    let kind = if bytes[..4] == FIELD_MAGIC {
+        "raw field container"
+    } else {
+        registry().describe(bytes).unwrap_or("unrecognized")
     };
     format!("{kind}, {} bytes", bytes.len())
 }
@@ -933,6 +932,76 @@ mod tests {
         assert!(describe(b"ZFLPxxxx").contains("chunked"));
         assert!(describe(b"LCPFxxxx").contains("field"));
         assert!(describe(b"??").contains("unrecognized"));
+        assert!(describe(b"NOPExxxx").contains("unrecognized"));
+    }
+
+    #[test]
+    fn unknown_codec_lists_registered_names() {
+        let field = tmp("unknown-codec.lcpf");
+        write_field(&field, &[1.0; 16], &[16]).expect("write");
+        let cmd = parse(&argv(&format!(
+            "compress --codec lz4 --eb 1e-2 -i {} -o /dev/null",
+            field.display()
+        )))
+        .expect("parse");
+        let mut out = Vec::new();
+        let err = run(cmd, &mut out).expect_err("lz4 is not registered");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown codec `lz4`"), "{msg}");
+        assert!(msg.contains("sz") && msg.contains("zfp"), "{msg}");
+    }
+
+    #[test]
+    fn decompress_unknown_magic_lists_known_containers() {
+        // Satellite: the unknown-magic error must name every registered
+        // container and echo the first 4 bytes seen.
+        let bogus = tmp("bogus.bin");
+        std::fs::write(&bogus, b"NOPE then some payload").expect("write");
+        let cmd = parse(&argv(&format!(
+            "decompress -i {} -o /dev/null",
+            bogus.display()
+        )))
+        .expect("parse");
+        let mut out = Vec::new();
+        let msg = run(cmd, &mut out).expect_err("bogus magic").to_string();
+        for magic in ["SZL1", "SZLP", "SZPR", "ZFL1", "ZFLP"] {
+            assert!(msg.contains(magic), "{msg}");
+        }
+        assert!(msg.contains("NOPE"), "first 4 bytes missing: {msg}");
+
+        let short = tmp("short.bin");
+        std::fs::write(&short, b"SZ").expect("write");
+        let cmd = parse(&argv(&format!("decompress -i {} -o /dev/null", short.display())))
+            .expect("parse");
+        let msg = run(cmd, &mut out).expect_err("short stream").to_string();
+        assert!(msg.contains("too short"), "{msg}");
+        assert!(msg.contains("SZL1"), "{msg}");
+    }
+
+    #[test]
+    fn codecs_subcommand_prints_container_table() {
+        let cmd = parse(&argv("codecs")).expect("parse");
+        assert_eq!(cmd, Command::Codecs);
+        let mut out = Vec::new();
+        run(cmd, &mut out).expect("codecs");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("registered codecs: sz, zfp"), "{text}");
+        for magic in ["SZL1", "SZLP", "SZPR", "ZFL1", "ZFLP"] {
+            assert!(text.contains(magic), "{text}");
+        }
+    }
+
+    #[test]
+    fn rel_and_pwrel_are_mutually_exclusive() {
+        let field = tmp("relpwrel.lcpf");
+        write_field(&field, &[1.0; 16], &[16]).expect("write");
+        let cmd = parse(&argv(&format!(
+            "compress --codec sz --eb 1e-2 --rel --pwrel -i {} -o /dev/null",
+            field.display()
+        )))
+        .expect("parse");
+        let mut out = Vec::new();
+        assert!(matches!(run(cmd, &mut out), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! This crate re-exports the workspace members under stable module names so
 //! downstream users depend on a single crate:
 //!
+//! * [`codec`] — the unified codec abstraction: the object-safe
+//!   [`Codec`](codec::Codec) trait and the static container registry that
+//!   resolves backends by name and compressed streams by magic.
 //! * [`sz`] — SZ-style error-bounded lossy compressor (prediction +
 //!   quantization + Huffman + lossless backend).
 //! * [`zfp`] — ZFP-style transform-coding lossy compressor (block
@@ -26,16 +29,22 @@
 //! ```
 //! use lcpio::prelude::*;
 //!
-//! // Generate a small synthetic NYX-like field and compress it with SZ.
+//! // Generate a small synthetic NYX-like field and compress it through
+//! // the codec registry — the stream's magic identifies the codec, so
+//! // decoding never needs to know which backend produced it.
 //! let field = lcpio::datagen::nyx::generate_scaled(16, 42);
-//! let cfg = SzConfig::new(ErrorBound::Absolute(1e-3));
-//! let compressed =
-//!     lcpio::sz::compress(&field.data, field.dims().extents(), &cfg).unwrap();
-//! assert!(compressed.bytes.len() < field.data.len() * 4);
+//! let codec = registry().by_name("sz").unwrap();
+//! let out = codec
+//!     .compress(&field.data, field.dims().extents(), BoundSpec::Absolute(1e-3))
+//!     .unwrap();
+//! assert!(out.bytes.len() < field.data.len() * 4);
+//! let (restored, _dims) = registry().decompress_auto(&out.bytes, 1).unwrap();
+//! assert_eq!(restored.len(), field.data.len());
 //! ```
 
 pub mod cli;
 
+pub use lcpio_codec as codec;
 pub use lcpio_core as core;
 pub use lcpio_datagen as datagen;
 pub use lcpio_fit as fit;
@@ -45,6 +54,7 @@ pub use lcpio_zfp as zfp;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use lcpio_codec::{registry, BoundSpec, Codec, CodecStats, Encoded};
     pub use lcpio_core::experiment::{ExperimentConfig, SweepResult};
     pub use lcpio_core::tuning::TuningRule;
     pub use lcpio_datagen::{Dataset, Field};

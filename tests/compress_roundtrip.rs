@@ -1,9 +1,9 @@
-//! Cross-crate integration: synthetic datasets → both codecs → error-bound
-//! verification, across every dataset and the paper's four bounds.
+//! Cross-crate integration: synthetic datasets → both registered codecs →
+//! error-bound verification, across every dataset and the paper's four
+//! bounds. All dispatch goes through the codec registry.
 
+use lcpio::codec::{registry, BoundSpec};
 use lcpio::datagen::Dataset;
-use lcpio::sz::{self, ErrorBound, SzConfig};
-use lcpio::zfp::{self, ZfpMode};
 
 fn max_err(a: &[f32], b: &[f32]) -> f64 {
     a.iter()
@@ -14,33 +14,21 @@ fn max_err(a: &[f32], b: &[f32]) -> f64 {
 }
 
 #[test]
-fn sz_respects_bounds_on_all_datasets() {
-    for ds in [Dataset::CesmAtm, Dataset::Hacc, Dataset::Nyx, Dataset::Isabel] {
-        let field = ds.generate(16384, 5);
-        let dims: Vec<usize> = field.dims().extents().to_vec();
-        for eb in [1e-1, 1e-2, 1e-3, 1e-4] {
-            let out = sz::compress(&field.data, &dims, &SzConfig::new(ErrorBound::Absolute(eb)))
-                .unwrap_or_else(|e| panic!("{} eb {eb}: {e}", ds.name()));
-            let (rec, rdims) = sz::decompress(&out.bytes).expect("decompress");
-            assert_eq!(rdims, dims, "{}", ds.name());
-            let err = max_err(&field.data, &rec);
-            assert!(err <= eb, "{} eb {eb}: err {err}", ds.name());
-        }
-    }
-}
-
-#[test]
-fn zfp_respects_bounds_on_all_datasets() {
-    for ds in [Dataset::CesmAtm, Dataset::Hacc, Dataset::Nyx, Dataset::Isabel] {
-        let field = ds.generate(16384, 5);
-        let dims: Vec<usize> = field.dims().extents().to_vec();
-        for eb in [1e-1, 1e-2, 1e-3, 1e-4] {
-            let out = zfp::compress(&field.data, &dims, &ZfpMode::FixedAccuracy(eb))
-                .unwrap_or_else(|e| panic!("{} eb {eb}: {e}", ds.name()));
-            let (rec, rdims) = zfp::decompress(&out.bytes).expect("decompress");
-            assert_eq!(rdims, dims, "{}", ds.name());
-            let err = max_err(&field.data, &rec);
-            assert!(err <= eb, "{} eb {eb}: err {err}", ds.name());
+fn every_codec_respects_bounds_on_all_datasets() {
+    for codec in registry().codecs() {
+        for ds in [Dataset::CesmAtm, Dataset::Hacc, Dataset::Nyx, Dataset::Isabel] {
+            let field = ds.generate(16384, 5);
+            let dims: Vec<usize> = field.dims().extents().to_vec();
+            for eb in [1e-1, 1e-2, 1e-3, 1e-4] {
+                let out = codec
+                    .compress(&field.data, &dims, BoundSpec::Absolute(eb))
+                    .unwrap_or_else(|e| panic!("{} {} eb {eb}: {e}", codec.name(), ds.name()));
+                let (rec, rdims) =
+                    registry().decompress_auto(&out.bytes, 1).expect("decompress");
+                assert_eq!(rdims, dims, "{} {}", codec.name(), ds.name());
+                let err = max_err(&field.data, &rec);
+                assert!(err <= eb, "{} {} eb {eb}: err {err}", codec.name(), ds.name());
+            }
         }
     }
 }
@@ -52,17 +40,15 @@ fn smooth_gridded_data_compresses_better_than_particles() {
     // bound, the smooth 3-D NYX grid must beat the clustered 1-D HACC
     // particles.
     let eb = 1e-4;
+    let sz = registry().by_name("sz").expect("sz is registered");
     let ratio = |ds: Dataset| {
         let field = ds.generate(4096, 5);
         let dims: Vec<usize> = field.dims().extents().to_vec();
         // Use a value-range-relative bound so datasets with different value
         // scales are compared fairly.
-        let out = sz::compress(
-            &field.data,
-            &dims,
-            &SzConfig::new(ErrorBound::ValueRangeRelative(eb)),
-        )
-        .expect("compress");
+        let out = sz
+            .compress(&field.data, &dims, BoundSpec::ValueRangeRelative(eb))
+            .expect("compress");
         out.stats.ratio()
     };
     let nyx = ratio(Dataset::Nyx);
@@ -77,24 +63,17 @@ fn smooth_gridded_data_compresses_better_than_particles() {
 fn codecs_agree_on_which_bound_is_harder() {
     let field = Dataset::Nyx.generate(16384, 6);
     let dims: Vec<usize> = field.dims().extents().to_vec();
-    let sz_sizes: Vec<usize> = [1e-1, 1e-4]
-        .iter()
-        .map(|&eb| {
-            sz::compress(&field.data, &dims, &SzConfig::new(ErrorBound::Absolute(eb)))
-                .expect("compress")
-                .bytes
-                .len()
-        })
-        .collect();
-    let zfp_sizes: Vec<usize> = [1e-1, 1e-4]
-        .iter()
-        .map(|&eb| {
-            zfp::compress(&field.data, &dims, &ZfpMode::FixedAccuracy(eb))
-                .expect("compress")
-                .bytes
-                .len()
-        })
-        .collect();
-    assert!(sz_sizes[1] > sz_sizes[0]);
-    assert!(zfp_sizes[1] > zfp_sizes[0]);
+    for codec in registry().codecs() {
+        let sizes: Vec<usize> = [1e-1, 1e-4]
+            .iter()
+            .map(|&eb| {
+                codec
+                    .compress(&field.data, &dims, BoundSpec::Absolute(eb))
+                    .expect("compress")
+                    .bytes
+                    .len()
+            })
+            .collect();
+        assert!(sizes[1] > sizes[0], "{}: tighter bound must cost bytes", codec.name());
+    }
 }

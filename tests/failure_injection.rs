@@ -2,43 +2,43 @@
 //! never panic, loop, or allocate unboundedly — they must either decode to
 //! *something* or return a structured error.
 
-use lcpio::sz::{self, ErrorBound, SzConfig};
-use lcpio::zfp::{self, ZfpMode};
+use lcpio::codec::{registry, BoundSpec};
+use lcpio::{sz, zfp};
 use proptest::prelude::*;
 
-fn sz_stream() -> Vec<u8> {
+// Fixture streams come from the registry (the product's only compression
+// entry point); the corruption fuzzing below still hits the *backend*
+// decoders directly so magic-byte mutations cannot short-circuit into the
+// registry's unknown-magic error and mask a deep-path panic.
+
+fn fixture(name: &str, bound: BoundSpec, threads: usize) -> Vec<u8> {
     let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
-    sz::compress(&data, &[32, 64], &SzConfig::new(ErrorBound::Absolute(1e-3)))
-        .expect("compress")
-        .bytes
+    let codec = registry().by_name(name).expect("registered");
+    if threads > 1 {
+        codec.compress_chunked(&data, &[32, 64], bound, threads).expect("compress").bytes
+    } else {
+        codec.compress(&data, &[32, 64], bound).expect("compress").bytes
+    }
+}
+
+fn sz_stream() -> Vec<u8> {
+    fixture("sz", BoundSpec::Absolute(1e-3), 1)
 }
 
 fn sz_chunked_stream() -> Vec<u8> {
-    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
-    sz::compress_chunked(&data, &[32, 64], &SzConfig::new(ErrorBound::Absolute(1e-3)), 2)
-        .expect("compress")
-        .bytes
+    fixture("sz", BoundSpec::Absolute(1e-3), 2)
 }
 
 fn sz_pwrel_stream() -> Vec<u8> {
-    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
-    sz::compress_pointwise_rel(&data, &[32, 64], 1e-3, &SzConfig::new(ErrorBound::Absolute(1.0)))
-        .expect("compress")
-        .bytes
+    fixture("sz", BoundSpec::PointwiseRelative(1e-3), 1)
 }
 
 fn zfp_stream() -> Vec<u8> {
-    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
-    zfp::compress(&data, &[32, 64], &ZfpMode::FixedAccuracy(1e-3))
-        .expect("compress")
-        .bytes
+    fixture("zfp", BoundSpec::Absolute(1e-3), 1)
 }
 
 fn zfp_chunked_stream() -> Vec<u8> {
-    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
-    zfp::compress_chunked(&data, &[32, 64], &ZfpMode::FixedAccuracy(1e-3), 2)
-        .expect("compress")
-        .bytes
+    fixture("zfp", BoundSpec::Absolute(1e-3), 2)
 }
 
 #[test]
@@ -200,6 +200,16 @@ fn zfp_chunked_oversized_dims_rejected_without_allocating() {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn registry_decompress_auto_never_panics_on_noise(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        // The product decode surface: arbitrary bytes either decode or
+        // return a structured error, for f32 and f64 alike.
+        let _ = registry().decompress_auto(&bytes, 1);
+        let _ = registry().decompress_auto_f64(&bytes, 1);
+    }
 
     #[test]
     fn sz_decompress_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {

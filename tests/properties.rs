@@ -2,10 +2,14 @@
 //! error-bound guarantees on arbitrary inputs, and energy-model invariants
 //! over arbitrary work profiles and frequencies.
 
+use lcpio::codec::{registry, BoundSpec, Codec};
 use lcpio::powersim::{simulate, Chip, Machine, WorkProfile};
-use lcpio::sz::{self, ErrorBound, SzConfig};
-use lcpio::zfp::{self, ZfpMode};
+use lcpio::sz;
 use proptest::prelude::*;
+
+fn sz_codec() -> &'static dyn Codec {
+    registry().by_name("sz").expect("sz is registered")
+}
 
 fn finite_f32() -> impl Strategy<Value = f32> {
     prop_oneof![
@@ -24,9 +28,8 @@ proptest! {
         eb_exp in -5i32..0,
     ) {
         let eb = 10f64.powi(eb_exp);
-        let cfg = SzConfig::new(ErrorBound::Absolute(eb));
-        let out = sz::compress(&data, &[data.len()], &cfg).unwrap();
-        let (rec, _) = sz::decompress(&out.bytes).unwrap();
+        let out = sz_codec().compress(&data, &[data.len()], BoundSpec::Absolute(eb)).unwrap();
+        let (rec, _) = registry().decompress_auto(&out.bytes, 1).unwrap();
         for (a, b) in data.iter().zip(&rec) {
             prop_assert!((*a as f64 - *b as f64).abs() <= eb * 1.001 + 1e-12);
         }
@@ -49,9 +52,8 @@ proptest! {
                 ((state >> 40) as f32 / 1e4).sin() * 50.0
             })
             .collect();
-        let cfg = SzConfig::new(ErrorBound::Absolute(eb));
-        let out = sz::compress(&data, &[ny, nx], &cfg).unwrap();
-        let (rec, dims) = sz::decompress(&out.bytes).unwrap();
+        let out = sz_codec().compress(&data, &[ny, nx], BoundSpec::Absolute(eb)).unwrap();
+        let (rec, dims) = registry().decompress_auto(&out.bytes, 1).unwrap();
         prop_assert_eq!(dims, vec![ny, nx]);
         for (a, b) in data.iter().zip(&rec) {
             prop_assert!((*a as f64 - *b as f64).abs() <= eb * 1.001 + 1e-12);
@@ -76,11 +78,12 @@ proptest! {
                 ((state >> 40) as f32 / 1e4).sin() * 50.0
             })
             .collect();
-        let cfg = SzConfig::new(ErrorBound::Absolute(eb));
         let mut prev: Option<(Vec<u8>, Vec<f32>)> = None;
         for threads in [1usize, 2, 4] {
-            let out = sz::compress_chunked(&data, &[nz, ny, nx], &cfg, threads).unwrap();
-            let (rec, dims) = sz::decompress_chunked::<f32>(&out.bytes, threads).unwrap();
+            let out = sz_codec()
+                .compress_chunked(&data, &[nz, ny, nx], BoundSpec::Absolute(eb), threads)
+                .unwrap();
+            let (rec, dims) = registry().decompress_auto(&out.bytes, threads).unwrap();
             prop_assert_eq!(dims, vec![nz, ny, nx]);
             for (a, b) in data.iter().zip(&rec) {
                 prop_assert!((*a as f64 - *b as f64).abs() <= eb * 1.001 + 1e-12);
@@ -110,13 +113,16 @@ proptest! {
                 ((state >> 40) as f32 / 1e4).sin() * 50.0
             })
             .collect();
-        let cfg = SzConfig::new(ErrorBound::Absolute(1e-3));
-        let out = sz::compress_chunked(&data, &[nz, nx], &cfg, 2).unwrap();
-        let (rec, _) = sz::decompress_chunked::<f32>(&out.bytes, 2).unwrap();
+        let out = sz_codec()
+            .compress_chunked(&data, &[nz, nx], BoundSpec::Absolute(1e-3), 2)
+            .unwrap();
+        let (rec, _) = registry().decompress_auto(&out.bytes, 2).unwrap();
+        // Each embedded chunk is a complete serial SZ container, so the
+        // registry can sniff and decode it standalone.
         let info = sz::parallel::parse_chunked(&out.bytes).unwrap();
         let mut serial: Vec<f32> = Vec::new();
         for &(_, _, chunk) in &info.chunks {
-            let (vals, _) = sz::decompress(chunk).unwrap();
+            let (vals, _) = registry().decompress_auto(chunk, 1).unwrap();
             serial.extend_from_slice(&vals);
         }
         prop_assert_eq!(rec, serial);
@@ -134,8 +140,12 @@ proptest! {
         let data: Vec<f32> = (0..nz * ny * nx)
             .map(|i| (((i as u32).wrapping_mul(seed | 1) >> 16) as f32 / 655.36).sin())
             .collect();
-        let out = zfp::compress(&data, &[nz, ny, nx], &ZfpMode::FixedAccuracy(eb)).unwrap();
-        let (rec, _) = zfp::decompress(&out.bytes).unwrap();
+        let out = registry()
+            .by_name("zfp")
+            .expect("zfp is registered")
+            .compress(&data, &[nz, ny, nx], BoundSpec::Absolute(eb))
+            .unwrap();
+        let (rec, _) = registry().decompress_auto(&out.bytes, 1).unwrap();
         for (a, b) in data.iter().zip(&rec) {
             prop_assert!((*a as f64 - *b as f64).abs() <= eb, "{a} vs {b} (eb {eb})");
         }
