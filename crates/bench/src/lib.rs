@@ -19,6 +19,7 @@
 //! | `eqn3_tuning_rule` | Eqn 3 + the §V-A3 savings numbers |
 //! | `ablation_*` | design-choice ablations (DESIGN.md §5) |
 //! | `criterion_compressors` | Criterion micro-benchmarks of both codecs |
+//! | `ext_pipeline_overlap` | overlapped compress→write pipeline vs the sequential dump |
 //!
 //! Paper-vs-measured comparisons for every artifact are recorded in
 //! `EXPERIMENTS.md` at the repository root.

@@ -190,6 +190,23 @@ impl From<ZfpError> for CodecError {
 /// self-describing output streams. Backend-specific knobs (SZ predictor
 /// modes, ZFP fixed-rate/precision) stay on the backend crates; code that
 /// ablates those knobs is expected to call the backend directly.
+///
+/// # Examples
+///
+/// Round-trip a field through whichever backend the registry hands out:
+///
+/// ```
+/// use lcpio_codec::{registry, BoundSpec, Codec};
+///
+/// let codec: &'static dyn Codec = registry().by_name("sz").unwrap();
+/// let field: Vec<f32> = (0..512).map(|i| (i as f32 * 0.05).sin()).collect();
+/// let enc = codec.compress(&field, &[512], BoundSpec::Absolute(1e-3)).unwrap();
+/// assert!(enc.stats.ratio() > 1.0);
+///
+/// let (restored, dims) = codec.decompress(&enc.bytes, 1).unwrap();
+/// assert_eq!(dims, vec![512]);
+/// assert!(restored.iter().zip(&field).all(|(r, x)| (r - x).abs() <= 1e-3 * 1.001));
+/// ```
 pub trait Codec: Send + Sync {
     /// Registry/CLI name (lowercase, e.g. `"sz"`).
     fn name(&self) -> &'static str;

@@ -46,11 +46,33 @@ impl CodecRegistry {
     /// Look a codec up by its CLI name (ASCII case-insensitive, so the
     /// driver-facing `Compressor::name()` spellings "SZ"/"ZFP" also
     /// resolve).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcpio_codec::registry;
+    ///
+    /// assert_eq!(registry().by_name("sz").unwrap().name(), "sz");
+    /// assert_eq!(registry().by_name("ZFP").unwrap().name(), "zfp");
+    /// assert!(registry().by_name("lz4").is_none());
+    /// ```
     pub fn by_name(&self, name: &str) -> Option<&'static dyn Codec> {
         self.codecs.iter().copied().find(|c| c.name().eq_ignore_ascii_case(name))
     }
 
     /// Resolve the codec and container behind a stream's 4-byte magic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcpio_codec::{registry, CodecError};
+    ///
+    /// let (codec, info) = registry().by_magic(b"ZFL1....").unwrap();
+    /// assert_eq!(codec.name(), "zfp");
+    /// assert_eq!(info.magic_str(), "ZFL1");
+    /// assert_eq!(registry().by_magic(b"NOPE").err(),
+    ///            Some(CodecError::UnknownMagic(*b"NOPE")));
+    /// ```
     pub fn by_magic(
         &self,
         stream: &[u8],
@@ -73,6 +95,20 @@ impl CodecRegistry {
     }
 
     /// Decompress a stream into `f32` after sniffing its container.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcpio_codec::{registry, BoundSpec};
+    ///
+    /// let data: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).cos()).collect();
+    /// let enc = registry().by_name("zfp").unwrap()
+    ///     .compress(&data, &[256], BoundSpec::Absolute(1e-3)).unwrap();
+    /// // No codec name needed on the way back — the magic decides.
+    /// let (restored, dims) = registry().decompress_auto(&enc.bytes, 1).unwrap();
+    /// assert_eq!(dims, vec![256]);
+    /// assert_eq!(restored.len(), data.len());
+    /// ```
     pub fn decompress_auto(
         &self,
         stream: &[u8],

@@ -8,6 +8,28 @@ use lcpio_codec::CodecError;
 use lcpio_sz::SzError;
 use lcpio_zfp::ZfpError;
 
+/// A permanent failure in the streaming pipeline.
+///
+/// Produced after the writer stage exhausts its bounded retries (or a
+/// config knob is degenerate). The message carries the underlying I/O
+/// detail as a string so the error stays `Clone + PartialEq + Eq` like
+/// the rest of [`CoreError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineError {
+    /// Chunk sequence number the pipeline failed on.
+    pub chunk: usize,
+    /// Write attempts made before giving up.
+    pub attempts: u32,
+    /// Human-readable detail (last sink error, or the rejected knob).
+    pub message: String,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pipeline failed at chunk {}: {}", self.chunk, self.message)
+    }
+}
+
 /// An error from one of the experiment drivers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
@@ -18,6 +40,9 @@ pub enum CoreError {
     /// The codec abstraction rejected the request (unsupported bound,
     /// unknown container, …); the message carries the detail.
     Codec(String),
+    /// The streaming pipeline failed permanently (writer retries
+    /// exhausted, or a degenerate config).
+    Pipeline(PipelineError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -26,6 +51,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Sz(e) => write!(f, "sz compression failed: {e}"),
             CoreError::Zfp(e) => write!(f, "zfp compression failed: {e}"),
             CoreError::Codec(msg) => write!(f, "codec error: {msg}"),
+            CoreError::Pipeline(e) => write!(f, "{e}"),
         }
     }
 }
@@ -35,7 +61,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Sz(e) => Some(e),
             CoreError::Zfp(e) => Some(e),
-            CoreError::Codec(_) => None,
+            CoreError::Codec(_) | CoreError::Pipeline(_) => None,
         }
     }
 }

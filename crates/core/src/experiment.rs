@@ -124,15 +124,26 @@ impl SweepResult {
     }
 }
 
+/// Generate the sample field for one dataset.
+///
+/// The field depends only on `(dataset, scale, seed)` — never on the
+/// compressor or error bound — so [`run_compression_sweep`] generates it
+/// once per dataset and shares it across all combos
+/// ([`tests::hoisted_field_generation_leaves_sweep_unchanged`] pins that
+/// the hoist changed nothing).
+fn dataset_field(cfg: &ExperimentConfig, ds: Dataset) -> lcpio_datagen::Field {
+    ds.generate(cfg.scale, cfg.seed ^ 0xD5)
+}
+
 /// Really compress one dataset sample and derive its work profile.
 fn run_compression_job(
     cfg: &ExperimentConfig,
     comp: Compressor,
     ds: Dataset,
+    field: &lcpio_datagen::Field,
     eb: f64,
     seed: u64,
 ) -> CompressedJob {
-    let field = ds.generate(cfg.scale, cfg.seed ^ 0xD5);
     let dims: Vec<usize> = field.dims().extents().to_vec();
     let scale_factor = field.scale_factor();
     // `compress_for_profile` picks each codec's thread-neutral container:
@@ -151,24 +162,34 @@ fn run_compression_job(
 /// Run the full compression sweep of §IV-A.
 pub fn run_compression_sweep(cfg: &ExperimentConfig) -> Vec<CompressionRecord> {
     let _span = lcpio_trace::span("core.sweep.compression");
+    // Generate each dataset's sample field once; every (compressor, eb)
+    // combo reuses it. The fields are combo-invariant, so regenerating
+    // them inside the fan-out below (as this driver once did) only
+    // repeated identical spectral synthesis 2 × |error_bounds| times per
+    // dataset.
+    let fields: Vec<lcpio_datagen::Field> =
+        crate::par::par_map(&cfg.datasets, cfg.threads, |_, &ds| dataset_field(cfg, ds));
+
     // Enumerate combinations with their deterministic seeds.
-    let combos: Vec<(Compressor, Dataset, f64, u64)> = cfg
+    let combos: Vec<(Compressor, usize, f64, u64)> = cfg
         .compressors
         .iter()
         .flat_map(|&comp| {
-            cfg.datasets.iter().flat_map(move |&ds| {
+            cfg.datasets.iter().enumerate().flat_map(move |(di, _)| {
                 cfg.error_bounds
                     .iter()
                     .enumerate()
-                    .map(move |(i, &eb)| (comp, ds, eb, 0u64.wrapping_add(i as u64)))
+                    .map(move |(i, &eb)| (comp, di, eb, i as u64))
             })
         })
-        .map(|(comp, ds, eb, i)| (comp, ds, eb, cfg.combo_seed(comp, ds, i as usize)))
+        .map(|(comp, di, eb, i)| {
+            (comp, di, eb, cfg.combo_seed(comp, cfg.datasets[di], i as usize))
+        })
         .collect();
 
     // Fan the (real) compression work out over scoped worker threads.
-    let jobs: Vec<CompressedJob> = crate::par::par_map(&combos, cfg.threads, |_, &(comp, ds, eb, seed)| {
-        run_compression_job(cfg, comp, ds, eb, seed)
+    let jobs: Vec<CompressedJob> = crate::par::par_map(&combos, cfg.threads, |_, &(comp, di, eb, seed)| {
+        run_compression_job(cfg, comp, cfg.datasets[di], &fields[di], eb, seed)
     });
 
     // Frequency sweep: cheap, deterministic, sequential.
@@ -309,6 +330,50 @@ mod tests {
             sel.iter().sum::<f64>() / sel.len() as f64
         };
         assert!(mean_energy(1e-4) > mean_energy(1e-2));
+    }
+
+    #[test]
+    fn hoisted_field_generation_leaves_sweep_unchanged() {
+        // Regression for the invariant hoist: the driver used to call
+        // `ds.generate` inside every (compressor, eb) combo. Rebuild the
+        // records the old way — regenerating the field per combo — and
+        // require bitwise-identical output from the hoisted driver.
+        let mut cfg = ExperimentConfig::quick();
+        cfg.datasets = vec![Dataset::Nyx, Dataset::Hacc];
+        let hoisted = run_compression_sweep(&cfg);
+
+        let mut reference = Vec::new();
+        for &comp in &cfg.compressors {
+            for &ds in &cfg.datasets {
+                for (i, &eb) in cfg.error_bounds.iter().enumerate() {
+                    let field = ds.generate(cfg.scale, cfg.seed ^ 0xD5); // per-combo, as before
+                    let job = run_compression_job(
+                        &cfg,
+                        comp,
+                        ds,
+                        &field,
+                        eb,
+                        cfg.combo_seed(comp, ds, i),
+                    );
+                    for &chip in &cfg.chips {
+                        let machine = Machine::for_chip(chip);
+                        let mut perf =
+                            Perf::with_sigma(job.seed ^ (chip as u64) << 32, cfg.noise_sigma);
+                        for f in machine.cpu.ladder() {
+                            let stat = perf.measure(&machine, f, &job.profile, cfg.reps);
+                            reference.push((f, stat.power_w, stat.energy_j, job.ratio));
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(hoisted.len(), reference.len());
+        for (h, r) in hoisted.iter().zip(&reference) {
+            assert_eq!(h.f_ghz, r.0);
+            assert_eq!(h.power_w, r.1);
+            assert_eq!(h.energy_j, r.2);
+            assert_eq!(h.ratio, r.3);
+        }
     }
 
     #[test]

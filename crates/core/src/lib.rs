@@ -40,6 +40,7 @@ pub mod generalization;
 pub mod models;
 pub mod par;
 pub mod pareto;
+pub mod pipeline;
 pub mod provenance;
 pub mod readback;
 pub mod records;
@@ -49,7 +50,8 @@ pub mod tuning;
 pub mod validation;
 pub mod workmap;
 
-pub use error::CoreError;
+pub use error::{CoreError, PipelineError};
+pub use pipeline::{PipelineConfig, StreamOutcome};
 pub use experiment::{ExperimentConfig, SweepResult};
 pub use records::{CompressionRecord, Compressor, TransitRecord};
 pub use tuning::{TuningReport, TuningRule};

@@ -1,0 +1,1046 @@
+//! Overlapped compress→write streaming pipeline.
+//!
+//! The paper's subject is compressed I/O — compress a dump, then write it
+//! to NFS — and it accounts energy *per phase* (§V–VI). The sequential
+//! drivers model exactly that, but they leave the write path idle while
+//! workers compress. This module adds the overlap: chunked compression
+//! (through the [`lcpio_codec`] registry) feeds a **bounded queue** ahead
+//! of a writer stage, so compression of chunk *k+1* proceeds while chunk
+//! *k* is on the wire, with backpressure once the writer falls
+//! `queue_depth` chunks behind.
+//!
+//! Three layers, separately testable:
+//!
+//! * **Stream format** — a self-describing `LCS1` container: a header with
+//!   dims + chunk size, then one frame per chunk (compressed through the
+//!   registry, or raw after codec-failure fallback). [`run_sequential`]
+//!   and [`run_streaming`] produce **byte-identical** streams at every
+//!   queue depth / writer count; [`decode_stream`] reads either.
+//! * **Execution** — [`run_streaming`] really runs the stages on threads:
+//!   compression workers pull chunk indices, a bounded reorder queue
+//!   applies backpressure, writer workers retry failed writes with bounded
+//!   backoff and commit to the [`ChunkSink`] strictly in order.
+//! * **Energy/time model** — [`simulate_pipeline`] maps per-chunk work
+//!   profiles onto a machine at tuned frequencies and computes the
+//!   overlapped makespan ([`overlap_makespan`]). Per-phase joules are
+//!   summed per chunk, so the overlapped totals equal the sequential
+//!   totals exactly — overlap shortens wall time, it must never
+//!   double-count (or lose) energy.
+//!
+//! ```
+//! use lcpio_core::pipeline::{run_sequential, run_streaming, PipelineConfig, VecSink};
+//!
+//! let data: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.01).sin()).collect();
+//! let cfg = PipelineConfig { chunk_elements: 512, queue_depth: 2, ..PipelineConfig::default() };
+//! let mut seq = VecSink::default();
+//! let mut par = VecSink::default();
+//! run_sequential(&data, &cfg, &mut seq).unwrap();
+//! let outcome = run_streaming(&data, &cfg, &mut par).unwrap();
+//! assert_eq!(seq.bytes, par.bytes); // overlap never changes the stream
+//! assert_eq!(outcome.chunks, 8);
+//! ```
+
+use crate::error::{CoreError, PipelineError};
+use crate::records::Compressor;
+use crate::workmap::CostModel;
+use lcpio_codec::{BoundSpec, CodecStats};
+use lcpio_powersim::{simulate, Machine, WorkProfile};
+use std::collections::BTreeMap;
+use std::io;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Magic prefix of the streaming container.
+pub const STREAM_MAGIC: [u8; 4] = *b"LCS1";
+
+/// Frame tag: payload is a registry-decodable compressed stream.
+const FRAME_COMPRESSED: u8 = 0;
+/// Frame tag: payload is raw little-endian `f32`s (codec-failure fallback).
+const FRAME_RAW: u8 = 1;
+
+/// Which chunk/attempt pairs fail, for fault-injection tests.
+///
+/// The plan is *deterministic* — a function of `(chunk, attempt)` only —
+/// so the sequential and streaming paths degrade identically and stay
+/// byte-comparable even under injected faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailurePlan {
+    /// `(chunk, attempt)` pairs (0-based) at which the sink write fails.
+    pub write_failures: Vec<(usize, u32)>,
+    /// `(chunk, attempt)` pairs at which chunk compression "fails",
+    /// exercising the raw-frame fallback path.
+    pub compress_failures: Vec<(usize, u32)>,
+}
+
+impl FailurePlan {
+    fn write_fails(&self, chunk: usize, attempt: u32) -> bool {
+        self.write_failures.contains(&(chunk, attempt))
+    }
+
+    fn compress_fails(&self, chunk: usize, attempt: u32) -> bool {
+        self.compress_failures.contains(&(chunk, attempt))
+    }
+}
+
+/// Configuration of the streaming pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Compressor backend (resolved through the codec registry).
+    pub compressor: Compressor,
+    /// Error bound for every chunk.
+    pub bound: BoundSpec,
+    /// Elements per chunk (the last chunk may be shorter).
+    pub chunk_elements: usize,
+    /// Bounded-queue depth between the stages: at most this many
+    /// compressed-but-unwritten chunks exist at once (≥ 1).
+    pub queue_depth: usize,
+    /// Writer workers draining the queue (≥ 1). Commits to the sink are
+    /// serialized in chunk order regardless, so the stream is identical.
+    pub writers: usize,
+    /// Compression workers (0 ⇒ all available cores).
+    pub compress_threads: usize,
+    /// Write attempts per chunk before the pipeline fails (≥ 1).
+    pub max_write_attempts: u32,
+    /// Backoff between write retries, in milliseconds, scaled linearly by
+    /// the attempt number (tests use 0).
+    pub retry_backoff_ms: u64,
+    /// Compression attempts per chunk before falling back to a raw frame.
+    pub max_compress_attempts: u32,
+    /// Injected failures (empty in production).
+    pub failure_plan: FailurePlan,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            compressor: Compressor::Sz,
+            bound: BoundSpec::Absolute(1e-3),
+            chunk_elements: 1 << 18,
+            queue_depth: 4,
+            writers: 1,
+            compress_threads: 0,
+            max_write_attempts: 3,
+            retry_backoff_ms: 1,
+            max_compress_attempts: 2,
+            failure_plan: FailurePlan::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Reject degenerate knob settings with a typed error.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |msg: &str| {
+            Err(CoreError::Pipeline(PipelineError {
+                chunk: 0,
+                attempts: 0,
+                message: msg.to_string(),
+            }))
+        };
+        if self.chunk_elements == 0 {
+            return bad("chunk_elements must be at least 1");
+        }
+        if self.queue_depth == 0 {
+            return bad("queue_depth must be at least 1");
+        }
+        if self.writers == 0 {
+            return bad("writers must be at least 1");
+        }
+        if self.max_write_attempts == 0 {
+            return bad("max_write_attempts must be at least 1");
+        }
+        if self.max_compress_attempts == 0 {
+            return bad("max_compress_attempts must be at least 1");
+        }
+        Ok(())
+    }
+}
+
+/// Where the writer stage commits finished chunks.
+///
+/// `write_chunk` receives frames strictly in `seq` order (0, 1, 2, …; the
+/// stream header is seq 0's predecessor and arrives via `write_header`).
+/// An implementation may fail transiently — the writer retries up to
+/// [`PipelineConfig::max_write_attempts`] times.
+pub trait ChunkSink: Send {
+    /// Write the stream header (once, before any chunk).
+    fn write_header(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Write one framed chunk. `seq` is the chunk index.
+    fn write_chunk(&mut self, seq: usize, bytes: &[u8]) -> io::Result<()>;
+}
+
+/// An in-memory sink: the assembled container stream.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The bytes written so far (header + frames in order).
+    pub bytes: Vec<u8>,
+}
+
+impl ChunkSink for VecSink {
+    fn write_header(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn write_chunk(&mut self, _seq: usize, bytes: &[u8]) -> io::Result<()> {
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+}
+
+/// A sink that writes the container to disk **atomically**: all frames go
+/// to `<path>.part`, which is renamed onto the final path only when
+/// [`FileSink::commit`] is called after a successful run. Dropping an
+/// uncommitted sink removes the partial file, so a failed pipeline never
+/// leaves a partial container at the destination.
+pub struct FileSink {
+    file: Option<std::io::BufWriter<std::fs::File>>,
+    tmp: std::path::PathBuf,
+    dest: std::path::PathBuf,
+    committed: bool,
+}
+
+impl FileSink {
+    /// Open `<path>.part` for writing.
+    pub fn create(path: &std::path::Path) -> io::Result<FileSink> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".part");
+        let tmp = std::path::PathBuf::from(tmp);
+        let file = std::fs::File::create(&tmp)?;
+        Ok(FileSink {
+            file: Some(std::io::BufWriter::new(file)),
+            tmp,
+            dest: path.to_path_buf(),
+            committed: false,
+        })
+    }
+
+    /// Flush and atomically rename the finished container into place.
+    pub fn commit(mut self) -> io::Result<()> {
+        if let Some(mut f) = self.file.take() {
+            f.flush()?;
+        }
+        std::fs::rename(&self.tmp, &self.dest)?;
+        self.committed = true;
+        Ok(())
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        if !self.committed {
+            drop(self.file.take());
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+impl ChunkSink for FileSink {
+    fn write_header(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.as_mut().expect("sink not committed").write_all(bytes)
+    }
+
+    fn write_chunk(&mut self, _seq: usize, bytes: &[u8]) -> io::Result<()> {
+        self.file.as_mut().expect("sink not committed").write_all(bytes)
+    }
+}
+
+/// Outcome of one pipeline (or sequential-reference) execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamOutcome {
+    /// Chunks written.
+    pub chunks: usize,
+    /// Uncompressed input bytes.
+    pub bytes_in: u64,
+    /// Container bytes written (header + all frames).
+    pub bytes_out: u64,
+    /// Chunks that fell back to raw frames after codec failure.
+    pub raw_fallbacks: usize,
+    /// Total write retries that eventually succeeded.
+    pub write_retries: u64,
+    /// Summed codec statistics over the compressed chunks.
+    pub stats: CodecStats,
+    /// Wall-clock seconds spent inside chunk compression (summed across
+    /// workers — busy time, not elapsed time).
+    pub compress_busy_s: f64,
+    /// Wall-clock seconds spent inside sink writes (busy time).
+    pub write_busy_s: f64,
+    /// Elapsed wall-clock seconds for the whole run.
+    pub wall_s: f64,
+}
+
+impl StreamOutcome {
+    /// Compression ratio of the whole container.
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_out == 0 { 0.0 } else { self.bytes_in as f64 / self.bytes_out as f64 }
+    }
+}
+
+/// Split `data` into the pipeline's chunks.
+fn chunk_ranges(len: usize, chunk_elements: usize) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::with_capacity(len / chunk_elements + 1);
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk_elements).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Render the stream header: magic, element count, chunk size.
+fn header_bytes(elements: u64, chunk_elements: u64) -> Vec<u8> {
+    let mut h = Vec::with_capacity(20);
+    h.extend_from_slice(&STREAM_MAGIC);
+    h.extend_from_slice(&elements.to_le_bytes());
+    h.extend_from_slice(&chunk_elements.to_le_bytes());
+    h
+}
+
+/// A compressed (or raw-fallback) chunk, framed for the container.
+struct Frame {
+    bytes: Vec<u8>,
+    stats: Option<CodecStats>,
+    raw: bool,
+    compress_s: f64,
+}
+
+/// Compress one chunk into its frame, honouring the failure plan and the
+/// raw fallback. Deterministic: identical for sequential and streaming.
+fn compress_frame(cfg: &PipelineConfig, seq: usize, chunk: &[f32]) -> Frame {
+    let t0 = std::time::Instant::now();
+    let codec = cfg.compressor.codec();
+    let mut encoded = None;
+    for attempt in 0..cfg.max_compress_attempts {
+        if cfg.failure_plan.compress_fails(seq, attempt) {
+            continue;
+        }
+        match codec.compress(chunk, &[chunk.len()], cfg.bound) {
+            Ok(e) => {
+                encoded = Some(e);
+                break;
+            }
+            Err(_) => continue,
+        }
+    }
+    let mut frame = Vec::new();
+    let (stats, raw) = match encoded {
+        Some(e) => {
+            frame.push(FRAME_COMPRESSED);
+            frame.extend_from_slice(&(e.bytes.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&e.bytes);
+            (Some(e.stats), false)
+        }
+        None => {
+            // Graceful degradation: repeated codec failure must not sink
+            // the dump — store the chunk uncompressed (bound trivially
+            // respected: the data is exact).
+            frame.push(FRAME_RAW);
+            frame.extend_from_slice(&(chunk.len() as u32 * 4).to_le_bytes());
+            for &v in chunk {
+                frame.extend_from_slice(&v.to_le_bytes());
+            }
+            (None, true)
+        }
+    };
+    Frame { bytes: frame, stats, raw, compress_s: t0.elapsed().as_secs_f64() }
+}
+
+/// Write one frame to the sink with bounded retry/backoff.
+///
+/// Returns the number of retries that preceded the successful attempt, or
+/// the typed error after `max_write_attempts` failures.
+fn write_with_retry(
+    cfg: &PipelineConfig,
+    sink: &mut dyn ChunkSink,
+    seq: usize,
+    bytes: &[u8],
+) -> Result<u64, CoreError> {
+    let mut last = String::new();
+    for attempt in 0..cfg.max_write_attempts {
+        if attempt > 0 && cfg.retry_backoff_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                cfg.retry_backoff_ms * attempt as u64,
+            ));
+        }
+        let injected = cfg.failure_plan.write_fails(seq, attempt);
+        let result = if injected {
+            Err(io::Error::other("injected write failure"))
+        } else {
+            sink.write_chunk(seq, bytes)
+        };
+        match result {
+            Ok(()) => {
+                lcpio_trace::counter_add("pipeline.write_retries", attempt as u64);
+                return Ok(attempt as u64);
+            }
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(CoreError::Pipeline(PipelineError {
+        chunk: seq,
+        attempts: cfg.max_write_attempts,
+        message: format!("write failed after {} attempts: {last}", cfg.max_write_attempts),
+    }))
+}
+
+/// Run the *sequential* reference path: compress chunk, write chunk,
+/// repeat. Same frames, same sink protocol, no overlap — the baseline the
+/// overlapped pipeline must match byte-for-byte and beat on wall time.
+pub fn run_sequential(
+    data: &[f32],
+    cfg: &PipelineConfig,
+    sink: &mut dyn ChunkSink,
+) -> Result<StreamOutcome, CoreError> {
+    cfg.validate()?;
+    let _span = lcpio_trace::span("pipeline.sequential");
+    let t0 = std::time::Instant::now();
+    let ranges = chunk_ranges(data.len(), cfg.chunk_elements);
+    let header = header_bytes(data.len() as u64, cfg.chunk_elements as u64);
+    sink.write_header(&header).map_err(|e| header_error(&e))?;
+    let mut out = StreamOutcome {
+        chunks: ranges.len(),
+        bytes_in: data.len() as u64 * 4,
+        bytes_out: header.len() as u64,
+        ..StreamOutcome::default()
+    };
+    for (seq, r) in ranges.iter().enumerate() {
+        let frame = compress_frame(cfg, seq, &data[r.clone()]);
+        out.compress_busy_s += frame.compress_s;
+        if let Some(s) = frame.stats {
+            accumulate(&mut out.stats, &s);
+        }
+        if frame.raw {
+            out.raw_fallbacks += 1;
+        }
+        let tw = std::time::Instant::now();
+        out.write_retries += write_with_retry(cfg, sink, seq, &frame.bytes)?;
+        out.write_busy_s += tw.elapsed().as_secs_f64();
+        out.bytes_out += frame.bytes.len() as u64;
+    }
+    out.wall_s = t0.elapsed().as_secs_f64();
+    Ok(out)
+}
+
+fn header_error(e: &io::Error) -> CoreError {
+    CoreError::Pipeline(PipelineError {
+        chunk: 0,
+        attempts: 1,
+        message: format!("header write failed: {e}"),
+    })
+}
+
+fn accumulate(total: &mut CodecStats, s: &CodecStats) {
+    total.elements += s.elements;
+    total.input_bytes += s.input_bytes;
+    total.output_bytes += s.output_bytes;
+    total.literal_elements += s.literal_elements;
+    total.coded_bits += s.coded_bits;
+}
+
+/// Bounded reorder queue between the stages.
+///
+/// Compression workers `push(seq, frame)`; pushes block while `seq` is
+/// more than `depth` ahead of the next unwritten chunk (backpressure).
+/// The writer side `pop_next()`s frames strictly in sequence order.
+struct BoundedQueue {
+    state: Mutex<QueueState>,
+    space: Condvar,
+    ready: Condvar,
+    depth: usize,
+}
+
+struct QueueState {
+    slots: BTreeMap<usize, Frame>,
+    /// Next sequence number the writer side will hand out.
+    next_pop: usize,
+    /// Set when a writer failed permanently: producers stop.
+    poisoned: bool,
+    /// Number of chunks in total (pop returns None past the end).
+    total: usize,
+    /// Chunks handed to writers but not yet committed — they still occupy
+    /// queue capacity, so backpressure counts them.
+    in_flight: usize,
+}
+
+impl BoundedQueue {
+    fn new(depth: usize, total: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                slots: BTreeMap::new(),
+                next_pop: 0,
+                poisoned: false,
+                total,
+                in_flight: 0,
+            }),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Block until `seq` fits in the window, then store the frame.
+    /// Returns `false` if the pipeline was poisoned (caller stops).
+    fn push(&self, seq: usize, frame: Frame) -> bool {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.poisoned {
+                return false;
+            }
+            // Backpressure: the compressed-but-unwritten window (queued +
+            // handed-out) may hold at most `depth` chunks.
+            if seq < st.next_pop + self.depth - st.in_flight.min(self.depth) {
+                break;
+            }
+            lcpio_trace::counter_add("pipeline.backpressure_waits", 1);
+            st = self.space.wait(st).expect("queue lock");
+        }
+        st.slots.insert(seq, frame);
+        self.ready.notify_all();
+        true
+    }
+
+    /// Block until the next in-order frame is available; `None` when the
+    /// stream is complete or poisoned.
+    fn pop_next(&self) -> Option<(usize, Frame)> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.poisoned || st.next_pop >= st.total {
+                return None;
+            }
+            let seq = st.next_pop;
+            if let Some(frame) = st.slots.remove(&seq) {
+                st.next_pop += 1;
+                st.in_flight += 1;
+                return Some((seq, frame));
+            }
+            st = self.ready.wait(st).expect("queue lock");
+        }
+    }
+
+    /// A writer committed (or abandoned) a chunk: release its window slot.
+    fn commit(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.in_flight = st.in_flight.saturating_sub(1);
+        self.space.notify_all();
+    }
+
+    fn poison(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.poisoned = true;
+        self.space.notify_all();
+        self.ready.notify_all();
+    }
+}
+
+/// Serializes sink commits into sequence order across writer workers.
+struct OrderedSink<'a> {
+    inner: Mutex<SinkState<'a>>,
+    turn: Condvar,
+}
+
+struct SinkState<'a> {
+    sink: &'a mut dyn ChunkSink,
+    next_commit: usize,
+    failed: Option<CoreError>,
+}
+
+impl<'a> OrderedSink<'a> {
+    /// Wait for `seq`'s turn, then write the frame with retry. On failure,
+    /// record the typed error (first failure wins) and unblock everyone.
+    fn commit(
+        &self,
+        cfg: &PipelineConfig,
+        seq: usize,
+        bytes: &[u8],
+        retries: &AtomicU64,
+        write_busy_ns: &AtomicU64,
+    ) -> bool {
+        let mut st = self.inner.lock().expect("sink lock");
+        while st.failed.is_none() && st.next_commit != seq {
+            st = self.turn.wait(st).expect("sink lock");
+        }
+        if st.failed.is_some() {
+            return false;
+        }
+        let t0 = std::time::Instant::now();
+        let result = write_with_retry(cfg, st.sink, seq, bytes);
+        write_busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match result {
+            Ok(r) => {
+                retries.fetch_add(r, Ordering::Relaxed);
+                st.next_commit += 1;
+                self.turn.notify_all();
+                true
+            }
+            Err(e) => {
+                st.failed = Some(e);
+                self.turn.notify_all();
+                false
+            }
+        }
+    }
+}
+
+/// Run the overlapped streaming pipeline.
+///
+/// Compression workers (up to `compress_threads`) pull chunk indices from
+/// an atomic cursor and push frames into the bounded queue; writer workers
+/// (`writers`) drain it and commit to `sink` strictly in order, retrying
+/// transient failures. The emitted stream is byte-identical to
+/// [`run_sequential`] for every knob setting — overlap changes wall time,
+/// never bytes.
+///
+/// On a permanent write failure every stage is stopped and the first
+/// [`CoreError::Pipeline`] is returned; the sink may have received a
+/// prefix of the stream (file-based callers write to a temporary path and
+/// only rename on success — see the CLI's `pipeline` subcommand).
+pub fn run_streaming(
+    data: &[f32],
+    cfg: &PipelineConfig,
+    sink: &mut dyn ChunkSink,
+) -> Result<StreamOutcome, CoreError> {
+    cfg.validate()?;
+    let _span = lcpio_trace::span("pipeline.streaming");
+    let t0 = std::time::Instant::now();
+    let ranges = chunk_ranges(data.len(), cfg.chunk_elements);
+    let total = ranges.len();
+    let header = header_bytes(data.len() as u64, cfg.chunk_elements as u64);
+    sink.write_header(&header).map_err(|e| header_error(&e))?;
+    lcpio_trace::counter_add("pipeline.chunks", total as u64);
+
+    let queue = BoundedQueue::new(cfg.queue_depth, total);
+    let ordered = OrderedSink {
+        inner: Mutex::new(SinkState { sink, next_commit: 0, failed: None }),
+        turn: Condvar::new(),
+    };
+    let cursor = AtomicUsize::new(0);
+    let compress_busy_ns = AtomicU64::new(0);
+    let write_busy_ns = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let raw_fallbacks = AtomicUsize::new(0);
+    let bytes_out = AtomicU64::new(header.len() as u64);
+    let stats_acc: Mutex<CodecStats> = Mutex::new(CodecStats::default());
+
+    let compress_workers = crate::par::effective_threads(cfg.compress_threads).min(total.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..compress_workers {
+            s.spawn(|| {
+                let _span = lcpio_trace::span("pipeline.compress.worker");
+                loop {
+                    let seq = cursor.fetch_add(1, Ordering::Relaxed);
+                    if seq >= total {
+                        break;
+                    }
+                    let frame = compress_frame(cfg, seq, &data[ranges[seq].clone()]);
+                    compress_busy_ns
+                        .fetch_add((frame.compress_s * 1e9) as u64, Ordering::Relaxed);
+                    if let Some(st) = frame.stats {
+                        accumulate(&mut stats_acc.lock().expect("stats lock"), &st);
+                    }
+                    if frame.raw {
+                        raw_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        lcpio_trace::counter_add("pipeline.raw_fallbacks", 1);
+                    }
+                    if !queue.push(seq, frame) {
+                        break; // poisoned: a writer failed permanently
+                    }
+                }
+            });
+        }
+        for _ in 0..cfg.writers {
+            s.spawn(|| {
+                let _span = lcpio_trace::span("pipeline.write.worker");
+                while let Some((seq, frame)) = queue.pop_next() {
+                    let ok =
+                        ordered.commit(cfg, seq, &frame.bytes, &retries, &write_busy_ns);
+                    queue.commit();
+                    if !ok {
+                        queue.poison();
+                        break;
+                    }
+                    bytes_out.fetch_add(frame.bytes.len() as u64, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let failed = ordered.inner.into_inner().expect("sink lock").failed;
+    if let Some(e) = failed {
+        return Err(e);
+    }
+    Ok(StreamOutcome {
+        chunks: total,
+        bytes_in: data.len() as u64 * 4,
+        bytes_out: bytes_out.into_inner(),
+        raw_fallbacks: raw_fallbacks.into_inner(),
+        write_retries: retries.into_inner(),
+        stats: stats_acc.into_inner().expect("stats lock"),
+        compress_busy_s: compress_busy_ns.into_inner() as f64 / 1e9,
+        write_busy_s: write_busy_ns.into_inner() as f64 / 1e9,
+        wall_s: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// Decode an `LCS1` stream back into the flat element array.
+///
+/// Compressed frames go through the registry's magic sniffing; raw frames
+/// are read verbatim.
+pub fn decode_stream(stream: &[u8]) -> Result<Vec<f32>, CoreError> {
+    let err = |msg: &str| {
+        CoreError::Pipeline(PipelineError { chunk: 0, attempts: 0, message: msg.to_string() })
+    };
+    if stream.len() < 20 || stream[..4] != STREAM_MAGIC {
+        return Err(err("not an LCS1 stream"));
+    }
+    let elements = u64::from_le_bytes(stream[4..12].try_into().expect("8 bytes")) as usize;
+    let mut out = Vec::with_capacity(elements);
+    let mut off = 20;
+    while off < stream.len() {
+        if off + 5 > stream.len() {
+            return Err(err("truncated frame header"));
+        }
+        let kind = stream[off];
+        let len =
+            u32::from_le_bytes(stream[off + 1..off + 5].try_into().expect("4 bytes")) as usize;
+        off += 5;
+        let payload = stream
+            .get(off..off + len)
+            .ok_or_else(|| err("truncated frame payload"))?;
+        off += len;
+        match kind {
+            FRAME_COMPRESSED => {
+                let (vals, _dims) = lcpio_codec::registry()
+                    .decompress_auto(payload, 1)
+                    .map_err(|e| err(&format!("chunk decode failed: {e}")))?;
+                out.extend_from_slice(&vals);
+            }
+            FRAME_RAW => {
+                if !len.is_multiple_of(4) {
+                    return Err(err("raw frame length not a multiple of 4"));
+                }
+                out.extend(
+                    payload.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                );
+            }
+            _ => return Err(err("unknown frame tag")),
+        }
+    }
+    if out.len() != elements {
+        return Err(err("element count mismatch"));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Simulated overlapped energy/time model
+// ---------------------------------------------------------------------------
+
+/// Makespan of a two-stage pipeline with a bounded queue of `depth`.
+///
+/// `t_c[k]` / `t_w[k]` are per-chunk compression and write times. One
+/// compression stream feeds one (order-preserving) write stream;
+/// compression of chunk `k` cannot *start* until chunk `k - depth` has
+/// finished writing (its queue slot frees up). `depth = 0` is treated as 1.
+pub fn overlap_makespan(t_c: &[f64], t_w: &[f64], depth: usize) -> f64 {
+    assert_eq!(t_c.len(), t_w.len(), "one write per compressed chunk");
+    let depth = depth.max(1);
+    let mut comp_finish = 0.0f64;
+    let mut write_finish = vec![0.0f64; t_c.len()];
+    for k in 0..t_c.len() {
+        let gate = if k >= depth { write_finish[k - depth] } else { 0.0 };
+        let start = comp_finish.max(gate);
+        comp_finish = start + t_c[k];
+        let prev_write = if k > 0 { write_finish[k - 1] } else { 0.0 };
+        write_finish[k] = comp_finish.max(prev_write) + t_w[k];
+    }
+    write_finish.last().copied().unwrap_or(0.0)
+}
+
+/// Per-phase energy and both wall-time accountings of one simulated dump.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OverlapOutcome {
+    /// Compression energy (J) — identical to the sequential accounting.
+    pub compression_j: f64,
+    /// Write energy (J) — identical to the sequential accounting.
+    pub writing_j: f64,
+    /// Sequential wall time: Σ t_c + Σ t_w (s).
+    pub sequential_s: f64,
+    /// Overlapped wall time at the configured queue depth (s).
+    pub pipelined_s: f64,
+}
+
+impl OverlapOutcome {
+    /// Total energy (J) — the same joules as the sequential path; overlap
+    /// must never double-count.
+    pub fn total_j(&self) -> f64 {
+        self.compression_j + self.writing_j
+    }
+
+    /// Sequential / pipelined wall time (≥ 1 for depth ≥ 1).
+    pub fn speedup(&self) -> f64 {
+        if self.pipelined_s > 0.0 { self.sequential_s / self.pipelined_s } else { 1.0 }
+    }
+}
+
+/// Simulate a dump of `chunks` identical chunks through the overlapped
+/// pipeline on `machine`: compression at `f_comp` with `comp_profile` per
+/// chunk, writing at `f_write` with `write_profile` per chunk.
+///
+/// Energy is accumulated per chunk and per phase — exactly the sequential
+/// sums — while the makespan comes from [`overlap_makespan`]. The
+/// per-phase split therefore stays correct under overlap: joules are
+/// attributed to the stage that burns them, never to wall-clock overlap.
+pub fn simulate_pipeline(
+    machine: &Machine,
+    f_comp: f64,
+    f_write: f64,
+    comp_profile: &WorkProfile,
+    write_profile: &WorkProfile,
+    chunks: usize,
+    queue_depth: usize,
+) -> OverlapOutcome {
+    let _span = lcpio_trace::span("pipeline.simulate");
+    let c = simulate(machine, f_comp, comp_profile);
+    let w = simulate(machine, f_write, write_profile);
+    let n = chunks.max(1);
+    let t_c = vec![c.runtime_s; n];
+    let t_w = vec![w.runtime_s; n];
+    let outcome = OverlapOutcome {
+        compression_j: c.energy_j * n as f64,
+        writing_j: w.energy_j * n as f64,
+        sequential_s: (c.runtime_s + w.runtime_s) * n as f64,
+        pipelined_s: overlap_makespan(&t_c, &t_w, queue_depth),
+    };
+    if lcpio_trace::collecting() {
+        lcpio_trace::counter_add("pipeline.sim.compression_uj", (outcome.compression_j * 1e6) as u64);
+        lcpio_trace::counter_add("pipeline.sim.writing_uj", (outcome.writing_j * 1e6) as u64);
+    }
+    outcome
+}
+
+/// One-stop characterization for the drivers: compress a sample once,
+/// derive the per-chunk profiles, and return the overlapped outcome for a
+/// full-size dump of `total_bytes`.
+///
+/// The sample characterization (field compression + cost-model mapping)
+/// happens in the *caller* — this helper only scales it — so sweeps can
+/// hoist the invariant work out of their frequency loops.
+#[allow(clippy::too_many_arguments)]
+pub fn scaled_overlap(
+    machine: &Machine,
+    f_comp: f64,
+    f_write: f64,
+    cost_model: &CostModel,
+    compressor: Compressor,
+    stats: &CodecStats,
+    total_bytes: f64,
+    queue_depth: usize,
+) -> OverlapOutcome {
+    // One "chunk" of the full-size dump is one sample-sized block; the
+    // pipeline streams ceil(total/sample) of them.
+    let sample_bytes = stats.input_bytes.max(1) as f64;
+    let chunks = (total_bytes / sample_bytes).ceil().max(1.0) as usize;
+    let comp_profile = cost_model.compression_profile(compressor, stats, 1.0);
+    let compressed_chunk_bytes = sample_bytes / stats.ratio().max(1e-9);
+    let write_profile = machine.nfs.write_profile(compressed_chunk_bytes);
+    simulate_pipeline(machine, f_comp, f_write, &comp_profile, &write_profile, chunks, queue_depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcpio_powersim::Chip;
+
+    fn field(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.013).sin() * 40.0 + (i as f32 * 0.0021).cos()).collect()
+    }
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig {
+            chunk_elements: 1000,
+            retry_backoff_ms: 0,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn streaming_is_byte_identical_to_sequential() {
+        let data = field(10_500);
+        for depth in [1, 2, 4, 16] {
+            for writers in [1, 2, 3] {
+                let c = PipelineConfig { queue_depth: depth, writers, ..cfg() };
+                let mut seq = VecSink::default();
+                let mut par = VecSink::default();
+                let a = run_sequential(&data, &c, &mut seq).expect("sequential");
+                let b = run_streaming(&data, &c, &mut par).expect("streaming");
+                assert_eq!(seq.bytes, par.bytes, "depth {depth} writers {writers}");
+                assert_eq!(a.chunks, b.chunks);
+                assert_eq!(a.bytes_out, b.bytes_out);
+                assert_eq!(a.stats, b.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_roundtrips_within_bound() {
+        let data = field(7_321);
+        let c = cfg();
+        let mut sink = VecSink::default();
+        run_streaming(&data, &c, &mut sink).expect("streaming");
+        let back = decode_stream(&sink.bytes).expect("decode");
+        assert_eq!(back.len(), data.len());
+        let BoundSpec::Absolute(eb) = c.bound else { panic!("absolute bound") };
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() as f64 <= eb * 1.0000001, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn compressed_stream_is_smaller() {
+        let data = field(50_000);
+        let mut sink = VecSink::default();
+        let out = run_streaming(&data, &cfg(), &mut sink).expect("streaming");
+        assert!(out.ratio() > 1.5, "ratio {}", out.ratio());
+        assert_eq!(out.bytes_out as usize, sink.bytes.len());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_knobs() {
+        for bad in [
+            PipelineConfig { queue_depth: 0, ..cfg() },
+            PipelineConfig { writers: 0, ..cfg() },
+            PipelineConfig { chunk_elements: 0, ..cfg() },
+            PipelineConfig { max_write_attempts: 0, ..cfg() },
+            PipelineConfig { max_compress_attempts: 0, ..cfg() },
+        ] {
+            let mut sink = VecSink::default();
+            assert!(matches!(
+                run_streaming(&[1.0; 8], &bad, &mut sink),
+                Err(CoreError::Pipeline(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_input_writes_header_only() {
+        let mut sink = VecSink::default();
+        let out = run_streaming(&[], &cfg(), &mut sink).expect("streaming");
+        assert_eq!(out.chunks, 0);
+        assert_eq!(sink.bytes.len(), 20);
+        assert_eq!(decode_stream(&sink.bytes).expect("decode"), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        // Overlap can never beat the slower stage, nor lose to the sum.
+        let t_c = [3.0, 3.0, 3.0, 3.0];
+        let t_w = [1.0, 1.0, 1.0, 1.0];
+        let seq: f64 = 16.0;
+        for depth in 1..6 {
+            let m = overlap_makespan(&t_c, &t_w, depth);
+            assert!(m >= 12.0 + 1.0 - 1e-12, "depth {depth}: {m}");
+            assert!(m <= seq + 1e-12, "depth {depth}: {m}");
+        }
+        // Deep queue: compression streams, last write tail remains.
+        assert!((overlap_makespan(&t_c, &t_w, 8) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_backpressure_hurts_when_writer_is_slow() {
+        let t_c = vec![1.0; 16];
+        let t_w = vec![2.0; 16];
+        let shallow = overlap_makespan(&t_c, &t_w, 1);
+        let deep = overlap_makespan(&t_c, &t_w, 8);
+        // Write-bound either way: lower bound is 1 + 32 = 33.
+        assert!(deep >= 33.0 - 1e-12);
+        assert!(shallow >= deep - 1e-12);
+        // Depth 1 degenerates to sequential here (the next compression
+        // waits for the previous write); depth ≥ 2 genuinely overlaps.
+        assert!((shallow - 48.0).abs() < 1e-12);
+        assert!((deep - 33.0).abs() < 1e-12);
+        assert!(overlap_makespan(&t_c, &t_w, 2) < 48.0);
+    }
+
+    #[test]
+    fn simulated_energy_matches_sequential_exactly() {
+        let machine = Machine::for_chip(Chip::Broadwell);
+        let comp = WorkProfile { compute_cycles: 3e9, memory_bytes: 16e9, ..Default::default() };
+        let write = machine.nfs.write_profile(1e8);
+        let o = simulate_pipeline(&machine, 2.0, 1.7, &comp, &write, 37, 4);
+        let c = simulate(&machine, 2.0, &comp);
+        let w = simulate(&machine, 1.7, &write);
+        // Per-phase joules are per-chunk sums — overlap neither
+        // double-counts nor drops energy.
+        assert!((o.compression_j - c.energy_j * 37.0).abs() < 1e-9 * o.compression_j);
+        assert!((o.writing_j - w.energy_j * 37.0).abs() < 1e-9 * o.writing_j);
+        assert!((o.total_j() - (c.energy_j + w.energy_j) * 37.0).abs() < 1e-6);
+        // The makespan is shorter than sequential but at least the longer
+        // stage's busy time.
+        assert!(o.pipelined_s < o.sequential_s);
+        assert!(o.speedup() > 1.0);
+    }
+
+    #[test]
+    fn deeper_queue_never_slows_the_simulated_pipeline() {
+        let machine = Machine::for_chip(Chip::Broadwell);
+        let comp = WorkProfile { compute_cycles: 3e9, memory_bytes: 16e9, ..Default::default() };
+        let write = machine.nfs.write_profile(6e8);
+        let mut last = f64::INFINITY;
+        for depth in [1, 2, 4, 8] {
+            let o = simulate_pipeline(&machine, 2.0, 2.0, &comp, &write, 64, depth);
+            assert!(o.pipelined_s <= last + 1e-12, "depth {depth}");
+            last = o.pipelined_s;
+        }
+    }
+
+    #[test]
+    fn injected_codec_failure_falls_back_to_raw() {
+        let data = field(5_000);
+        let mut c = cfg();
+        // Chunk 2 fails compression on every attempt → raw frame.
+        c.failure_plan.compress_failures =
+            (0..c.max_compress_attempts).map(|a| (2usize, a)).collect();
+        let mut seq = VecSink::default();
+        let mut par = VecSink::default();
+        let a = run_sequential(&data, &c, &mut seq).expect("sequential");
+        let b = run_streaming(&data, &c, &mut par).expect("streaming");
+        assert_eq!(a.raw_fallbacks, 1);
+        assert_eq!(b.raw_fallbacks, 1);
+        assert_eq!(seq.bytes, par.bytes, "fallback must stay deterministic");
+        // Raw chunk decodes exactly.
+        let back = decode_stream(&par.bytes).expect("decode");
+        assert_eq!(&back[2000..3000], &data[2000..3000]);
+    }
+
+    #[test]
+    fn transient_write_failure_is_retried() {
+        let data = field(4_000);
+        let mut c = cfg();
+        c.failure_plan.write_failures = vec![(1, 0), (3, 0), (3, 1)];
+        let mut clean = VecSink::default();
+        run_sequential(&data, &cfg(), &mut clean).expect("clean");
+        let mut par = VecSink::default();
+        let out = run_streaming(&data, &c, &mut par).expect("retries succeed");
+        assert_eq!(out.write_retries, 3);
+        assert_eq!(clean.bytes, par.bytes);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        let data = field(4_000);
+        let mut c = cfg();
+        c.failure_plan.write_failures =
+            (0..c.max_write_attempts).map(|a| (2usize, a)).collect();
+        let mut sink = VecSink::default();
+        let err = run_streaming(&data, &c, &mut sink).expect_err("chunk 2 must fail");
+        match err {
+            CoreError::Pipeline(p) => {
+                assert_eq!(p.chunk, 2);
+                assert_eq!(p.attempts, c.max_write_attempts);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+}

@@ -44,22 +44,28 @@ pub fn render_curves(title: &str, curves: &[CurveSeries]) -> String {
 }
 
 /// Render the Figure 6 energy table.
+///
+/// The two rightmost columns report the overlapped compress→write
+/// pipeline: tuned wall time and its speedup over the sequential dump
+/// (same joules — see [`crate::pipeline`]).
 pub fn render_dump(title: &str, rows: &[DumpRow]) -> String {
     let mut s = String::new();
     s.push_str(&format!("{title}\n"));
     s.push_str(&format!(
-        "{:>8} {:>8} {:>12} {:>12} {:>10} {:>8}\n",
-        "eb", "ratio", "base_kJ", "tuned_kJ", "saved_kJ", "savings"
+        "{:>8} {:>8} {:>12} {:>12} {:>10} {:>8} {:>10} {:>8}\n",
+        "eb", "ratio", "base_kJ", "tuned_kJ", "saved_kJ", "savings", "pipe_s", "overlap"
     ));
     for r in rows {
         s.push_str(&format!(
-            "{:>8.0e} {:>8.2} {:>12.2} {:>12.2} {:>10.2} {:>7.1}%\n",
+            "{:>8.0e} {:>8.2} {:>12.2} {:>12.2} {:>10.2} {:>7.1}% {:>10.1} {:>7.2}x\n",
             r.error_bound,
             r.ratio,
             r.base.total_j() / 1e3,
             r.tuned.total_j() / 1e3,
             r.saved_j() / 1e3,
-            r.savings() * 100.0
+            r.savings() * 100.0,
+            r.tuned_overlap.pipelined_s,
+            r.tuned_overlap.speedup()
         ));
     }
     s
@@ -125,6 +131,41 @@ mod tests {
         let out = render_curves("Fig 1", &[c]);
         assert!(out.contains("Broadwell-SZ"));
         assert_eq!(out.matches("\n    ").count(), 3); // header + 2 points
+    }
+
+    #[test]
+    fn dump_table_shows_overlap_columns() {
+        use crate::datadump::PhaseEnergy;
+        use crate::pipeline::OverlapOutcome;
+        let phase = |c: f64, w: f64| PhaseEnergy {
+            compression_j: c,
+            writing_j: w,
+            compression_s: c / 100.0,
+            writing_s: w / 100.0,
+        };
+        let row = DumpRow {
+            error_bound: 1e-3,
+            ratio: 7.5,
+            base: phase(40e3, 12e3),
+            tuned: phase(34e3, 11e3),
+            base_overlap: OverlapOutcome {
+                compression_j: 40e3,
+                writing_j: 12e3,
+                sequential_s: 520.0,
+                pipelined_s: 410.0,
+            },
+            tuned_overlap: OverlapOutcome {
+                compression_j: 34e3,
+                writing_j: 11e3,
+                sequential_s: 560.0,
+                pipelined_s: 448.0,
+            },
+        };
+        let out = render_dump("FIG 6", &[row]);
+        assert!(out.contains("pipe_s"));
+        assert!(out.contains("overlap"));
+        assert!(out.contains("448.0"));
+        assert!(out.contains("1.25x"));
     }
 
     #[test]

@@ -61,6 +61,29 @@ pub struct Measurement {
 
 /// Simulate `profile` on `machine` at `f_ghz` (must be within the ladder
 /// range; callers typically use [`CpuSpec::snap`] first).
+///
+/// The outcome is linear in the profile: simulating a profile scaled by
+/// `n` yields exactly `n×` the runtime and energy, which is what lets the
+/// streaming pipeline account per-chunk energies that sum to the
+/// whole-dump totals.
+///
+/// # Examples
+///
+/// The paper's core trade-off in four lines — a lower clock draws less
+/// average power but stretches the runtime:
+///
+/// ```
+/// use lcpio_powersim::{simulate, Chip, Machine, WorkProfile};
+///
+/// let m = Machine::for_chip(Chip::Broadwell);
+/// let job = WorkProfile { compute_cycles: 30e9, memory_bytes: 160e9, ..Default::default() };
+/// let fast = simulate(&m, m.cpu.f_max_ghz, &job);
+/// let slow = simulate(&m, m.cpu.f_min_ghz, &job);
+/// assert!(slow.avg_power_w < fast.avg_power_w);
+/// assert!(slow.runtime_s > fast.runtime_s);
+/// // The three phases tile the wall time exactly.
+/// assert!((fast.compute_s + fast.memory_s + fast.io_s - fast.runtime_s).abs() < 1e-12);
+/// ```
 pub fn simulate(machine: &Machine, f_ghz: f64, profile: &WorkProfile) -> Measurement {
     let cpu = &machine.cpu;
     debug_assert!(

@@ -56,6 +56,19 @@ impl NfsSpec {
     }
 
     /// Work profile for writing `bytes` to the NFS mount.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcpio_powersim::{simulate, Chip, Machine};
+    ///
+    /// let m = Machine::for_chip(Chip::Broadwell);
+    /// let write = m.nfs.write_profile(4e9); // 4 GB to the NFS mount
+    /// let meas = simulate(&m, m.cpu.f_max_ghz, &write);
+    /// // CPU work (copies, RPC, checksums) keeps the achieved bandwidth
+    /// // below the 1.25 GB/s wire rate.
+    /// assert!(meas.runtime_s > m.nfs.wire_time_s(4e9));
+    /// ```
     pub fn write_profile(&self, bytes: f64) -> WorkProfile {
         WorkProfile {
             compute_cycles: bytes * self.cpu_cycles_per_byte,

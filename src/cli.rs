@@ -24,6 +24,8 @@
 //! tables     -i sweep.json
 //! tune       -i sweep.json
 //! dump       [--gb 512]
+//! pipeline   --codec sz|zfp --eb 1e-3 [--threads N] [--queue-depth D]
+//!            [--writers W] [--chunk-elems N] -i in.lcpf -o out.lcs
 //! ```
 //!
 //! Codec dispatch goes through [`lcpio_codec::registry`]: `compress`
@@ -160,11 +162,30 @@ pub enum Command {
         /// Uncompressed volume in GB.
         gb: f64,
     },
+    /// Stream a field through the overlapped compress→write pipeline.
+    Pipeline {
+        /// "sz" or "zfp".
+        codec: String,
+        /// Absolute error bound for every chunk.
+        eb: f64,
+        /// Compression worker threads (0 = all available cores).
+        threads: usize,
+        /// Bounded-queue depth between the stages (≥ 1).
+        queue_depth: usize,
+        /// Writer workers draining the queue (≥ 1).
+        writers: usize,
+        /// Elements per chunk.
+        chunk_elems: usize,
+        /// Input field file.
+        input: PathBuf,
+        /// Output streaming container (`LCS1`).
+        output: PathBuf,
+    },
 }
 
 /// Top-level usage text.
 pub fn usage() -> &'static str {
-    "lcpio-cli <gen|compress|decompress|info|codecs|quality|sweep|tables|tune|dump> [options]\n\
+    "lcpio-cli <gen|compress|decompress|info|codecs|quality|sweep|tables|tune|dump|pipeline> [options]\n\
      run `lcpio-cli <command>` with missing options to see its requirements"
 }
 
@@ -322,6 +343,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "dump" => Ok(Command::Dump {
             gb: parse_pos_f64(m.get("gb").map(String::as_str).unwrap_or("512"), "gb")?,
         }),
+        "pipeline" => Ok(Command::Pipeline {
+            codec: req(&m, &["codec", "c"])?.to_ascii_lowercase(),
+            eb: parse_pos_f64(m.get("eb").map(String::as_str).unwrap_or("1e-3"), "error bound")?,
+            threads: parse_threads(m.get("threads").map(String::as_str).unwrap_or("0"))?,
+            queue_depth: parse_nonzero(
+                m.get("queue-depth").map(String::as_str).unwrap_or("4"),
+                "queue-depth",
+            )?,
+            writers: parse_nonzero(m.get("writers").map(String::as_str).unwrap_or("1"), "writers")?,
+            chunk_elems: parse_nonzero(
+                m.get("chunk-elems").map(String::as_str).unwrap_or("262144"),
+                "chunk-elems",
+            )?,
+            input: PathBuf::from(req(&m, &["i", "input"])?),
+            output: PathBuf::from(req(&m, &["o", "output"])?),
+        }),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{}", usage()))),
     }
 }
@@ -395,6 +432,7 @@ fn command_name(cmd: &Command) -> &'static str {
         Command::Tables { .. } => "tables",
         Command::Tune { .. } => "tune",
         Command::Dump { .. } => "dump",
+        Command::Pipeline { .. } => "pipeline",
     }
 }
 
@@ -554,8 +592,59 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 summary.mean_savings * 100.0
             )?;
         }
+        Command::Pipeline { codec, eb, threads, queue_depth, writers, chunk_elems, input, output } => {
+            let (data, _dims) = read_field(&input)?;
+            let compressor = match codec.as_str() {
+                "sz" => lcpio_core::Compressor::Sz,
+                "zfp" => lcpio_core::Compressor::Zfp,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown codec `{other}`; registered codecs: {}",
+                        registry().names().join(", ")
+                    )))
+                }
+            };
+            let cfg = lcpio_core::pipeline::PipelineConfig {
+                compressor,
+                bound: BoundSpec::Absolute(eb),
+                chunk_elements: chunk_elems,
+                queue_depth,
+                writers,
+                compress_threads: threads,
+                ..lcpio_core::pipeline::PipelineConfig::default()
+            };
+            // The sink writes to `<output>.part` and renames only on
+            // success, so a failed run never leaves a partial container.
+            let sink = lcpio_core::pipeline::FileSink::create(&output)?;
+            let outcome = stream_pipeline(&data, &cfg, sink)?;
+            writeln!(
+                out,
+                "streamed {} -> {} with {codec}: {} chunks, {:.2}x, \
+                 {} write retries, {} raw fallbacks, {:.3} s",
+                input.display(),
+                output.display(),
+                outcome.chunks,
+                outcome.ratio(),
+                outcome.write_retries,
+                outcome.raw_fallbacks,
+                outcome.wall_s
+            )?;
+        }
     }
     Ok(())
+}
+
+/// Run the streaming pipeline into a [`lcpio_core::pipeline::FileSink`],
+/// committing the container only on success.
+fn stream_pipeline(
+    data: &[f32],
+    cfg: &lcpio_core::pipeline::PipelineConfig,
+    mut sink: lcpio_core::pipeline::FileSink,
+) -> Result<lcpio_core::pipeline::StreamOutcome, CliError> {
+    let outcome = lcpio_core::pipeline::run_streaming(data, cfg, &mut sink)
+        .map_err(|e| CliError::Codec(e.to_string()))?;
+    sink.commit()?;
+    Ok(outcome)
 }
 
 fn load_sweep(path: &Path) -> Result<SweepResult, CliError> {
@@ -579,7 +668,17 @@ fn known_containers() -> String {
 }
 
 /// Decode a compressed buffer whose codec is identified by its magic.
+///
+/// `LCS1` streaming containers are decoded by the pipeline module (their
+/// frames, in turn, go through the registry); everything else resolves
+/// directly through the registry's magic sniffing.
 fn decode_any(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), CliError> {
+    if bytes.len() >= 4 && bytes[..4] == lcpio_core::pipeline::STREAM_MAGIC {
+        let data = lcpio_core::pipeline::decode_stream(bytes)
+            .map_err(|e| CliError::Codec(e.to_string()))?;
+        let n = data.len();
+        return Ok((data, vec![n]));
+    }
     registry().decompress_auto(bytes, 0).map_err(|e| match e {
         CodecError::UnknownMagic(m) => {
             let ascii: String =
@@ -606,6 +705,8 @@ fn describe(bytes: &[u8]) -> String {
     }
     let kind = if bytes[..4] == FIELD_MAGIC {
         "raw field container"
+    } else if bytes[..4] == lcpio_core::pipeline::STREAM_MAGIC {
+        "streaming pipeline container (LCS1)"
     } else {
         registry().describe(bytes).unwrap_or("unrecognized")
     };
@@ -926,11 +1027,103 @@ mod tests {
     }
 
     #[test]
+    fn parse_pipeline_with_defaults_and_knobs() {
+        let c = parse(&argv("pipeline --codec sz -i a -o b")).expect("parse");
+        match c {
+            Command::Pipeline { codec, eb, threads, queue_depth, writers, chunk_elems, .. } => {
+                assert_eq!(codec, "sz");
+                assert_eq!(eb, 1e-3);
+                assert_eq!(threads, 0);
+                assert_eq!(queue_depth, 4);
+                assert_eq!(writers, 1);
+                assert_eq!(chunk_elems, 262144);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let c = parse(&argv(
+            "pipeline --codec zfp --eb 1e-2 --queue-depth 2 --writers 3 --chunk-elems 4096 -i a -o b",
+        ))
+        .expect("parse");
+        match c {
+            Command::Pipeline { codec, queue_depth, writers, chunk_elems, .. } => {
+                assert_eq!(codec, "zfp");
+                assert_eq!(queue_depth, 2);
+                assert_eq!(writers, 3);
+                assert_eq!(chunk_elems, 4096);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Degenerate knobs are usage errors at parse time.
+        for cmd in [
+            "pipeline --codec sz --queue-depth 0 -i a -o b",
+            "pipeline --codec sz --writers 0 -i a -o b",
+            "pipeline --codec sz --chunk-elems 0 -i a -o b",
+            "pipeline --codec sz --eb 0 -i a -o b",
+        ] {
+            assert!(matches!(parse(&argv(cmd)), Err(CliError::Usage(_))), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn pipeline_end_to_end_stream_info_decompress() {
+        let field = tmp("pipe.lcpf");
+        let stream = tmp("pipe.lcs");
+        let back = tmp("pipe-back.lcpf");
+        let mut out = Vec::new();
+        run(
+            parse(&argv(&format!(
+                "gen --dataset nyx --scale 65536 --seed 11 -o {}",
+                field.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("gen");
+        run(
+            parse(&argv(&format!(
+                "pipeline --codec sz --eb 1e-2 --queue-depth 2 --chunk-elems 2048 -i {} -o {}",
+                field.display(),
+                stream.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("pipeline");
+        // No `.part` remnant after a successful commit.
+        assert!(!Path::new(&format!("{}.part", stream.display())).exists());
+        let mut info_out = Vec::new();
+        run(parse(&argv(&format!("info -i {}", stream.display()))).expect("parse"), &mut info_out)
+            .expect("info");
+        let info_text = String::from_utf8(info_out).expect("utf8");
+        assert!(info_text.contains("streaming pipeline container"), "{info_text}");
+        run(
+            parse(&argv(&format!(
+                "decompress -i {} -o {}",
+                stream.display(),
+                back.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("decompress");
+        // Error bound holds across the streamed chunks.
+        let (orig, _) = read_field(&field).expect("read");
+        let (rec, _) = read_field(&back).expect("read");
+        assert_eq!(orig.len(), rec.len());
+        let err = orig.iter().zip(&rec).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(err <= 1e-2 * 1.001, "max err {err}");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("streamed"), "{text}");
+        assert!(text.contains("chunks"), "{text}");
+    }
+
+    #[test]
     fn describe_recognizes_magics() {
         assert!(describe(b"SZL1xxxx").contains("SZ compressed"));
         assert!(describe(b"SZLPxxxx").contains("SZ chunked"));
         assert!(describe(b"ZFLPxxxx").contains("chunked"));
         assert!(describe(b"LCPFxxxx").contains("field"));
+        assert!(describe(b"LCS1xxxx").contains("streaming pipeline"));
         assert!(describe(b"??").contains("unrecognized"));
         assert!(describe(b"NOPExxxx").contains("unrecognized"));
     }

@@ -1,0 +1,107 @@
+//! Markdown link check: every intra-repo link in every tracked `*.md`
+//! file must point at a path that exists. Dead links fail the build (the
+//! CI `docs` job runs this test), so the navigation docs — README,
+//! ARCHITECTURE, DESIGN, EXPERIMENTS — cannot silently rot as files move.
+
+use std::path::{Path, PathBuf};
+
+/// All markdown files in the repo, skipping build output and VCS innards.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && name != ".git" && name != "node_modules" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".md") {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Extract `[text](dest)` destinations from one markdown body, skipping
+/// fenced code blocks (command examples routinely contain brackets).
+fn link_targets(md: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in md.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            // Find the next "](" pair, then take the balanced-paren-free
+            // destination up to the closing ')'.
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                if let Some(close) = line[i + 2..].find(')') {
+                    targets.push(line[i + 2..i + 2 + close].to_string());
+                    i += 2 + close;
+                }
+            }
+            i += 1;
+        }
+    }
+    targets
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let files = markdown_files(&root);
+    assert!(
+        files.iter().any(|f| f.ends_with("README.md"))
+            && files.iter().any(|f| f.ends_with("ARCHITECTURE.md")),
+        "README.md and ARCHITECTURE.md must exist at the repo root"
+    );
+
+    let mut dead = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let body = std::fs::read_to_string(file).expect("read markdown");
+        for target in link_targets(&body) {
+            // External and in-page links are out of scope.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            // Strip any #anchor and treat the rest as a path relative to
+            // the linking file.
+            let path_part = target.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            let resolved = file.parent().expect("md file has a parent").join(path_part);
+            checked += 1;
+            if !resolved.exists() {
+                dead.push(format!(
+                    "{} -> {}",
+                    file.strip_prefix(&root).unwrap_or(file).display(),
+                    target
+                ));
+            }
+        }
+    }
+    assert!(checked > 10, "expected to find intra-repo links to check, found {checked}");
+    assert!(dead.is_empty(), "dead intra-repo markdown links:\n  {}", dead.join("\n  "));
+}
