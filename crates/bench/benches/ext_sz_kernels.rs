@@ -1,0 +1,134 @@
+//! SZ SIMD-kernel benchmarks: serial compress throughput on 256³ f32
+//! fields with the wavefront predict/quantize kernel forced off (scalar
+//! reference) and on (AVX2 dispatch), plus an isolated comparison of the
+//! per-symbol Huffman emitter against the batched pair-packing one.
+//!
+//! Two field characters bracket the paper's datasets: a smooth
+//! CESM-like climate slab (quantization codes hug the zero bin) and a
+//! noisy HACC-like particle field with escape-heavy outliers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcpio_sz::bitio::BitWriter;
+use lcpio_sz::huffman::HuffmanEncoder;
+use lcpio_sz::{compress_typed_with, kernels, ErrorBound, PredictorMode, SzConfig, SzScratch};
+
+const SIDE: usize = 256;
+
+/// Smooth climate-like slab: long-wavelength structure plus a mild
+/// latitudinal trend, strongly compressible.
+fn cesm_like() -> Vec<f32> {
+    let mut out = Vec::with_capacity(SIDE * SIDE * SIDE);
+    for z in 0..SIDE {
+        for y in 0..SIDE {
+            for x in 0..SIDE {
+                let (xf, yf, zf) = (x as f32, y as f32, z as f32);
+                out.push(
+                    (xf * 0.045).sin() * (yf * 0.03).cos() * 12.0
+                        + (zf * 0.02).sin() * 5.0
+                        + yf * 0.01,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Noisy particle-like field: smooth large-scale structure carrying
+/// broadband jitter a few tens of quantization bins wide (so codes spread
+/// across the alphabet instead of hugging the zero bin), plus occasional
+/// large outliers that escape the quantizer to the literal stream.
+fn hacc_like() -> Vec<f32> {
+    let mut s = 0x9e37_79b9_7f4a_7c15u64;
+    (0..SIDE * SIDE * SIDE)
+        .map(|i| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if i % 5003 == 0 {
+                ((s >> 40) as f32 - 8.0e3) * 1.0e4
+            } else {
+                let jitter = ((s >> 40) as f32 * 5.96e-8 - 0.5) * 0.08;
+                (i as f32 * 0.37).sin() * 3.0 + jitter
+            }
+        })
+        .collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let dims = vec![SIDE, SIDE, SIDE];
+    let bytes = (SIDE * SIDE * SIDE * 4) as u64;
+    for (field_name, data) in [("cesm_like", cesm_like()), ("hacc_like", hacc_like())] {
+        let mut group = c.benchmark_group(format!("sz_kernels/compress/{field_name}"));
+        group.throughput(Throughput::Bytes(bytes));
+        for (path, scalar) in [("scalar", true), ("simd", false)] {
+            for (tail, lossless) in [("", false), ("+lzss", true)] {
+                let cfg = SzConfig::new(ErrorBound::Absolute(1e-3))
+                    .with_mode(PredictorMode::Lorenzo)
+                    .with_lossless(lossless);
+                let mut scratch = SzScratch::new();
+                group.bench_with_input(
+                    BenchmarkId::new(&format!("{path}{tail}"), "256^3"),
+                    &cfg,
+                    |b, cfg| {
+                        kernels::force_scalar(scalar);
+                        b.iter(|| compress_typed_with(&data, &dims, cfg, &mut scratch).unwrap());
+                        kernels::reset_force_scalar();
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    // Symbol stream shaped like real quantizer output: codes cluster in a
+    // narrow band around the zero symbol with a thin escape tail.
+    const N: usize = 1 << 22;
+    let radius = 32768u32;
+    let mut s = 0x5eed_cafe_f00du64 | 1;
+    let syms: Vec<u32> = (0..N)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            match s % 100 {
+                0 => 0,                                  // escape literal
+                1..=4 => radius + (s >> 32) as u32 % 200, // moderate residual
+                _ => radius + (s >> 32) as u32 % 7,       // zero-bin cluster
+            }
+        })
+        .collect();
+    let mut freqs = vec![0u64; 2 * radius as usize + 1];
+    for &sym in &syms {
+        freqs[sym as usize] += 1;
+    }
+    let enc = HuffmanEncoder::from_freqs(&freqs).expect("huffman table");
+
+    let mut group = c.benchmark_group("sz_kernels/huffman");
+    group.throughput(Throughput::Bytes((N * 4) as u64));
+    group.bench_with_input(BenchmarkId::new("per_symbol", "4Mi"), &syms, |b, syms| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(N / 2);
+            for &sym in syms {
+                enc.encode(sym, &mut w).unwrap();
+            }
+            w.into_bytes()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("batched", "4Mi"), &syms, |b, syms| {
+        b.iter(|| {
+            let mut w = BitWriter::with_capacity(N / 2);
+            enc.encode_slice(syms, &mut w).unwrap();
+            w.into_bytes()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compress, bench_huffman
+}
+criterion_main!(benches);

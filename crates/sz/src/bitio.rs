@@ -14,8 +14,11 @@
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Pending bits not yet flushed to `buf`, right-aligned (the next bit
-    /// to emit is the MSB of the low `nbits` bits). Always `nbits < 8`.
+    /// Pending bits not yet flushed to `buf`, left-aligned (the next bit to
+    /// emit is the MSB of `acc`); the unused low `64 - nbits` bits are
+    /// always zero. `nbits < 64` between calls: the accumulator spills to
+    /// `buf` as a whole big-endian word the moment it fills, so the common
+    /// small push is a shift-or with no memory traffic.
     acc: u64,
     nbits: u8,
 }
@@ -44,17 +47,31 @@ impl BitWriter {
         if n == 0 {
             return;
         }
-        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-        // nbits < 8 and n ≤ 64, so the combined width fits in 128 bits.
-        let mut acc = ((self.acc as u128) << n) | (value & mask) as u128;
-        let mut total = self.nbits as u32 + n as u32;
-        while total >= 8 {
-            total -= 8;
-            self.buf.push((acc >> total) as u8);
+        let masked = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let total = self.nbits as u32 + n as u32;
+        if total <= 64 {
+            // Hot path: the bits fit in the accumulator. `total ≥ 1`, so
+            // the shift is at most 63 (and exactly 0 only when the word
+            // fills completely, where `nbits == 0` implies `acc == 0`).
+            self.acc |= masked << (64 - total);
+            self.nbits = total as u8;
+            if total == 64 {
+                self.buf.extend_from_slice(&self.acc.to_be_bytes());
+                self.acc = 0;
+                self.nbits = 0;
+            }
+        } else {
+            // The push straddles the word boundary: top up the accumulator
+            // with the high `space` bits, spill it, and start a fresh word
+            // with the remaining `n - space` low bits. Both shift counts
+            // are in 1..=63 because 0 < space < n ≤ 64.
+            let space = 64 - self.nbits as u32;
+            self.acc |= masked >> (n as u32 - space);
+            self.buf.extend_from_slice(&self.acc.to_be_bytes());
+            let rem = n as u32 - space;
+            self.acc = (masked & ((1u64 << rem) - 1)) << (64 - rem);
+            self.nbits = rem as u8;
         }
-        acc &= (1u128 << total) - 1;
-        self.acc = acc as u64;
-        self.nbits = total as u8;
     }
 
     /// Append a whole little-endian u32 (used for literal floats).
@@ -79,8 +96,10 @@ impl BitWriter {
     /// bytes. The writer stays usable: further pushes start a new byte.
     pub fn finish(&mut self) -> &[u8] {
         if self.nbits > 0 {
-            let pad = (self.acc << (8 - self.nbits)) as u8;
-            self.buf.push(pad);
+            // The accumulator is left-aligned with zeroed low bits, so its
+            // leading big-endian bytes are the stream, padding included.
+            let nbytes = (self.nbits as usize).div_ceil(8);
+            self.buf.extend_from_slice(&self.acc.to_be_bytes()[..nbytes]);
             self.acc = 0;
             self.nbits = 0;
         }

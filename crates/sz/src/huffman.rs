@@ -140,6 +140,67 @@ impl HuffmanEncoder {
         Ok(())
     }
 
+    /// Encode a whole symbol slice, packing several codes into a 64-bit
+    /// accumulator before each writer flush. Emits exactly the bytes that
+    /// per-symbol [`HuffmanEncoder::encode`] calls would (MSB-first
+    /// concatenation is associative); only the per-symbol writer overhead
+    /// is amortized. On an unknown symbol the pending accumulator is
+    /// dropped — the whole compression fails in that case, so no partial
+    /// stream is ever observed.
+    pub fn encode_slice(&self, syms: &[u32], w: &mut BitWriter) -> Result<(), HuffmanError> {
+        let mut acc = 0u64;
+        let mut nb = 0u32;
+        // Symbols are consumed in pairs: the two table lookups are
+        // independent and their codes are joined into one word before
+        // touching the accumulator, so the serial shift-or chain runs
+        // once per pair instead of once per symbol.
+        let mut chunks = syms.chunks_exact(2);
+        for pair in &mut chunks {
+            let (c0, l0) =
+                *self.codes.get(pair[0] as usize).ok_or(HuffmanError::UnknownSymbol(pair[0]))?;
+            let (c1, l1) =
+                *self.codes.get(pair[1] as usize).ok_or(HuffmanError::UnknownSymbol(pair[1]))?;
+            if l0 == 0 || l1 == 0 {
+                let bad = if l0 == 0 { pair[0] } else { pair[1] };
+                return Err(HuffmanError::UnknownSymbol(bad));
+            }
+            // Each len ≤ MAX_CODE_LEN = 32, so a joined pair is ≤ 64 bits
+            // and after a flush the shifts below cannot overflow. A
+            // 64-bit pair with a non-empty accumulator flushes first.
+            let joined = ((c0 as u64) << l1) | c1 as u64;
+            let jlen = (l0 + l1) as u32;
+            if nb + jlen > 64 {
+                w.push_bits(acc, nb as u8);
+                acc = 0;
+                nb = 0;
+            }
+            if jlen == 64 {
+                w.push_bits(joined, 64);
+            } else {
+                acc = (acc << jlen) | joined;
+                nb += jlen;
+            }
+        }
+        for &sym in chunks.remainder() {
+            let (code, len) =
+                *self.codes.get(sym as usize).ok_or(HuffmanError::UnknownSymbol(sym))?;
+            if len == 0 {
+                return Err(HuffmanError::UnknownSymbol(sym));
+            }
+            if nb + len as u32 > 64 {
+                w.push_bits(acc, nb as u8);
+                acc = 0;
+                nb = 0;
+            }
+            acc = (acc << len) | code as u64;
+            nb += len as u32;
+        }
+        if nb > 0 {
+            w.push_bits(acc, nb as u8);
+        }
+        Ok(())
+    }
+
     /// Total encoded length in bits for a histogram (entropy-cost estimate).
     pub fn encoded_bits(&self, freqs: &[u64]) -> u64 {
         freqs
@@ -334,6 +395,55 @@ mod tests {
         let bits = enc.encoded_bits(&freqs);
         let flat = 2 * freqs.iter().sum::<u64>();
         assert!(bits < flat, "huffman {bits} bits vs flat {flat}");
+    }
+
+    #[test]
+    fn encode_slice_matches_per_symbol_encode() {
+        // The batched emitter packs pairs of codes per accumulator round;
+        // its output must be byte-for-byte what the one-at-a-time path
+        // produces, including odd-length slices that hit the remainder
+        // loop and skewed alphabets with long codes.
+        let mut freqs = vec![1u64; 700];
+        freqs[0] = 1 << 20;
+        freqs[1] = 1 << 14;
+        freqs[3] = 1 << 9;
+        let enc = HuffmanEncoder::from_freqs(&freqs).unwrap();
+        let mut x = 0x9e37_79b9u32;
+        let msg: Vec<u32> = (0..10_001)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                if x % 4 == 0 { x % 700 } else { x % 4 }
+            })
+            .collect();
+        for len in [0usize, 1, 2, 7, 10_001] {
+            let mut a = BitWriter::new();
+            for &s in &msg[..len] {
+                enc.encode(s, &mut a).unwrap();
+            }
+            let mut b = BitWriter::new();
+            enc.encode_slice(&msg[..len], &mut b).unwrap();
+            assert_eq!(a.into_bytes(), b.into_bytes(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn encode_slice_rejects_unknown_symbols() {
+        let enc = HuffmanEncoder::from_freqs(&[10, 0, 10]).unwrap();
+        let mut w = BitWriter::new();
+        // Out-of-alphabet and zero-frequency symbols must error in both
+        // the paired loop and the remainder loop.
+        assert_eq!(enc.encode_slice(&[0, 7], &mut w).unwrap_err(), HuffmanError::UnknownSymbol(7));
+        assert_eq!(enc.encode_slice(&[0, 1], &mut w).unwrap_err(), HuffmanError::UnknownSymbol(1));
+        assert_eq!(
+            enc.encode_slice(&[0, 2, 9], &mut w).unwrap_err(),
+            HuffmanError::UnknownSymbol(9)
+        );
+        assert_eq!(
+            enc.encode_slice(&[2, 0, 1], &mut w).unwrap_err(),
+            HuffmanError::UnknownSymbol(1)
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod bitio;
 pub mod element;
 pub mod header;
 pub mod huffman;
+pub mod kernels;
 pub mod lossless;
 pub mod parallel;
 mod pipeline;

@@ -28,8 +28,9 @@ use crate::bitio::{BitReader, BitWriter};
 use crate::element::Element;
 use crate::header::{Reader, Writer, FLAG_LOSSLESS, MAGIC};
 use crate::huffman::{HuffmanDecoder, HuffmanEncoder};
+use crate::kernels;
 use crate::lossless;
-use crate::predictor::{lorenzo_1d_o2, lorenzo_3d_row_partial};
+use crate::predictor::lorenzo_3d_row_partial;
 use crate::quantizer::Quantizer;
 use crate::regression::{block_abs_error, fit_block, BlockCoeffs, BLOCK_SIDE};
 use crate::stats::CompressionStats;
@@ -112,10 +113,12 @@ pub struct SzScratch<T> {
     rowp: Vec<f64>,
     vals: Vec<f64>,
     freqs: Vec<u64>,
+    hist4: Vec<u32>,
     sym_bits: BitWriter,
     block_bits: BitWriter,
     coeffs: Vec<f32>,
     lit_bytes: Vec<u8>,
+    kern: kernels::KernelScratch<T>,
 }
 
 impl<T> SzScratch<T> {
@@ -128,10 +131,12 @@ impl<T> SzScratch<T> {
             rowp: Vec::new(),
             vals: Vec::new(),
             freqs: Vec::new(),
+            hist4: Vec::new(),
             sym_bits: BitWriter::new(),
             block_bits: BitWriter::new(),
             coeffs: Vec::new(),
             lit_bytes: Vec::new(),
+            kern: kernels::KernelScratch::new(),
         }
     }
 }
@@ -165,6 +170,29 @@ fn encode_one<T: Element>(
     orig.to_f64()
 }
 
+/// [`encode_one`] with the quantizer's branch-free rounding fast path.
+/// Bit-identical output (`Quantizer::try_encode_fast` is proven and
+/// property-tested equal to `try_encode` whenever `fast_exact()` holds);
+/// callers gate on `kernels::fast_enabled() && q.fast_exact()`.
+#[inline]
+fn encode_one_fast<T: Element>(
+    q: &Quantizer,
+    pred: f64,
+    orig: T,
+    symbols: &mut Vec<u32>,
+    literals: &mut Vec<T>,
+) -> f64 {
+    if let Some((c, rec)) = q.try_encode_fast(pred, orig.to_f64()) {
+        if (T::from_f64(rec).to_f64() - orig.to_f64()).abs() <= q.error_bound() {
+            symbols.push(c);
+            return rec;
+        }
+    }
+    symbols.push(0);
+    literals.push(orig);
+    orig.to_f64()
+}
+
 /// Classic (whole-array Lorenzo) encode. Fills `s.symbols` / `s.literals`
 /// / `s.recon`; returns `(regression_blocks, lorenzo_blocks)`.
 fn encode_classic<T: Element>(
@@ -177,11 +205,50 @@ fn encode_classic<T: Element>(
     let n = data.len();
     s.recon.clear();
     s.recon.resize(n, 0.0);
+    let fast = kernels::fast_enabled() && q.fast_exact();
     if g.rank == 1 && order == 2 {
-        for (i, &v) in data.iter().enumerate() {
-            let pred = lorenzo_1d_o2(&s.recon, i);
-            s.recon[i] = encode_one(q, pred, v, &mut s.symbols, &mut s.literals);
+        // First two elements peeled so the steady-state loop carries the
+        // two previous reconstructions in locals instead of re-deriving
+        // the predictor branch (and bounds checks) per element.
+        let mut prev = 0.0f64;
+        let mut prev2 = 0.0f64;
+        for (i, &v) in data.iter().enumerate().take(2) {
+            let pred = if i == 0 { 0.0 } else { prev };
+            let rec = if fast {
+                encode_one_fast(q, pred, v, &mut s.symbols, &mut s.literals)
+            } else {
+                encode_one(q, pred, v, &mut s.symbols, &mut s.literals)
+            };
+            s.recon[i] = rec;
+            prev2 = prev;
+            prev = rec;
         }
+        for (i, &v) in data.iter().enumerate().skip(2) {
+            let pred = 2.0 * prev - prev2;
+            let rec = if fast {
+                encode_one_fast(q, pred, v, &mut s.symbols, &mut s.literals)
+            } else {
+                encode_one(q, pred, v, &mut s.symbols, &mut s.literals)
+            };
+            s.recon[i] = rec;
+            prev2 = prev;
+            prev = rec;
+        }
+        return (0, 0);
+    }
+    if kernels::fast_enabled()
+        && kernels::encode_classic_fast(
+            data,
+            g.nz,
+            g.ny,
+            g.nx,
+            q,
+            &mut s.symbols,
+            &mut s.literals,
+            &mut s.recon,
+            &mut s.kern,
+        )
+    {
         return (0, 0);
     }
     s.rowp.clear();
@@ -193,7 +260,11 @@ fn encode_classic<T: Element>(
             for i in 0..g.nx {
                 let left = if i > 0 { s.recon[idx - 1] } else { 0.0 };
                 let pred = s.rowp[i] + left;
-                s.recon[idx] = encode_one(q, pred, data[idx], &mut s.symbols, &mut s.literals);
+                s.recon[idx] = if fast {
+                    encode_one_fast(q, pred, data[idx], &mut s.symbols, &mut s.literals)
+                } else {
+                    encode_one(q, pred, data[idx], &mut s.symbols, &mut s.literals)
+                };
                 idx += 1;
             }
         }
@@ -223,17 +294,44 @@ fn lorenzo_probe_error<T: Element>(
     };
     let mut err = 0.0;
     let mut cnt = 0usize;
-    for k in k0..k1 {
-        for j in j0..j1 {
-            for i in i0..i1 {
-                let (ki, ji, ii) = (k as isize, j as isize, i as isize);
-                let pred = at(ki, ji, ii - 1) + at(ki, ji - 1, ii) + at(ki - 1, ji, ii)
-                    - at(ki, ji - 1, ii - 1)
-                    - at(ki - 1, ji, ii - 1)
-                    - at(ki - 1, ji - 1, ii)
-                    + at(ki - 1, ji - 1, ii - 1);
-                err += (data[(k * g.ny + j) * g.nx + i].to_f64() - pred).abs();
-                cnt += 1;
+    if k0 > 0 && j0 > 0 && i0 > 0 {
+        // Interior block: no border can go out of bounds, so index the
+        // four stencil rows directly instead of paying the three signed
+        // comparisons per term. Term order matches the general path
+        // exactly, keeping the accumulated error (and thus the per-block
+        // mode decision and the output stream) bit-identical.
+        for k in k0..k1 {
+            for j in j0..j1 {
+                let c = (k * g.ny + j) * g.nx;
+                let u = (k * g.ny + j - 1) * g.nx;
+                let p = ((k - 1) * g.ny + j) * g.nx;
+                let d = ((k - 1) * g.ny + j - 1) * g.nx;
+                for i in i0..i1 {
+                    let pred = data[c + i - 1].to_f64()
+                        + data[u + i].to_f64()
+                        + data[p + i].to_f64()
+                        - data[u + i - 1].to_f64()
+                        - data[p + i - 1].to_f64()
+                        - data[d + i].to_f64()
+                        + data[d + i - 1].to_f64();
+                    err += (data[c + i].to_f64() - pred).abs();
+                }
+            }
+        }
+        cnt = (k1 - k0) * (j1 - j0) * (i1 - i0);
+    } else {
+        for k in k0..k1 {
+            for j in j0..j1 {
+                for i in i0..i1 {
+                    let (ki, ji, ii) = (k as isize, j as isize, i as isize);
+                    let pred = at(ki, ji, ii - 1) + at(ki, ji - 1, ii) + at(ki - 1, ji, ii)
+                        - at(ki, ji - 1, ii - 1)
+                        - at(ki - 1, ji, ii - 1)
+                        - at(ki - 1, ji - 1, ii)
+                        + at(ki - 1, ji - 1, ii - 1);
+                    err += (data[(k * g.ny + j) * g.nx + i].to_f64() - pred).abs();
+                    cnt += 1;
+                }
             }
         }
     }
@@ -262,6 +360,7 @@ fn encode_blocks<T: Element>(
     let b = BLOCK_SIDE;
     s.vals.clear();
     s.vals.reserve(b * b * b);
+    let fast = kernels::fast_enabled() && q.fast_exact();
 
     let blocks = |e: usize| e.div_ceil(b);
     for bk in 0..blocks(g.nz) {
@@ -273,9 +372,8 @@ fn encode_blocks<T: Element>(
                 s.vals.clear();
                 for k in k0..k1 {
                     for j in j0..j1 {
-                        for i in i0..i1 {
-                            s.vals.push(data[(k * g.ny + j) * g.nx + i].to_f64());
-                        }
+                        let row = (k * g.ny + j) * g.nx;
+                        s.vals.extend(data[row + i0..row + i1].iter().map(|v| v.to_f64()));
                     }
                 }
                 let coeffs = fit_block(&s.vals, nk, nj, ni);
@@ -304,8 +402,11 @@ fn encode_blocks<T: Element>(
                                 let left = if i > 0 { s.recon[idx - 1] } else { 0.0 };
                                 s.rowp[i - i0] + left
                             };
-                            s.recon[idx] =
-                                encode_one(q, pred, data[idx], &mut s.symbols, &mut s.literals);
+                            s.recon[idx] = if fast {
+                                encode_one_fast(q, pred, data[idx], &mut s.symbols, &mut s.literals)
+                            } else {
+                                encode_one(q, pred, data[idx], &mut s.symbols, &mut s.literals)
+                            };
                         }
                     }
                 }
@@ -360,13 +461,46 @@ pub fn compress_typed_with<T: Element>(
     let huff_span = lcpio_trace::span("sz.huffman");
     s.freqs.clear();
     s.freqs.resize(q.alphabet_size(), 0);
-    for &sym in &s.symbols {
-        s.freqs[sym as usize] += 1;
+    if s.symbols.len() < u32::MAX as usize {
+        // Four interleaved sub-histograms break the store-to-load
+        // dependency that serializes runs of equal symbols — the common
+        // case, since quantization codes cluster hard around the zero
+        // bin. Merged below; per-stripe counts fit u32 by the guard.
+        let a = q.alphabet_size();
+        s.hist4.clear();
+        s.hist4.resize(4 * a, 0);
+        let (h0, rest) = s.hist4.split_at_mut(a);
+        let (h1, rest) = rest.split_at_mut(a);
+        let (h2, h3) = rest.split_at_mut(a);
+        let mut chunks = s.symbols.chunks_exact(4);
+        for c in &mut chunks {
+            h0[c[0] as usize] += 1;
+            h1[c[1] as usize] += 1;
+            h2[c[2] as usize] += 1;
+            h3[c[3] as usize] += 1;
+        }
+        for &sym in chunks.remainder() {
+            h0[sym as usize] += 1;
+        }
+        for (f, ((&a0, &a1), (&a2, &a3))) in
+            s.freqs.iter_mut().zip(h0.iter().zip(h1.iter()).zip(h2.iter().zip(h3.iter())))
+        {
+            *f = (a0 as u64) + (a1 as u64) + (a2 as u64) + (a3 as u64);
+        }
+    } else {
+        for &sym in &s.symbols {
+            s.freqs[sym as usize] += 1;
+        }
     }
     let huff =
         HuffmanEncoder::from_freqs(&s.freqs).map_err(|_| SzError::Internal("huffman build"))?;
-    for &sym in &s.symbols {
-        huff.encode(sym, &mut s.sym_bits).map_err(|_| SzError::Internal("huffman encode"))?;
+    if kernels::fast_enabled() {
+        huff.encode_slice(&s.symbols, &mut s.sym_bits)
+            .map_err(|_| SzError::Internal("huffman encode"))?;
+    } else {
+        for &sym in &s.symbols {
+            huff.encode(sym, &mut s.sym_bits).map_err(|_| SzError::Internal("huffman encode"))?;
+        }
     }
     let huffman_bits = s.sym_bits.bit_len() as u64;
     drop(huff_span);
@@ -641,9 +775,21 @@ pub fn decompress_typed<T: Element>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>
             }
         }
     } else if g.rank == 1 && order == 2 {
-        for idx in 0..n {
-            let pred = lorenzo_1d_o2(&recon, idx);
-            next_value(pred, &mut recon[idx])?;
+        // Same peeled form as the encoder: carry the two previous
+        // reconstructions in locals, predictor branch hoisted out.
+        let mut prev = 0.0f64;
+        let mut prev2 = 0.0f64;
+        for (idx, r) in recon.iter_mut().enumerate().take(n.min(2)) {
+            let pred = if idx == 0 { 0.0 } else { prev };
+            next_value(pred, r)?;
+            prev2 = prev;
+            prev = *r;
+        }
+        for r in recon.iter_mut().take(n).skip(2) {
+            let pred = 2.0 * prev - prev2;
+            next_value(pred, r)?;
+            prev2 = prev;
+            prev = *r;
         }
     } else {
         let mut idx = 0usize;

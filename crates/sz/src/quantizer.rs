@@ -15,6 +15,33 @@ pub struct Quantizer {
     /// Number of bins on each side of zero. Symbol alphabet is
     /// `0 ..= 2*radius`, with 0 = escape and `radius` = zero residual.
     radius: u32,
+    /// Cached `2·eb` (bin width) for the fast encode paths.
+    twoeb: f64,
+    /// Cached `radius − 0.5`: the escape threshold in residual space.
+    radm: f64,
+}
+
+/// Round half away from zero without a branch on the common path: the
+/// magic-constant trick (`(x + 1.5·2^52) − 1.5·2^52` rounds to nearest-even
+/// at integer granularity) plus exact fix-ups for ties and signed zero.
+///
+/// Bit-identical to [`f64::round`] — including the sign of zero results —
+/// for every finite `|x| < 2^51` (the magic constant stops being a
+/// rounding device beyond that, hence the debug assertion).
+#[inline]
+pub fn round_nearest_away(x: f64) -> f64 {
+    const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 · 2^52
+    const SIGN: u64 = 0x8000_0000_0000_0000;
+    debug_assert!(x.abs() < 2251799813685248.0, "round_nearest_away needs |x| < 2^51");
+    let y = (x + MAGIC) - MAGIC; // nearest integer, ties to even
+    // y is within 0.5 of x, so the subtraction is exact (Sterbenz): a tie
+    // is detectable as d == ±0.5 and everything else already matches
+    // round-half-away.
+    let d = x - y;
+    let y = if d == 0.5 || d == -0.5 { x + 0.5f64.copysign(x) } else { y };
+    // x < 0 implies y ≤ 0, so OR-ing x's sign bit only resurrects the sign
+    // of a −0.0 result (f64::round preserves it; the magic trick does not).
+    f64::from_bits(y.to_bits() | (x.to_bits() & SIGN))
 }
 
 /// Outcome of quantizing one residual.
@@ -35,12 +62,27 @@ impl Quantizer {
     pub fn new(eb: f64, radius: u32) -> Self {
         assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
         assert!(radius >= 1);
-        Quantizer { eb, radius }
+        Quantizer { eb, radius, twoeb: 2.0 * eb, radm: radius as f64 - 0.5 }
     }
 
     /// The configured absolute error bound.
     pub fn error_bound(&self) -> f64 {
         self.eb
+    }
+
+    /// The configured bin radius.
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// True when [`Quantizer::try_encode_fast`] (and the SIMD kernels built
+    /// on the same arithmetic) reproduce [`Quantizer::try_encode`] bit for
+    /// bit: the bin width `2·eb` must be finite (otherwise
+    /// `q·(2·eb) ≠ (q·2)·eb`) and the radius small enough for exact
+    /// f64 ↔ i32 symbol conversion.
+    #[inline]
+    pub fn fast_exact(&self) -> bool {
+        self.twoeb.is_finite() && self.radius <= (1 << 30)
     }
 
     /// Number of symbols in the quantizer alphabet (escape + bins).
@@ -86,6 +128,27 @@ impl Quantizer {
         }
         let sym = (q as i64 + self.radius as i64) as u32;
         Some((sym, predicted + q * 2.0 * self.eb))
+    }
+
+    /// Fast-path fused quantize + reconstruct: one residual-space range
+    /// check (`|x| < radius − 0.5` is exactly the escape condition under
+    /// round-half-away, and non-finite residuals fail it too) followed by
+    /// branch-free magic rounding. Requires [`Quantizer::fast_exact`];
+    /// bit-identical to [`Quantizer::try_encode`] — symbols, reconstructed
+    /// bit patterns, and escape decisions all match.
+    #[inline]
+    pub fn try_encode_fast(&self, predicted: f64, actual: f64) -> Option<(u32, f64)> {
+        debug_assert!(self.fast_exact());
+        let x = (actual - predicted) / self.twoeb;
+        // Negated compare on purpose: a NaN residual fails `< radm` and
+        // must take the escape branch, which `>=` would not preserve.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(x.abs() < self.radm) {
+            return None;
+        }
+        let q = round_nearest_away(x);
+        let sym = (q as i64 + self.radius as i64) as u32;
+        Some((sym, predicted + q * self.twoeb))
     }
 
     /// Reconstruct a value from its prediction and symbol.
@@ -159,7 +222,92 @@ mod tests {
         let _ = Quantizer::new(0.0, 8);
     }
 
+    #[test]
+    fn round_nearest_away_matches_round_on_tricky_values() {
+        let tricky = [
+            0.0f64,
+            -0.0,
+            0.25,
+            -0.25,
+            0.5,
+            -0.5,
+            0.49999999999999994, // largest f64 below 0.5
+            -0.49999999999999994,
+            1.5,
+            -1.5,
+            2.5,
+            -2.5,
+            3.5,
+            -3.5,
+            1e-308,
+            -1e-320,
+            f64::MIN_POSITIVE,
+            1125899906842623.5, // 2^50 − 0.5
+            -1125899906842623.5,
+        ];
+        for &x in &tricky {
+            assert_eq!(
+                round_nearest_away(x).to_bits(),
+                x.round().to_bits(),
+                "x = {x:e}"
+            );
+        }
+        // Pseudo-random sweep over in-range magnitudes and both signs.
+        let mut s = 0x1234_5678_9abc_def0u64;
+        for _ in 0..200_000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let mag = (s >> 12) as f64 / (1u64 << 20) as f64; // < 2^32
+            let x = if s & 1 == 0 { mag } else { -mag };
+            assert_eq!(round_nearest_away(x).to_bits(), x.round().to_bits(), "x = {x:e}");
+        }
+    }
+
+    #[test]
+    fn try_encode_fast_matches_reference_at_escape_boundary() {
+        let q = Quantizer::new(0.5, 16);
+        assert!(q.fast_exact());
+        // Residual x = diff / (2eb) = diff here; escape iff |round(x)| ≥ 16,
+        // i.e. iff |x| ≥ 15.5. Probe exactly around the threshold and ties.
+        for diff in [15.4999, 15.5, 15.5001, -15.5, 3.5, -3.5, 2.5, 0.5, -0.5, 0.0, -0.0] {
+            let fast = q.try_encode_fast(0.0, diff);
+            let slow = q.try_encode(0.0, diff);
+            match (fast, slow) {
+                (Some((fs, fr)), Some((ss, sr))) => {
+                    assert_eq!(fs, ss, "diff {diff}");
+                    assert_eq!(fr.to_bits(), sr.to_bits(), "diff {diff}");
+                }
+                (None, None) => {}
+                (a, b) => panic!("diff {diff}: fast {a:?} vs reference {b:?}"),
+            }
+        }
+        // Non-finite input escapes on both paths.
+        assert_eq!(q.try_encode_fast(0.0, f64::NAN), None);
+        assert_eq!(q.try_encode_fast(0.0, f64::INFINITY), None);
+    }
+
     proptest! {
+        #[test]
+        fn prop_try_encode_fast_is_bit_identical(
+            pred in -1e6f64..1e6,
+            residual in -1e2f64..1e2,
+            eb_exp in -6i32..0,
+        ) {
+            let eb = 10f64.powi(eb_exp);
+            let q = Quantizer::new(eb, Quantizer::DEFAULT_RADIUS);
+            prop_assert!(q.fast_exact());
+            let actual = pred + residual;
+            match (q.try_encode_fast(pred, actual), q.try_encode(pred, actual)) {
+                (Some((fs, fr)), Some((ss, sr))) => {
+                    prop_assert_eq!(fs, ss);
+                    prop_assert_eq!(fr.to_bits(), sr.to_bits());
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "fast/reference disagree: {:?} vs {:?}", a, b),
+            }
+        }
+
         #[test]
         fn prop_error_bound_guarantee(
             pred in -1e6f64..1e6,

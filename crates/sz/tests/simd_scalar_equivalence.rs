@@ -1,0 +1,182 @@
+//! Property test: the SIMD fast path and the scalar reference are
+//! indistinguishable from the outside. For every generated field — smooth
+//! data salted with NaNs, infinities, subnormals, signed zeros, and
+//! bound-busting outliers — both dispatch modes must emit byte-identical
+//! streams, and the decompressed values must honour the error bound
+//! (exactly preserving non-finite values via the literal escape path).
+//!
+//! The kernel switch is process-global, so every test in this binary
+//! serializes on one mutex before flipping it.
+
+use lcpio_sz::kernels;
+use lcpio_sz::{compress_typed, decompress_typed, ErrorBound, PredictorMode, SzConfig};
+use proptest::prelude::*;
+use std::sync::{Mutex, OnceLock};
+
+fn dispatch_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// One value drawn from the classes that historically break vectorized
+/// float kernels.
+fn special32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        2 => Just(f32::NAN),
+        2 => Just(f32::INFINITY),
+        2 => Just(f32::NEG_INFINITY),
+        2 => Just(1.0e-40f32), // subnormal
+        1 => Just(-1.0e-45f32), // smallest-magnitude subnormal
+        2 => Just(-0.0f32),
+        2 => Just(0.0f32),
+        2 => Just(3.0e38f32), // finite but escapes every bound
+        2 => Just(-3.0e38f32),
+        3 => -1.0e6f32..1.0e6f32,
+    ]
+}
+
+/// Compress with both dispatch modes, assert identical bytes, then check
+/// the reconstruction against the bound. Caller holds the dispatch lock.
+fn check_equivalence_f32(
+    data: &[f32],
+    dims: &[usize],
+    cfg: &SzConfig,
+    eb: f64,
+) -> Result<(), TestCaseError> {
+    kernels::force_scalar(true);
+    let scalar = compress_typed(data, dims, cfg);
+    kernels::force_scalar(false);
+    let fast = compress_typed(data, dims, cfg);
+    kernels::reset_force_scalar();
+    let (scalar, fast) = (scalar.expect("scalar compress"), fast.expect("fast compress"));
+    prop_assert_eq!(&scalar.bytes, &fast.bytes);
+    let (rec, got_dims) = decompress_typed::<f32>(&fast.bytes).expect("decompress");
+    prop_assert_eq!(&got_dims[..], dims);
+    for (i, (&o, &r)) in data.iter().zip(&rec).enumerate() {
+        if o.is_nan() {
+            prop_assert!(r.is_nan(), "index {}: NaN not preserved (got {})", i, r);
+        } else if o.is_infinite() {
+            prop_assert!(r == o, "index {}: {} reconstructed as {}", i, o, r);
+        } else {
+            let err = (r as f64 - o as f64).abs();
+            prop_assert!(err <= eb, "index {}: |{} - {}| = {} > eb {}", i, r, o, err, eb);
+        }
+    }
+    Ok(())
+}
+
+fn check_equivalence_f64(
+    data: &[f64],
+    dims: &[usize],
+    cfg: &SzConfig,
+    eb: f64,
+) -> Result<(), TestCaseError> {
+    kernels::force_scalar(true);
+    let scalar = compress_typed(data, dims, cfg);
+    kernels::force_scalar(false);
+    let fast = compress_typed(data, dims, cfg);
+    kernels::reset_force_scalar();
+    let (scalar, fast) = (scalar.expect("scalar compress"), fast.expect("fast compress"));
+    prop_assert_eq!(&scalar.bytes, &fast.bytes);
+    let (rec, _) = decompress_typed::<f64>(&fast.bytes).expect("decompress");
+    for (i, (&o, &r)) in data.iter().zip(&rec).enumerate() {
+        if o.is_nan() {
+            prop_assert!(r.is_nan(), "index {}: NaN not preserved (got {})", i, r);
+        } else if o.is_infinite() {
+            prop_assert!(r == o, "index {}: {} reconstructed as {}", i, o, r);
+        } else {
+            let err = (r - o).abs();
+            prop_assert!(err <= eb, "index {}: |{} - {}| = {} > eb {}", i, r, o, err, eb);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fast_and_scalar_paths_agree_on_adversarial_fields(
+        nz in 1usize..4,
+        ny in 1usize..40,
+        nx in 1usize..80,
+        rank in 1usize..4,
+        seed in any::<u64>(),
+        density in 0u32..101,
+        specials in proptest::collection::vec(special32(), 48..49),
+        eb in prop_oneof![3 => Just(1e-3f64), 1 => Just(1e-1f64), 1 => Just(1e-6f64)],
+        lorenzo in any::<bool>(),
+        lossless in any::<bool>(),
+    ) {
+        let dims: Vec<usize> = match rank {
+            1 => vec![nz * ny * nx],
+            2 => vec![nz * ny, nx],
+            _ => vec![nz, ny, nx],
+        };
+        let n: usize = dims.iter().product();
+        // Smooth base signal salted with special values at `density`%.
+        let mut s = seed | 1;
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                if (s % 100) < density as u64 {
+                    specials[(s >> 32) as usize % specials.len()]
+                } else {
+                    let x = i as f32 * 0.01;
+                    x.sin() * 50.0 + (s >> 56) as f32 * 0.01
+                }
+            })
+            .collect();
+        let mode = if lorenzo { PredictorMode::Lorenzo } else { PredictorMode::BlockAdaptive };
+        let cfg = SzConfig::new(ErrorBound::Absolute(eb)).with_mode(mode).with_lossless(lossless);
+        let _guard = dispatch_lock().lock().unwrap();
+        check_equivalence_f32(&data, &dims, &cfg, eb)?;
+        let data64: Vec<f64> = data.iter().map(|&v| v as f64).collect();
+        check_equivalence_f64(&data64, &dims, &cfg, eb)?;
+    }
+}
+
+/// Degenerate whole-field cases the random sampler is unlikely to hit:
+/// every element non-finite or every element an escaping outlier, on a
+/// grid wide enough to engage the wavefront kernel (ny ≥ 16, nx ≥ 32).
+#[test]
+fn uniform_special_fields_match_and_roundtrip() {
+    let dims = [2usize, 18, 40];
+    let n: usize = dims.iter().product();
+    let eb = 1e-3;
+    let all_nan = vec![f32::NAN; n];
+    let all_inf: Vec<f32> =
+        (0..n).map(|i| if i % 2 == 0 { f32::INFINITY } else { f32::NEG_INFINITY }).collect();
+    let all_outlier: Vec<f32> = (0..n).map(|i| if i % 2 == 0 { 3.0e38 } else { -3.0e38 }).collect();
+    let all_subnormal: Vec<f32> = (0..n).map(|i| 1.0e-40 * (i % 7) as f32).collect();
+    let _guard = dispatch_lock().lock().unwrap();
+    for (name, data) in [
+        ("all-NaN", &all_nan),
+        ("all-Inf", &all_inf),
+        ("all-outlier", &all_outlier),
+        ("all-subnormal", &all_subnormal),
+    ] {
+        for mode in [PredictorMode::Lorenzo, PredictorMode::BlockAdaptive] {
+            let cfg = SzConfig::new(ErrorBound::Absolute(eb)).with_mode(mode);
+            kernels::force_scalar(true);
+            let scalar = compress_typed(data, &dims, &cfg).expect("scalar compress");
+            kernels::force_scalar(false);
+            let fast = compress_typed(data, &dims, &cfg).expect("fast compress");
+            kernels::reset_force_scalar();
+            assert_eq!(scalar.bytes, fast.bytes, "{name} {mode:?}: streams differ");
+            let (rec, _) = decompress_typed::<f32>(&fast.bytes).expect("decompress");
+            for (i, (&o, &r)) in data.iter().zip(&rec).enumerate() {
+                if o.is_nan() {
+                    assert!(r.is_nan(), "{name} {mode:?} index {i}: NaN not preserved");
+                } else if o.is_infinite() {
+                    assert_eq!(r, o, "{name} {mode:?} index {i}");
+                } else {
+                    let err = (r as f64 - o as f64).abs();
+                    assert!(err <= eb, "{name} {mode:?} index {i}: err {err} > {eb}");
+                }
+            }
+        }
+    }
+}
