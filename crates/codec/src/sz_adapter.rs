@@ -7,8 +7,9 @@ use lcpio_sz::{CompressionStats, SzScratchPool};
 /// The SZ backend: Lorenzo/regression prediction, error-bounded
 /// quantization, Huffman coding, LZSS lossless stage.
 ///
-/// Owns an [`SzScratchPool`] so chunked compression reuses worker scratch
-/// buffers across calls instead of reallocating per field.
+/// Owns an [`SzScratchPool`] so chunked compression *and* decompression
+/// reuse worker scratch buffers across calls instead of reallocating per
+/// field (or per restart chunk).
 pub struct SzCodec {
     pool_f32: SzScratchPool<f32>,
 }
@@ -156,7 +157,10 @@ impl Codec for SzCodec {
         threads: usize,
     ) -> Result<(Vec<f32>, Vec<usize>), CodecError> {
         if stream.starts_with(&sz::CHUNKED_MAGIC) {
-            Ok(sz::decompress_chunked::<f32>(stream, threads)?)
+            // Decode workers draw scratch from the same pool the encode
+            // side parks into — the restart pipeline's per-chunk decodes
+            // stop allocating once the pool is warm.
+            Ok(sz::decompress_chunked_pooled::<f32>(stream, threads, &self.pool_f32)?)
         } else if stream.starts_with(&sz::pwrel::PWREL_MAGIC) {
             Ok(sz::decompress_pointwise_rel::<f32>(stream)?)
         } else {

@@ -24,6 +24,13 @@ pub struct PipelineError {
     pub message: String,
 }
 
+impl PipelineError {
+    /// Build a pipeline error for `chunk` after `attempts` tries.
+    pub fn new(chunk: usize, attempts: u32, message: impl Into<String>) -> Self {
+        PipelineError { chunk, attempts, message: message.into() }
+    }
+}
+
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "pipeline failed at chunk {}: {}", self.chunk, self.message)

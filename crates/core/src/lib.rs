@@ -51,7 +51,7 @@ pub mod validation;
 pub mod workmap;
 
 pub use error::{CoreError, PipelineError};
-pub use pipeline::{PipelineConfig, StreamOutcome};
+pub use pipeline::{PipelineConfig, RestartConfig, RestartOutcome, StreamOutcome};
 pub use experiment::{ExperimentConfig, SweepResult};
 pub use records::{CompressionRecord, Compressor, TransitRecord};
 pub use tuning::{TuningReport, TuningRule};

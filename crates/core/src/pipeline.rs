@@ -1,4 +1,4 @@
-//! Overlapped compress→write streaming pipeline.
+//! Overlapped compress→write and read→decompress streaming pipelines.
 //!
 //! The paper's subject is compressed I/O — compress a dump, then write it
 //! to NFS — and it accounts energy *per phase* (§V–VI). The sequential
@@ -26,6 +26,15 @@
 //!   summed per chunk, so the overlapped totals equal the sequential
 //!   totals exactly — overlap shortens wall time, it must never
 //!   double-count (or lose) energy.
+//!
+//! The **restart path** is the mirror image: [`run_restart`] streams LCS1
+//! frames off a [`ChunkSource`] with a bounded prefetch queue, decodes
+//! chunk *k* on a worker pool (through the registry, which reuses decode
+//! scratch) while chunk *k+1* is still being read, and reassembles the
+//! output through a reorder stage so it is element-identical to the
+//! sequential [`run_restart_sequential`] at every queue depth and worker
+//! count. [`scaled_restart`] prices it under the same energy-conservation
+//! invariant, feeding `readback`'s per-phase report.
 //!
 //! ```
 //! use lcpio_core::pipeline::{run_sequential, run_streaming, PipelineConfig, VecSink};
@@ -71,6 +80,11 @@ pub struct FailurePlan {
     /// `(chunk, attempt)` pairs at which chunk compression "fails",
     /// exercising the raw-frame fallback path.
     pub compress_failures: Vec<(usize, u32)>,
+    /// `(chunk, attempt)` pairs at which a restart frame read fails.
+    pub read_failures: Vec<(usize, u32)>,
+    /// `(chunk, attempt)` pairs at which a restart decode worker "dies"
+    /// mid-chunk; the chunk is retried (the payload is intact).
+    pub decode_failures: Vec<(usize, u32)>,
 }
 
 impl FailurePlan {
@@ -80,6 +94,14 @@ impl FailurePlan {
 
     fn compress_fails(&self, chunk: usize, attempt: u32) -> bool {
         self.compress_failures.contains(&(chunk, attempt))
+    }
+
+    fn read_fails(&self, chunk: usize, attempt: u32) -> bool {
+        self.read_failures.contains(&(chunk, attempt))
+    }
+
+    fn decode_fails(&self, chunk: usize, attempt: u32) -> bool {
+        self.decode_failures.contains(&(chunk, attempt))
     }
 }
 
@@ -439,20 +461,22 @@ fn accumulate(total: &mut CodecStats, s: &CodecStats) {
     total.coded_bits += s.coded_bits;
 }
 
-/// Bounded reorder queue between the stages.
+/// Bounded reorder queue between two pipeline stages.
 ///
-/// Compression workers `push(seq, frame)`; pushes block while `seq` is
-/// more than `depth` ahead of the next unwritten chunk (backpressure).
-/// The writer side `pop_next()`s frames strictly in sequence order.
-struct BoundedQueue {
-    state: Mutex<QueueState>,
+/// Producers `push(seq, item)`; pushes block while `seq` is more than
+/// `depth` ahead of the next unconsumed chunk (backpressure). Consumers
+/// `pop_next()` items strictly in sequence order. The write pipeline
+/// queues compressed [`Frame`]s ahead of the writer stage; the restart
+/// pipeline queues prefetched `(tag, payload)` frames ahead of decode.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
     space: Condvar,
     ready: Condvar,
     depth: usize,
 }
 
-struct QueueState {
-    slots: BTreeMap<usize, Frame>,
+struct QueueState<T> {
+    slots: BTreeMap<usize, T>,
     /// Next sequence number the writer side will hand out.
     next_pop: usize,
     /// Set when a writer failed permanently: producers stop.
@@ -464,7 +488,7 @@ struct QueueState {
     in_flight: usize,
 }
 
-impl BoundedQueue {
+impl<T> BoundedQueue<T> {
     fn new(depth: usize, total: usize) -> Self {
         BoundedQueue {
             state: Mutex::new(QueueState {
@@ -480,9 +504,9 @@ impl BoundedQueue {
         }
     }
 
-    /// Block until `seq` fits in the window, then store the frame.
+    /// Block until `seq` fits in the window, then store the item.
     /// Returns `false` if the pipeline was poisoned (caller stops).
-    fn push(&self, seq: usize, frame: Frame) -> bool {
+    fn push(&self, seq: usize, item: T) -> bool {
         let mut st = self.state.lock().expect("queue lock");
         loop {
             if st.poisoned {
@@ -496,30 +520,31 @@ impl BoundedQueue {
             lcpio_trace::counter_add("pipeline.backpressure_waits", 1);
             st = self.space.wait(st).expect("queue lock");
         }
-        st.slots.insert(seq, frame);
+        st.slots.insert(seq, item);
         self.ready.notify_all();
         true
     }
 
-    /// Block until the next in-order frame is available; `None` when the
+    /// Block until the next in-order item is available; `None` when the
     /// stream is complete or poisoned.
-    fn pop_next(&self) -> Option<(usize, Frame)> {
+    fn pop_next(&self) -> Option<(usize, T)> {
         let mut st = self.state.lock().expect("queue lock");
         loop {
             if st.poisoned || st.next_pop >= st.total {
                 return None;
             }
             let seq = st.next_pop;
-            if let Some(frame) = st.slots.remove(&seq) {
+            if let Some(item) = st.slots.remove(&seq) {
                 st.next_pop += 1;
                 st.in_flight += 1;
-                return Some((seq, frame));
+                return Some((seq, item));
             }
             st = self.ready.wait(st).expect("queue lock");
         }
     }
 
-    /// A writer committed (or abandoned) a chunk: release its window slot.
+    /// A consumer committed (or abandoned) a chunk: release its window
+    /// slot.
     fn commit(&self) {
         let mut st = self.state.lock().expect("queue lock");
         st.in_flight = st.in_flight.saturating_sub(1);
@@ -683,54 +708,590 @@ pub fn run_streaming(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Restart: overlapped read→decompress pipeline
+// ---------------------------------------------------------------------------
+
+/// Random-access byte source the restart pipeline reads frames from.
+///
+/// Implementations must support *concurrent positioned reads* — multiple
+/// reader threads issue `read_at` calls at distinct offsets at once.
+pub trait ChunkSource: Send + Sync {
+    /// Total stream length in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the stream is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fill `buf` from `offset`; a read past the end must error, never
+    /// short-read.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+}
+
+/// A [`ChunkSource`] over an in-memory container stream.
+pub struct SliceSource<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wrap a container stream held in memory.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        SliceSource { bytes }
+    }
+}
+
+impl ChunkSource for SliceSource<'_> {
+    fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let off = usize::try_from(offset)
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "offset past end"))?;
+        let end = off
+            .checked_add(buf.len())
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "read past end"))?;
+        buf.copy_from_slice(&self.bytes[off..end]);
+        Ok(())
+    }
+}
+
+/// A [`ChunkSource`] over a container file.
+///
+/// On Unix, readers share one descriptor and use positioned reads
+/// (`pread`), so they never contend on a cursor; elsewhere a mutex
+/// serializes seek+read.
+pub struct FileSource {
+    #[cfg(unix)]
+    file: std::fs::File,
+    #[cfg(not(unix))]
+    file: Mutex<std::fs::File>,
+    len: u64,
+}
+
+impl FileSource {
+    /// Open a container file for positioned reads.
+    pub fn open(path: &std::path::Path) -> io::Result<FileSource> {
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        #[cfg(unix)]
+        {
+            Ok(FileSource { file, len })
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(FileSource { file: Mutex::new(file), len })
+        }
+    }
+}
+
+impl ChunkSource for FileSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt as _;
+            self.file.read_exact_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read as _, Seek as _, SeekFrom};
+            let mut f = self.file.lock().expect("file lock");
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(buf)
+        }
+    }
+}
+
+/// One frame's location inside the container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrameEntry {
+    kind: u8,
+    off: u64,
+    len: usize,
+}
+
+/// Index of an `LCS1` container: the header fields plus the offset and
+/// length of every frame, built by one cheap scan over the frame headers
+/// (payloads untouched).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamLayout {
+    /// Total element count promised by the header.
+    pub elements: usize,
+    /// Elements per chunk (the last chunk may be shorter).
+    pub chunk_elements: usize,
+    frames: Vec<FrameEntry>,
+}
+
+impl StreamLayout {
+    /// Number of chunk frames in the container.
+    pub fn chunks(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// Scan an `LCS1` container's header and frame table.
+///
+/// Every length that later drives an allocation is validated here against
+/// the *actual* stream size, so a forged header can never trigger a huge
+/// pre-allocation: frame lengths must fit inside the stream, and the
+/// promised element count is capped at 512× the payload bytes (no
+/// supported frame expands further — SZ refuses past 8 elements per
+/// payload byte, ZFP past 512, raw frames are 4 bytes per element).
+pub fn scan_stream(source: &dyn ChunkSource) -> Result<StreamLayout, CoreError> {
+    let err = |msg: &str| CoreError::Pipeline(PipelineError::new(0, 0, msg));
+    let total = source.len();
+    if total < 20 {
+        return Err(err("not an LCS1 stream"));
+    }
+    let mut head = [0u8; 20];
+    source.read_at(0, &mut head).map_err(|e| err(&format!("header read failed: {e}")))?;
+    if head[..4] != STREAM_MAGIC {
+        return Err(err("not an LCS1 stream"));
+    }
+    let elements = u64::from_le_bytes(head[4..12].try_into().expect("8 bytes"));
+    let chunk_elements = u64::from_le_bytes(head[12..20].try_into().expect("8 bytes"));
+    if elements > (total - 20).saturating_mul(512) {
+        return Err(err("element count exceeds stream capacity"));
+    }
+    let mut frames = Vec::new();
+    let mut off = 20u64;
+    let mut fh = [0u8; 5];
+    while off < total {
+        if off + 5 > total {
+            return Err(err("truncated frame header"));
+        }
+        source
+            .read_at(off, &mut fh)
+            .map_err(|e| err(&format!("frame header read failed: {e}")))?;
+        let kind = fh[0];
+        let len = u64::from(u32::from_le_bytes(fh[1..5].try_into().expect("4 bytes")));
+        off += 5;
+        if len > total - off {
+            return Err(err("truncated frame payload"));
+        }
+        if kind != FRAME_COMPRESSED && kind != FRAME_RAW {
+            return Err(err("unknown frame tag"));
+        }
+        frames.push(FrameEntry { kind, off, len: len as usize });
+        off += len;
+    }
+    Ok(StreamLayout {
+        elements: elements as usize,
+        chunk_elements: chunk_elements as usize,
+        frames,
+    })
+}
+
+/// Decode one frame payload into its elements. Shared by [`decode_stream`]
+/// and the restart pipeline so both paths apply identical rules.
+fn decode_frame(kind: u8, payload: &[u8], seq: usize) -> Result<Vec<f32>, CoreError> {
+    let err = |msg: String| CoreError::Pipeline(PipelineError::new(seq, 0, msg));
+    match kind {
+        FRAME_COMPRESSED => {
+            let (vals, _dims) = lcpio_codec::registry()
+                .decompress_auto(payload, 1)
+                .map_err(|e| err(format!("chunk decode failed: {e}")))?;
+            Ok(vals)
+        }
+        FRAME_RAW => {
+            if !payload.len().is_multiple_of(4) {
+                return Err(err("raw frame length not a multiple of 4".to_string()));
+            }
+            Ok(payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect())
+        }
+        _ => Err(err("unknown frame tag".to_string())),
+    }
+}
+
 /// Decode an `LCS1` stream back into the flat element array.
 ///
 /// Compressed frames go through the registry's magic sniffing; raw frames
-/// are read verbatim.
+/// are read verbatim. The serial reference the restart pipeline must
+/// match element-for-element.
 pub fn decode_stream(stream: &[u8]) -> Result<Vec<f32>, CoreError> {
-    let err = |msg: &str| {
-        CoreError::Pipeline(PipelineError { chunk: 0, attempts: 0, message: msg.to_string() })
-    };
-    if stream.len() < 20 || stream[..4] != STREAM_MAGIC {
-        return Err(err("not an LCS1 stream"));
+    let source = SliceSource::new(stream);
+    let layout = scan_stream(&source)?;
+    let mut out = Vec::with_capacity(layout.elements);
+    for (seq, f) in layout.frames.iter().enumerate() {
+        let payload = &stream[f.off as usize..f.off as usize + f.len];
+        out.extend_from_slice(&decode_frame(f.kind, payload, seq)?);
     }
-    let elements = u64::from_le_bytes(stream[4..12].try_into().expect("8 bytes")) as usize;
-    let mut out = Vec::with_capacity(elements);
-    let mut off = 20;
-    while off < stream.len() {
-        if off + 5 > stream.len() {
-            return Err(err("truncated frame header"));
-        }
-        let kind = stream[off];
-        let len =
-            u32::from_le_bytes(stream[off + 1..off + 5].try_into().expect("4 bytes")) as usize;
-        off += 5;
-        let payload = stream
-            .get(off..off + len)
-            .ok_or_else(|| err("truncated frame payload"))?;
-        off += len;
-        match kind {
-            FRAME_COMPRESSED => {
-                let (vals, _dims) = lcpio_codec::registry()
-                    .decompress_auto(payload, 1)
-                    .map_err(|e| err(&format!("chunk decode failed: {e}")))?;
-                out.extend_from_slice(&vals);
-            }
-            FRAME_RAW => {
-                if !len.is_multiple_of(4) {
-                    return Err(err("raw frame length not a multiple of 4"));
-                }
-                out.extend(
-                    payload.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
-                );
-            }
-            _ => return Err(err("unknown frame tag")),
-        }
-    }
-    if out.len() != elements {
-        return Err(err("element count mismatch"));
+    if out.len() != layout.elements {
+        return Err(CoreError::Pipeline(PipelineError::new(0, 0, "element count mismatch")));
     }
     Ok(out)
+}
+
+/// Configuration of the overlapped restart (read→decompress) pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartConfig {
+    /// Bounded prefetch-queue depth: at most this many read-but-undecoded
+    /// frames exist at once (≥ 1).
+    pub queue_depth: usize,
+    /// Reader workers issuing positioned frame reads (≥ 1).
+    pub readers: usize,
+    /// Decode workers draining the prefetch queue (0 ⇒ all cores).
+    pub workers: usize,
+    /// Read attempts per frame before the pipeline fails (≥ 1).
+    pub max_read_attempts: u32,
+    /// Decode attempts per frame before the pipeline fails (≥ 1). Only a
+    /// worker death (injected) is retried — the payload is intact; a
+    /// corrupt payload is permanent and fails fast.
+    pub max_decode_attempts: u32,
+    /// Backoff between read retries, in milliseconds, scaled linearly by
+    /// the attempt number (tests use 0).
+    pub retry_backoff_ms: u64,
+    /// Injected failures (empty in production).
+    pub failure_plan: FailurePlan,
+}
+
+impl Default for RestartConfig {
+    fn default() -> Self {
+        RestartConfig {
+            queue_depth: 4,
+            readers: 1,
+            workers: 0,
+            max_read_attempts: 3,
+            max_decode_attempts: 2,
+            retry_backoff_ms: 1,
+            failure_plan: FailurePlan::default(),
+        }
+    }
+}
+
+impl RestartConfig {
+    /// Reject degenerate knob settings with a typed error.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |msg: &str| Err(CoreError::Pipeline(PipelineError::new(0, 0, msg)));
+        if self.queue_depth == 0 {
+            return bad("queue_depth must be at least 1");
+        }
+        if self.readers == 0 {
+            return bad("readers must be at least 1");
+        }
+        if self.max_read_attempts == 0 {
+            return bad("max_read_attempts must be at least 1");
+        }
+        if self.max_decode_attempts == 0 {
+            return bad("max_decode_attempts must be at least 1");
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one restart (read→decompress) execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RestartOutcome {
+    /// Chunk frames decoded.
+    pub chunks: usize,
+    /// Elements restored.
+    pub elements: usize,
+    /// Container bytes read (header + all frames).
+    pub bytes_in: u64,
+    /// Restored payload bytes (`elements × 4`).
+    pub bytes_out: u64,
+    /// Frames that were stored raw (write-side codec-failure fallback).
+    pub raw_frames: usize,
+    /// Read retries that eventually succeeded.
+    pub read_retries: u64,
+    /// Decode retries (worker deaths) that eventually succeeded.
+    pub decode_retries: u64,
+    /// Wall-clock seconds inside frame reads (summed across readers —
+    /// busy time, not elapsed time).
+    pub read_busy_s: f64,
+    /// Wall-clock seconds inside chunk decodes (busy time).
+    pub decode_busy_s: f64,
+    /// Elapsed wall-clock seconds for the whole run.
+    pub wall_s: f64,
+}
+
+impl RestartOutcome {
+    /// Compression ratio observed on the read side.
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_in == 0 { 0.0 } else { self.bytes_out as f64 / self.bytes_in as f64 }
+    }
+}
+
+/// Read one frame's payload with bounded retry/backoff.
+///
+/// Returns the payload and the number of retries that preceded the
+/// successful attempt, or the typed error after `max_read_attempts`
+/// failures. The allocation is safe against forged lengths: `entry.len`
+/// was validated against the stream size by [`scan_stream`].
+fn read_frame_with_retry(
+    cfg: &RestartConfig,
+    source: &dyn ChunkSource,
+    seq: usize,
+    entry: FrameEntry,
+) -> Result<(Vec<u8>, u64), CoreError> {
+    let mut last = String::new();
+    for attempt in 0..cfg.max_read_attempts {
+        if attempt > 0 && cfg.retry_backoff_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                cfg.retry_backoff_ms * attempt as u64,
+            ));
+        }
+        let result = if cfg.failure_plan.read_fails(seq, attempt) {
+            Err(io::Error::other("injected read failure"))
+        } else {
+            let mut buf = vec![0u8; entry.len];
+            source.read_at(entry.off, &mut buf).map(|()| buf)
+        };
+        match result {
+            Ok(buf) => {
+                lcpio_trace::counter_add("restart.read_retries", attempt as u64);
+                return Ok((buf, attempt as u64));
+            }
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(CoreError::Pipeline(PipelineError::new(
+        seq,
+        cfg.max_read_attempts,
+        format!("read failed after {} attempts: {last}", cfg.max_read_attempts),
+    )))
+}
+
+/// Decode one frame, honouring injected worker deaths.
+///
+/// A death is transient — the payload is intact, so the chunk is retried
+/// up to `max_decode_attempts` times. A real decode error (corrupt
+/// payload) is permanent and fails fast without burning retries.
+fn decode_with_retry(
+    cfg: &RestartConfig,
+    kind: u8,
+    payload: &[u8],
+    seq: usize,
+) -> Result<(Vec<f32>, u64), CoreError> {
+    for attempt in 0..cfg.max_decode_attempts {
+        if cfg.failure_plan.decode_fails(seq, attempt) {
+            lcpio_trace::counter_add("restart.decode_retries", 1);
+            continue;
+        }
+        return decode_frame(kind, payload, seq).map(|v| (v, attempt as u64));
+    }
+    Err(CoreError::Pipeline(PipelineError::new(
+        seq,
+        cfg.max_decode_attempts,
+        format!("decode worker died {} times", cfg.max_decode_attempts),
+    )))
+}
+
+/// Run the *sequential* restart reference: read a frame, decode it,
+/// append, repeat. Same frame rules as [`run_restart`], no overlap — the
+/// baseline the overlapped path must match element-for-element and beat
+/// on wall time.
+pub fn run_restart_sequential(
+    source: &dyn ChunkSource,
+    cfg: &RestartConfig,
+) -> Result<(Vec<f32>, RestartOutcome), CoreError> {
+    cfg.validate()?;
+    let _span = lcpio_trace::span("restart.sequential");
+    let t0 = std::time::Instant::now();
+    let layout = scan_stream(source)?;
+    let mut out = RestartOutcome {
+        chunks: layout.chunks(),
+        bytes_in: source.len(),
+        ..RestartOutcome::default()
+    };
+    let mut vals = Vec::with_capacity(layout.elements);
+    for (seq, entry) in layout.frames.iter().enumerate() {
+        let tr = std::time::Instant::now();
+        let (payload, retries) = read_frame_with_retry(cfg, source, seq, *entry)?;
+        out.read_busy_s += tr.elapsed().as_secs_f64();
+        out.read_retries += retries;
+        if entry.kind == FRAME_RAW {
+            out.raw_frames += 1;
+        }
+        let td = std::time::Instant::now();
+        let (chunk, decode_retries) = decode_with_retry(cfg, entry.kind, &payload, seq)?;
+        out.decode_busy_s += td.elapsed().as_secs_f64();
+        out.decode_retries += decode_retries;
+        vals.extend_from_slice(&chunk);
+    }
+    if vals.len() != layout.elements {
+        return Err(CoreError::Pipeline(PipelineError::new(0, 0, "element count mismatch")));
+    }
+    out.elements = vals.len();
+    out.bytes_out = vals.len() as u64 * 4;
+    out.wall_s = t0.elapsed().as_secs_f64();
+    Ok((vals, out))
+}
+
+/// Reassembles decoded chunks into the output buffer in sequence order
+/// across decode workers — the reorder stage of the restart pipeline.
+struct OrderedOutput {
+    inner: Mutex<OutState>,
+    turn: Condvar,
+}
+
+struct OutState {
+    out: Vec<f32>,
+    next_commit: usize,
+    failed: Option<CoreError>,
+}
+
+impl OrderedOutput {
+    /// Wait for `seq`'s turn, then append the chunk. Returns `false` if
+    /// the pipeline already failed.
+    fn commit(&self, seq: usize, vals: &[f32]) -> bool {
+        let mut st = self.inner.lock().expect("output lock");
+        while st.failed.is_none() && st.next_commit != seq {
+            st = self.turn.wait(st).expect("output lock");
+        }
+        if st.failed.is_some() {
+            return false;
+        }
+        st.out.extend_from_slice(vals);
+        st.next_commit += 1;
+        self.turn.notify_all();
+        true
+    }
+
+    /// Record the first failure and unblock every turn-waiter.
+    fn fail(&self, e: CoreError) {
+        let mut st = self.inner.lock().expect("output lock");
+        if st.failed.is_none() {
+            st.failed = Some(e);
+        }
+        self.turn.notify_all();
+    }
+}
+
+/// Run the overlapped restart pipeline.
+///
+/// Reader workers pull frame indices from an atomic cursor, issue
+/// positioned reads, and push payloads into the bounded prefetch queue;
+/// decode workers drain it strictly in order and reassemble chunks
+/// through the reorder stage. The output is element-identical to
+/// [`run_restart_sequential`] (and to serial [`decode_stream`]) at every
+/// queue depth, reader count, and worker count — overlap changes wall
+/// time, never values.
+///
+/// On a permanent read or decode failure every stage stops and the first
+/// typed [`CoreError::Pipeline`] is returned — never a panic, never a
+/// silent partial result.
+pub fn run_restart(
+    source: &dyn ChunkSource,
+    cfg: &RestartConfig,
+) -> Result<(Vec<f32>, RestartOutcome), CoreError> {
+    cfg.validate()?;
+    let _span = lcpio_trace::span("restart.streaming");
+    let t0 = std::time::Instant::now();
+    let layout = scan_stream(source)?;
+    let total = layout.chunks();
+    lcpio_trace::counter_add("restart.chunks", total as u64);
+
+    let queue: BoundedQueue<(u8, Vec<u8>)> = BoundedQueue::new(cfg.queue_depth, total);
+    let ordered = OrderedOutput {
+        inner: Mutex::new(OutState {
+            out: Vec::with_capacity(layout.elements),
+            next_commit: 0,
+            failed: None,
+        }),
+        turn: Condvar::new(),
+    };
+    let cursor = AtomicUsize::new(0);
+    let read_busy_ns = AtomicU64::new(0);
+    let decode_busy_ns = AtomicU64::new(0);
+    let read_retries = AtomicU64::new(0);
+    let decode_retries = AtomicU64::new(0);
+    let raw_frames = AtomicUsize::new(0);
+
+    let readers = cfg.readers.min(total.max(1));
+    let workers = crate::par::effective_threads(cfg.workers).min(total.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..readers {
+            s.spawn(|| {
+                let _span = lcpio_trace::span("restart.read.worker");
+                loop {
+                    let seq = cursor.fetch_add(1, Ordering::Relaxed);
+                    if seq >= total {
+                        break;
+                    }
+                    let entry = layout.frames[seq];
+                    let tr = std::time::Instant::now();
+                    match read_frame_with_retry(cfg, source, seq, entry) {
+                        Ok((payload, r)) => {
+                            read_busy_ns
+                                .fetch_add(tr.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            read_retries.fetch_add(r, Ordering::Relaxed);
+                            if entry.kind == FRAME_RAW {
+                                raw_frames.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if !queue.push(seq, (entry.kind, payload)) {
+                                break; // poisoned: another stage failed
+                            }
+                        }
+                        Err(e) => {
+                            ordered.fail(e);
+                            queue.poison();
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..workers {
+            s.spawn(|| {
+                let _span = lcpio_trace::span("restart.decode.worker");
+                while let Some((seq, (kind, payload))) = queue.pop_next() {
+                    let td = std::time::Instant::now();
+                    let result = decode_with_retry(cfg, kind, &payload, seq);
+                    decode_busy_ns.fetch_add(td.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    match result {
+                        Ok((vals, r)) => {
+                            decode_retries.fetch_add(r, Ordering::Relaxed);
+                            let ok = ordered.commit(seq, &vals);
+                            queue.commit();
+                            if !ok {
+                                queue.poison();
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            ordered.fail(e);
+                            queue.commit();
+                            queue.poison();
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let st = ordered.inner.into_inner().expect("output lock");
+    if let Some(e) = st.failed {
+        return Err(e);
+    }
+    let vals = st.out;
+    if vals.len() != layout.elements {
+        return Err(CoreError::Pipeline(PipelineError::new(0, 0, "element count mismatch")));
+    }
+    let outcome = RestartOutcome {
+        chunks: total,
+        elements: vals.len(),
+        bytes_in: source.len(),
+        bytes_out: vals.len() as u64 * 4,
+        raw_frames: raw_frames.into_inner(),
+        read_retries: read_retries.into_inner(),
+        decode_retries: decode_retries.into_inner(),
+        read_busy_s: read_busy_ns.into_inner() as f64 / 1e9,
+        decode_busy_s: decode_busy_ns.into_inner() as f64 / 1e9,
+        wall_s: t0.elapsed().as_secs_f64(),
+    };
+    Ok((vals, outcome))
 }
 
 // ---------------------------------------------------------------------------
@@ -846,6 +1407,49 @@ pub fn scaled_overlap(
     let compressed_chunk_bytes = sample_bytes / stats.ratio().max(1e-9);
     let write_profile = machine.nfs.write_profile(compressed_chunk_bytes);
     simulate_pipeline(machine, f_comp, f_write, &comp_profile, &write_profile, chunks, queue_depth)
+}
+
+/// Restart-side sibling of [`scaled_overlap`]: NFS fetch feeds chunk
+/// decompression through the bounded prefetch queue.
+///
+/// The returned [`OverlapOutcome`] follows `readback`'s slot convention —
+/// `compression_j` holds the **decompression** energy and `writing_j` the
+/// **fetch** energy — so the overlapped per-phase joules line up with (and
+/// sum exactly to) [`crate::readback::run_readback`]'s sequential report
+/// while the makespan shrinks.
+#[allow(clippy::too_many_arguments)]
+pub fn scaled_restart(
+    machine: &Machine,
+    f_fetch: f64,
+    f_decomp: f64,
+    cost_model: &CostModel,
+    compressor: Compressor,
+    stats: &CodecStats,
+    total_bytes: f64,
+    queue_depth: usize,
+) -> OverlapOutcome {
+    let sample_bytes = stats.input_bytes.max(1) as f64;
+    let chunks = (total_bytes / sample_bytes).ceil().max(1.0) as usize;
+    let decomp_profile = cost_model.decompression_profile(compressor, stats, 1.0);
+    let compressed_chunk_bytes = sample_bytes / stats.ratio().max(1e-9);
+    let fetch_profile = machine.nfs.write_profile(compressed_chunk_bytes);
+    // Stage 1 (fetch off NFS) feeds stage 2 (decode); the simulator's
+    // stage-1/stage-2 slots are then swapped into readback's convention.
+    let o = simulate_pipeline(
+        machine,
+        f_fetch,
+        f_decomp,
+        &fetch_profile,
+        &decomp_profile,
+        chunks,
+        queue_depth,
+    );
+    OverlapOutcome {
+        compression_j: o.writing_j,
+        writing_j: o.compression_j,
+        sequential_s: o.sequential_s,
+        pipelined_s: o.pipelined_s,
+    }
 }
 
 #[cfg(test)]
@@ -1042,5 +1646,158 @@ mod tests {
             }
             other => panic!("wrong error {other:?}"),
         }
+    }
+
+    // -- restart (read→decompress) path --------------------------------
+
+    fn stream_of(data: &[f32]) -> Vec<u8> {
+        let mut sink = VecSink::default();
+        run_sequential(data, &cfg(), &mut sink).expect("sequential");
+        sink.bytes
+    }
+
+    fn restart_cfg() -> RestartConfig {
+        RestartConfig { retry_backoff_ms: 0, ..RestartConfig::default() }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn restart_matches_sequential_decode_at_every_depth_and_worker_count() {
+        let data = field(10_500);
+        let stream = stream_of(&data);
+        let reference = decode_stream(&stream).expect("decode");
+        let source = SliceSource::new(&stream);
+        let (seq_vals, seq_out) =
+            run_restart_sequential(&source, &restart_cfg()).expect("sequential restart");
+        assert_eq!(bits(&seq_vals), bits(&reference));
+        assert_eq!(seq_out.chunks, 11);
+        for depth in [1, 2, 4, 16] {
+            for workers in [1, 2, 3] {
+                for readers in [1, 2] {
+                    let c = RestartConfig {
+                        queue_depth: depth,
+                        readers,
+                        workers,
+                        ..restart_cfg()
+                    };
+                    let (vals, out) = run_restart(&source, &c).expect("restart");
+                    assert_eq!(
+                        bits(&vals),
+                        bits(&reference),
+                        "depth {depth} workers {workers} readers {readers}"
+                    );
+                    assert_eq!(out.chunks, seq_out.chunks);
+                    assert_eq!(out.elements, data.len());
+                    assert_eq!(out.bytes_in, stream.len() as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restart_decodes_raw_fallback_frames_exactly() {
+        let data = field(5_000);
+        let mut c = cfg();
+        c.failure_plan.compress_failures =
+            (0..c.max_compress_attempts).map(|a| (2usize, a)).collect();
+        let mut sink = VecSink::default();
+        run_sequential(&data, &c, &mut sink).expect("sequential");
+        let source = SliceSource::new(&sink.bytes);
+        let (vals, out) = run_restart(&source, &restart_cfg()).expect("restart");
+        assert_eq!(out.raw_frames, 1);
+        assert_eq!(&vals[2000..3000], &data[2000..3000]);
+    }
+
+    #[test]
+    fn restart_validate_rejects_degenerate_knobs() {
+        let stream = stream_of(&field(100));
+        let source = SliceSource::new(&stream);
+        for bad in [
+            RestartConfig { queue_depth: 0, ..restart_cfg() },
+            RestartConfig { readers: 0, ..restart_cfg() },
+            RestartConfig { max_read_attempts: 0, ..restart_cfg() },
+            RestartConfig { max_decode_attempts: 0, ..restart_cfg() },
+        ] {
+            assert!(matches!(run_restart(&source, &bad), Err(CoreError::Pipeline(_))));
+        }
+    }
+
+    #[test]
+    fn restart_of_header_only_stream_is_empty() {
+        let stream = stream_of(&[]);
+        assert_eq!(stream.len(), 20);
+        let source = SliceSource::new(&stream);
+        let (vals, out) = run_restart(&source, &restart_cfg()).expect("restart");
+        assert!(vals.is_empty());
+        assert_eq!(out.chunks, 0);
+        assert_eq!(out.elements, 0);
+    }
+
+    #[test]
+    fn forged_element_count_is_rejected_before_allocation() {
+        // A 20-byte header promising u64::MAX elements must be refused by
+        // the 512× capacity guard, not drive a giant Vec::with_capacity.
+        let mut stream = header_bytes(u64::MAX, 1 << 18);
+        stream.extend_from_slice(&[FRAME_RAW, 4, 0, 0, 0, 0, 0, 0, 0]);
+        let source = SliceSource::new(&stream);
+        let err = scan_stream(&source).expect_err("forged header");
+        assert!(err.to_string().contains("element count exceeds stream capacity"), "{err}");
+        assert!(decode_stream(&stream).is_err());
+        assert!(run_restart(&source, &restart_cfg()).is_err());
+    }
+
+    #[test]
+    fn scan_stream_indexes_frames_without_touching_payloads() {
+        let data = field(4_321);
+        let stream = stream_of(&data);
+        let layout = scan_stream(&SliceSource::new(&stream)).expect("scan");
+        assert_eq!(layout.elements, data.len());
+        assert_eq!(layout.chunk_elements, 1000);
+        assert_eq!(layout.chunks(), 5);
+    }
+
+    #[test]
+    fn file_source_restart_roundtrips() {
+        let data = field(6_000);
+        let stream = stream_of(&data);
+        let path = std::env::temp_dir().join("lcpio-pipeline-filesource.lcs");
+        std::fs::write(&path, &stream).expect("write stream");
+        let source = FileSource::open(&path).expect("open");
+        assert_eq!(ChunkSource::len(&source), stream.len() as u64);
+        let (vals, _) = run_restart(&source, &restart_cfg()).expect("restart");
+        assert_eq!(bits(&vals), bits(&decode_stream(&stream).expect("decode")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scaled_restart_conserves_sequential_energy() {
+        use crate::records::Compressor;
+        use crate::workmap::CostModel;
+        let machine = Machine::for_chip(Chip::Broadwell);
+        let cost_model = CostModel::default();
+        let data = field(40_000);
+        let enc = Compressor::Sz
+            .codec()
+            .compress(&data, &[data.len()], BoundSpec::Absolute(1e-3))
+            .expect("compress");
+        let total_bytes = 64.0 * enc.stats.input_bytes as f64;
+        let o = scaled_restart(
+            &machine, 1.7, 2.0, &cost_model, Compressor::Sz, &enc.stats, total_bytes, 4,
+        );
+        // Cross-check against the raw simulator: same chunks, same
+        // profiles, per-phase joules identical (slots swapped).
+        let sample_bytes = enc.stats.input_bytes as f64;
+        let chunks = (total_bytes / sample_bytes).ceil() as usize;
+        let decomp = cost_model.decompression_profile(Compressor::Sz, &enc.stats, 1.0);
+        let fetch = machine.nfs.write_profile(sample_bytes / enc.stats.ratio());
+        let raw = simulate_pipeline(&machine, 1.7, 2.0, &fetch, &decomp, chunks, 4);
+        assert!((o.compression_j - raw.writing_j).abs() <= 1e-9 * o.compression_j);
+        assert!((o.writing_j - raw.compression_j).abs() <= 1e-9 * o.writing_j);
+        assert!((o.total_j() - raw.total_j()).abs() <= 1e-9 * o.total_j());
+        assert!(o.pipelined_s < o.sequential_s);
+        assert!(o.speedup() > 1.0);
     }
 }

@@ -11,8 +11,7 @@
 
 use lcpio_core::error::CoreError;
 use lcpio_core::pipeline::{
-    decode_stream, run_sequential, run_streaming, ChunkSink, FailurePlan, FileSink,
-    PipelineConfig, VecSink,
+    decode_stream, run_sequential, run_streaming, ChunkSink, FileSink, PipelineConfig, VecSink,
 };
 use std::io;
 use std::path::PathBuf;

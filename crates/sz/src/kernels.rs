@@ -167,9 +167,15 @@ impl<T> KernelScratch<T> {
 /// Vectorized whole-array Lorenzo encode for rank ≥ 2 grids. Fills
 /// `symbols` (indexed, length `nz·ny·nx`), appends escape literals in scan
 /// order, and writes reconstructed values into `recon` (caller-resized).
-/// Returns `false` — leaving all outputs untouched except possibly
-/// `symbols` length — when the shape, quantizer, element type, or CPU
-/// rules the fast path out; the caller then runs the scalar reference.
+/// When `hist` is given (4 contiguous stripes of `alphabet_size` counts,
+/// caller-zeroed), symbol counts are accumulated at tile-commit time —
+/// fusing the entropy stage's histogram into the pass that already holds
+/// the freshly-written symbols in cache, so the standalone histogram scan
+/// over the symbol array disappears. Stripe assignment is arbitrary; only
+/// the merged sums matter. Returns `false` — leaving all outputs
+/// untouched except possibly `symbols` length — when the shape,
+/// quantizer, element type, or CPU rules the fast path out; the caller
+/// then runs the scalar reference (and its own histogram pass).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_classic_fast<T: Element>(
     data: &[T],
@@ -181,14 +187,15 @@ pub(crate) fn encode_classic_fast<T: Element>(
     literals: &mut Vec<T>,
     recon: &mut [f64],
     ks: &mut KernelScratch<T>,
+    hist: Option<&mut [u32]>,
 ) -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        x86::encode_classic_fast(data, nz, ny, nx, q, symbols, literals, recon, ks)
+        x86::encode_classic_fast(data, nz, ny, nx, q, symbols, literals, recon, ks, hist)
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
-        let _ = (data, nz, ny, nx, q, symbols, literals, recon, ks);
+        let _ = (data, nz, ny, nx, q, symbols, literals, recon, ks, hist);
         false
     }
 }
@@ -233,6 +240,7 @@ mod x86 {
         lits: &mut Vec<T>,
         recon: &mut [f64],
         rowp: &mut Vec<f64>,
+        hist: Option<&mut [u32]>,
     ) {
         rowp.clear();
         rowp.resize(i1 - i0, 0.0);
@@ -245,6 +253,31 @@ mod x86 {
             symbols[base + i] = sym;
             recon[base + i] = rec;
             left = rec;
+        }
+        if let Some(h) = hist {
+            hist_count(h, &symbols[base + i0..base + i1]);
+        }
+    }
+
+    /// Accumulate `syms` into the 4-stripe histogram `h` (layout: 4
+    /// contiguous stripes of `h.len()/4` counts each, merged by the
+    /// caller into one frequency table). Which stripe a symbol lands in
+    /// is arbitrary — only the merged sums matter — so this is free to
+    /// stripe per call site rather than per global stream position.
+    fn hist_count(h: &mut [u32], syms: &[u32]) {
+        let a = h.len() / 4;
+        let (h0, rest) = h.split_at_mut(a);
+        let (h1, rest) = rest.split_at_mut(a);
+        let (h2, h3) = rest.split_at_mut(a);
+        let mut chunks = syms.chunks_exact(4);
+        for c in &mut chunks {
+            h0[c[0] as usize] += 1;
+            h1[c[1] as usize] += 1;
+            h2[c[2] as usize] += 1;
+            h3[c[3] as usize] += 1;
+        }
+        for &sym in chunks.remainder() {
+            h0[sym as usize] += 1;
         }
     }
 
@@ -259,6 +292,7 @@ mod x86 {
         literals: &mut Vec<T>,
         recon: &mut [f64],
         ks: &mut KernelScratch<T>,
+        mut hist: Option<&mut [u32]>,
     ) -> bool {
         // The speculative chain and the i32 symbol conversion are only
         // exact under these preconditions; anything else runs scalar.
@@ -284,12 +318,39 @@ mod x86 {
                 // `ks.prepare()` and the geometry bounds (`j + LANES ≤ ny`,
                 // `ntiles·TILE ≤ nx`).
                 unsafe {
-                    wavefront_group(data, ny, nx, k, j, ntiles, q, symbols, literals, recon, ks);
+                    wavefront_group(
+                        data,
+                        ny,
+                        nx,
+                        k,
+                        j,
+                        ntiles,
+                        q,
+                        symbols,
+                        literals,
+                        recon,
+                        ks,
+                        hist.as_deref_mut(),
+                    );
                 }
                 j += LANES;
             }
             while j < ny {
-                encode_row_ref(data, ny, nx, k, j, 0, nx, q, symbols, literals, recon, &mut ks.rowp);
+                encode_row_ref(
+                    data,
+                    ny,
+                    nx,
+                    k,
+                    j,
+                    0,
+                    nx,
+                    q,
+                    symbols,
+                    literals,
+                    recon,
+                    &mut ks.rowp,
+                    hist.as_deref_mut(),
+                );
                 j += 1;
             }
         }
@@ -320,6 +381,7 @@ mod x86 {
         literals: &mut Vec<T>,
         recon: &mut [f64],
         ks: &mut KernelScratch<T>,
+        mut hist: Option<&mut [u32]>,
     ) {
         let eb = q.error_bound();
         let twoeb = 2.0 * eb;
@@ -427,6 +489,13 @@ mod x86 {
                     }
                     prev[m] = pv;
                 }
+                // Fused histogram: the tile's symbols are final here
+                // (verified commit or scalar repair) and still hot in
+                // cache, so count them now instead of in a second pass
+                // over the whole symbol array.
+                if let Some(h) = hist.as_deref_mut() {
+                    hist_count(h, &symbols[base..base + TILE]);
+                }
             }
         }
         // Tails (columns past the last full tile) and the per-lane
@@ -448,6 +517,7 @@ mod x86 {
                     &mut ks.lits[m],
                     recon,
                     &mut ks.rowp,
+                    hist.as_deref_mut(),
                 );
             }
             literals.append(&mut ks.lits[m]);
@@ -825,12 +895,37 @@ mod tests {
         let mut lits: Vec<f32> = Vec::new();
         let mut recon = vec![0.0f64; n];
         let mut ks = KernelScratch::new();
-        assert!(encode_classic_fast(&data, nz, ny, nx, &q, &mut syms, &mut lits, &mut recon, &mut ks));
+        let alphabet = q.alphabet_size();
+        let mut hist = vec![0u32; 4 * alphabet];
+        assert!(encode_classic_fast(
+            &data,
+            nz,
+            ny,
+            nx,
+            &q,
+            &mut syms,
+            &mut lits,
+            &mut recon,
+            &mut ks,
+            Some(&mut hist),
+        ));
         assert_eq!(syms, ref_syms);
         assert_eq!(lits, ref_lits);
         for (a, b) in recon.iter().zip(&ref_recon) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert!(!lits.is_empty(), "test field should produce escape literals");
+
+        // The fused 4-stripe histogram, merged, must equal a recount of
+        // the reference symbol stream.
+        let mut merged = vec![0u64; alphabet];
+        for (i, &c) in hist.iter().enumerate() {
+            merged[i % alphabet] += c as u64;
+        }
+        let mut expect = vec![0u64; alphabet];
+        for &sym in &ref_syms {
+            expect[sym as usize] += 1;
+        }
+        assert_eq!(merged, expect);
     }
 }

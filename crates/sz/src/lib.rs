@@ -43,12 +43,12 @@ pub mod stats;
 
 pub use element::Element;
 pub use parallel::{
-    compress_chunked, compress_chunked_pooled, decompress_chunked, is_chunked, SzScratchPool,
-    CHUNKED_MAGIC,
+    compress_chunked, compress_chunked_pooled, decompress_chunked, decompress_chunked_pooled,
+    is_chunked, SzScratchPool, CHUNKED_MAGIC,
 };
 pub use pipeline::{
     compress, compress_f64, compress_typed, compress_typed_with, decompress, decompress_f64,
-    decompress_typed, stream_type_tag, SzScratch,
+    decompress_typed, decompress_typed_with, stream_type_tag, SzScratch,
 };
 pub use pwrel::{compress_pointwise_rel, decompress_pointwise_rel};
 pub use quantizer::Quantizer;

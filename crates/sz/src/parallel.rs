@@ -24,7 +24,7 @@
 //! one reusable [`SzScratch`], so per-chunk allocations are amortized.
 
 use crate::element::Element;
-use crate::pipeline::{compress_typed_with, decompress_typed, SzScratch};
+use crate::pipeline::{compress_typed_with, decompress_typed_with, SzScratch};
 use crate::regression::BLOCK_SIDE;
 use crate::stats::CompressionStats;
 use crate::{Compressed, SzConfig, SzError};
@@ -311,6 +311,19 @@ pub fn decompress_chunked<T: Element>(
     stream: &[u8],
     threads: usize,
 ) -> Result<(Vec<T>, Vec<usize>), SzError> {
+    decompress_chunked_pooled(stream, threads, &SzScratchPool::new())
+}
+
+/// [`decompress_chunked`] with worker scratches drawn from (and returned
+/// to) `pool`, mirroring [`compress_chunked_pooled`]: each decode worker
+/// reuses one scratch's reconstruction array, Huffman code lengths, and
+/// literal buffer across the chunks it pulls, and parks it for the next
+/// call. The reconstruction is bit-identical to [`decompress_chunked`].
+pub fn decompress_chunked_pooled<T: Element>(
+    stream: &[u8],
+    threads: usize,
+    pool: &SzScratchPool<T>,
+) -> Result<(Vec<T>, Vec<usize>), SzError> {
     let info = parse_chunked(stream)?;
     if info.type_tag != T::TYPE_TAG {
         return Err(SzError::TypeMismatch);
@@ -328,22 +341,30 @@ pub fn decompress_chunked<T: Element>(
         (0..info.chunks.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads.min(info.chunks.len()) {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= info.chunks.len() {
-                    break;
-                }
-                let (a, b, chunk) = info.chunks[i];
-                let mut sub_dims = dims.clone();
-                sub_dims[0] = b - a;
-                let res = decompress_typed::<T>(chunk).and_then(|(vals, got_dims)| {
-                    if got_dims != sub_dims || vals.len() != (b - a) * row {
-                        Err(SzError::Corrupt("chunk shape mismatch"))
-                    } else {
-                        Ok(vals)
+            s.spawn(|| {
+                let mut scratch = pool.acquire();
+                let mut laps = lcpio_trace::Stopwatch::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= info.chunks.len() {
+                        break;
                     }
-                });
-                *slots[i].lock().expect("slot lock") = Some(res);
+                    let (a, b, chunk) = info.chunks[i];
+                    let mut sub_dims = dims.clone();
+                    sub_dims[0] = b - a;
+                    let res = laps
+                        .lap(|| decompress_typed_with::<T>(chunk, &mut scratch))
+                        .and_then(|(vals, got_dims)| {
+                            if got_dims != sub_dims || vals.len() != (b - a) * row {
+                                Err(SzError::Corrupt("chunk shape mismatch"))
+                            } else {
+                                Ok(vals)
+                            }
+                        });
+                    *slots[i].lock().expect("slot lock") = Some(res);
+                }
+                pool.release(scratch);
+                laps.commit("sz.chunk.decompress");
             });
         }
     });
@@ -534,6 +555,25 @@ mod tests {
             compress_chunked_pooled(&data, &dims, &cfg(1e-3), 4, &pool).expect("compress");
         assert_eq!(again.bytes, fresh.bytes);
         assert!(pool.idle() >= parked, "reused scratches must be returned");
+    }
+
+    #[test]
+    fn pooled_decode_matches_unpooled() {
+        let dims = [30usize, 9, 7];
+        let data = smooth(dims.iter().product());
+        let pool = SzScratchPool::<f32>::new();
+        let out = compress_chunked(&data, &dims, &cfg(1e-3), 4).expect("compress");
+        let (fresh, d1) = decompress_chunked::<f32>(&out.bytes, 4).expect("decompress");
+        let (pooled, d2) =
+            decompress_chunked_pooled::<f32>(&out.bytes, 4, &pool).expect("decompress");
+        assert_eq!(d1, d2);
+        assert_eq!(fresh, pooled);
+        // Workers parked their scratches; a second decode reuses them and
+        // still reconstructs bit-identically.
+        assert!(pool.idle() > 0, "pool retained no scratch");
+        let (again, _) =
+            decompress_chunked_pooled::<f32>(&out.bytes, 2, &pool).expect("decompress");
+        assert_eq!(again, fresh);
     }
 
     #[test]

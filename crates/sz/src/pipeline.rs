@@ -97,14 +97,17 @@ fn resolve_eb<T: Element>(data: &[T], eb: ErrorBound) -> Result<f64, SzError> {
     Ok(abs)
 }
 
-/// Reusable buffers for repeated compressions.
+/// Reusable buffers for repeated compressions and decompressions.
 ///
 /// One compression call touches half a dozen working arrays (symbols,
 /// reconstructed values, histograms, bit sinks, …); allocating them per
 /// call is pure overhead when many small arrays are compressed in a row —
 /// exactly what the chunked parallel path does. Workers hold one scratch
 /// each and pass it to [`compress_typed_with`]; buffers grow to the
-/// high-water mark and stay.
+/// high-water mark and stay. The decode side shares the same scratch via
+/// [`decompress_typed_with`] (reconstruction array, code lengths,
+/// literals, row partials), so the chunked restart path stops allocating
+/// per chunk too.
 #[derive(Debug)]
 pub struct SzScratch<T> {
     symbols: Vec<u32>,
@@ -118,6 +121,7 @@ pub struct SzScratch<T> {
     block_bits: BitWriter,
     coeffs: Vec<f32>,
     lit_bytes: Vec<u8>,
+    code_lens: Vec<u8>,
     kern: kernels::KernelScratch<T>,
 }
 
@@ -136,6 +140,7 @@ impl<T> SzScratch<T> {
             block_bits: BitWriter::new(),
             coeffs: Vec::new(),
             lit_bytes: Vec::new(),
+            code_lens: Vec::new(),
             kern: kernels::KernelScratch::new(),
         }
     }
@@ -194,14 +199,18 @@ fn encode_one_fast<T: Element>(
 }
 
 /// Classic (whole-array Lorenzo) encode. Fills `s.symbols` / `s.literals`
-/// / `s.recon`; returns `(regression_blocks, lorenzo_blocks)`.
+/// / `s.recon`; returns `(regression_blocks, lorenzo_blocks, fused)`,
+/// where `fused` reports whether the AVX2 kernel already accumulated the
+/// symbol histogram into `s.hist4` (requested via `fuse`; only the kernel
+/// path fuses — the rank-1 and scalar paths leave counting to the caller).
 fn encode_classic<T: Element>(
     data: &[T],
     g: Geom,
     order: u8,
     q: &Quantizer,
     s: &mut SzScratch<T>,
-) -> (u64, u64) {
+    fuse: bool,
+) -> (u64, u64, bool) {
     let n = data.len();
     s.recon.clear();
     s.recon.resize(n, 0.0);
@@ -234,7 +243,7 @@ fn encode_classic<T: Element>(
             prev2 = prev;
             prev = rec;
         }
-        return (0, 0);
+        return (0, 0, false);
     }
     if kernels::fast_enabled()
         && kernels::encode_classic_fast(
@@ -247,9 +256,10 @@ fn encode_classic<T: Element>(
             &mut s.literals,
             &mut s.recon,
             &mut s.kern,
+            if fuse { Some(&mut s.hist4[..]) } else { None },
         )
     {
-        return (0, 0);
+        return (0, 0, fuse);
     }
     s.rowp.clear();
     s.rowp.resize(g.nx, 0.0);
@@ -269,7 +279,7 @@ fn encode_classic<T: Element>(
             }
         }
     }
-    (0, 0)
+    (0, 0, false)
 }
 
 /// Mean |orig − Lorenzo(orig)| over a block, using *original* neighbours.
@@ -448,12 +458,23 @@ pub fn compress_typed_with<T: Element>(
     s.coeffs.clear();
     s.lit_bytes.clear();
 
-    let (regression_blocks, lorenzo_blocks) = {
+    // When the AVX2 kernel may run, hand it the 4-stripe histogram so the
+    // symbol counts fall out of the commit pass and the standalone scan
+    // over the symbol array below is skipped entirely. The gate matches
+    // the striped pass (per-stripe counts fit u32); classic mode emits
+    // exactly one symbol per element, so `data.len()` is the symbol count.
+    let fuse = !block_mode && data.len() < u32::MAX as usize && kernels::fast_enabled();
+    if fuse {
+        s.hist4.clear();
+        s.hist4.resize(4 * q.alphabet_size(), 0);
+    }
+    let (regression_blocks, lorenzo_blocks, fused) = {
         let _span = lcpio_trace::span("sz.predict_quantize");
         if block_mode {
-            encode_blocks(data, g, &q, s)
+            let (r, l) = encode_blocks(data, g, &q, s);
+            (r, l, false)
         } else {
-            encode_classic(data, g, cfg.lorenzo_order, &q, s)
+            encode_classic(data, g, cfg.lorenzo_order, &q, s, fuse)
         }
     };
 
@@ -461,7 +482,21 @@ pub fn compress_typed_with<T: Element>(
     let huff_span = lcpio_trace::span("sz.huffman");
     s.freqs.clear();
     s.freqs.resize(q.alphabet_size(), 0);
-    if s.symbols.len() < u32::MAX as usize {
+    if fused {
+        // The kernel already counted at tile-commit time; only the stripe
+        // merge remains. Stripe assignment differs from the standalone
+        // pass below, but the merged sums — and therefore the Huffman
+        // table and the output stream — are identical.
+        let a = q.alphabet_size();
+        let (h0, rest) = s.hist4.split_at(a);
+        let (h1, rest) = rest.split_at(a);
+        let (h2, h3) = rest.split_at(a);
+        for (f, ((&a0, &a1), (&a2, &a3))) in
+            s.freqs.iter_mut().zip(h0.iter().zip(h1.iter()).zip(h2.iter().zip(h3.iter())))
+        {
+            *f = (a0 as u64) + (a1 as u64) + (a2 as u64) + (a3 as u64);
+        }
+    } else if s.symbols.len() < u32::MAX as usize {
         // Four interleaved sub-histograms break the store-to-load
         // dependency that serializes runs of equal symbols — the common
         // case, since quantization codes cluster hard around the zero
@@ -627,6 +662,17 @@ fn unwrap_envelope(stream: &[u8]) -> Result<Vec<u8>, SzError> {
 /// [`SzError::TypeMismatch`] when the stream holds a different element
 /// type.
 pub fn decompress_typed<T: Element>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>), SzError> {
+    decompress_typed_with(stream, &mut SzScratch::new())
+}
+
+/// [`decompress_typed`] with caller-provided scratch buffers. Repeated
+/// calls reuse the scratch's allocations (reconstruction array, Huffman
+/// code lengths, literal buffer, row partials); the output is identical
+/// to a fresh-scratch call.
+pub fn decompress_typed_with<T: Element>(
+    stream: &[u8],
+    s: &mut SzScratch<T>,
+) -> Result<(Vec<T>, Vec<usize>), SzError> {
     let _span = lcpio_trace::span("sz.decompress");
     let payload = unwrap_envelope(stream)?;
     let mut r = Reader::new(&payload);
@@ -659,15 +705,21 @@ pub fn decompress_typed<T: Element>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>
     }
     let q = Quantizer::new(eb, radius);
 
+    // Working buffers come from the scratch: cleared, then regrown to
+    // this stream's sizes (no-ops once the high-water mark is reached).
+    let SzScratch { recon, rowp, literals, code_lens, .. } = s;
+
     // Huffman table (dense code lengths over the occupied symbol range).
     let first = r.u32()? as usize;
     let count = r.u32()? as usize;
-    let mut lens = vec![0u8; q.alphabet_size()];
-    if count > lens.len() || first + count > lens.len() {
+    code_lens.clear();
+    code_lens.resize(q.alphabet_size(), 0);
+    if count > code_lens.len() || first + count > code_lens.len() {
         return Err(SzError::Corrupt("symbol range out of alphabet"));
     }
-    lens[first..first + count].copy_from_slice(r.bytes(count)?);
-    let dec = HuffmanDecoder::from_lengths(&lens).map_err(|_| SzError::Corrupt("huffman table"))?;
+    code_lens[first..first + count].copy_from_slice(r.bytes(count)?);
+    let dec =
+        HuffmanDecoder::from_lengths(code_lens).map_err(|_| SzError::Corrupt("huffman table"))?;
     let _sym_bit_count = r.u64()?;
     let sym_bytes = r.section()?;
     // Tighter form of the element-count guard: every element consumes at
@@ -679,7 +731,8 @@ pub fn decompress_typed<T: Element>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>
     if lit_bytes.len() % T::BYTES != 0 {
         return Err(SzError::Corrupt("literal section"));
     }
-    let literals: Vec<T> = lit_bytes.chunks_exact(T::BYTES).map(T::read_le).collect();
+    literals.clear();
+    literals.extend(lit_bytes.chunks_exact(T::BYTES).map(T::read_le));
 
     let (block_bit_bytes, coeff_vals) = if block_mode {
         let bb = r.section()?.to_vec();
@@ -698,8 +751,13 @@ pub fn decompress_typed<T: Element>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>
 
     let mut sym_reader = BitReader::new(sym_bytes);
     let mut lit_iter = literals.iter();
-    let mut recon = vec![0.0f64; n];
-    let mut rowp = vec![0.0f64; if block_mode { g.nx.min(BLOCK_SIDE) } else { g.nx }];
+    // The Lorenzo stencil reads `recon` while it is being filled (rows
+    // above, planes behind), so untouched slots must read as 0.0 exactly
+    // like a fresh allocation: clear before regrowing.
+    recon.clear();
+    recon.resize(n, 0.0);
+    rowp.clear();
+    rowp.resize(if block_mode { g.nx.min(BLOCK_SIDE) } else { g.nx }, 0.0);
 
     let mut next_value = |pred: f64, recon_slot: &mut f64| -> Result<(), SzError> {
         let sym = dec
@@ -760,7 +818,7 @@ pub fn decompress_typed<T: Element>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>
                                 }
                                 None => {
                                     lorenzo_3d_row_partial(
-                                        &recon, g.ny, g.nx, k, j, i0, i1, &mut rowp,
+                                        recon, g.ny, g.nx, k, j, i0, i1, rowp,
                                     );
                                     for i in i0..i1 {
                                         let idx = (k * g.ny + j) * g.nx + i;
@@ -795,7 +853,7 @@ pub fn decompress_typed<T: Element>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>
         let mut idx = 0usize;
         for k in 0..g.nz {
             for j in 0..g.ny {
-                lorenzo_3d_row_partial(&recon, g.ny, g.nx, k, j, 0, g.nx, &mut rowp);
+                lorenzo_3d_row_partial(recon, g.ny, g.nx, k, j, 0, g.nx, rowp);
                 for (i, &rp) in rowp.iter().enumerate() {
                     let left = if i > 0 { recon[idx - 1] } else { 0.0 };
                     next_value(rp + left, &mut recon[idx])?;
@@ -805,7 +863,7 @@ pub fn decompress_typed<T: Element>(stream: &[u8]) -> Result<(Vec<T>, Vec<usize>
         }
     }
 
-    Ok((recon.into_iter().map(T::from_f64).collect(), dims))
+    Ok((recon.iter().map(|&v| T::from_f64(v)).collect(), dims))
 }
 
 /// Decompress an `f32` stream.
@@ -941,6 +999,32 @@ mod tests {
                 assert_eq!(&d, dims);
                 for (a, b) in data.iter().zip(&rec) {
                     assert!((a - b).abs() <= 1e-3 + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_decode_scratch_is_bit_identical() {
+        // One scratch across many differently-shaped decompressions must
+        // yield exactly the values a fresh decode produces — including
+        // stale-state hazards: a large stream first (big recon/literal
+        // high-water marks), then smaller ones.
+        let mut scratch = SzScratch::new();
+        let fields: Vec<(Vec<usize>, Vec<f32>)> = vec![
+            (vec![11, 13, 17], (0..11 * 13 * 17).map(|i| (i as f32 * 0.05).sin() * 3.0).collect()),
+            (vec![600], (0..600).map(|i| (i as f32 * 0.02).sin()).collect()),
+            (vec![23, 17], (0..23 * 17).map(|i| (i as f32 * 0.1).cos() * 5.0).collect()),
+        ];
+        for (dims, data) in &fields {
+            for mode in [PredictorMode::Lorenzo, PredictorMode::BlockAdaptive] {
+                let cfg = SzConfig::new(ErrorBound::Absolute(1e-3)).with_mode(mode);
+                let out = compress_typed(data, dims, &cfg).unwrap();
+                let (fresh, d1) = decompress(&out.bytes).unwrap();
+                let (reused, d2) = decompress_typed_with::<f32>(&out.bytes, &mut scratch).unwrap();
+                assert_eq!(d1, d2);
+                for (a, b) in fresh.iter().zip(&reused) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "dims {dims:?} mode {mode:?}");
                 }
             }
         }

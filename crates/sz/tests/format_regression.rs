@@ -177,6 +177,35 @@ fn scalar_and_fast_paths_emit_identical_streams() {
 }
 
 #[test]
+fn fused_histogram_commit_is_bit_identical_and_pinned() {
+    // The AVX2 commit pass folds the 4-stripe symbol histogram into the
+    // tile commit (one pass over the symbols instead of two). Stripe
+    // assignment differs from the standalone count, but the merged
+    // frequencies — and therefore the Huffman table and every emitted
+    // bit — must be unchanged. A field large enough for multiple full
+    // tile groups, row tails and leftover rows exercises all three
+    // fused counting sites.
+    let dims = vec![64usize, 48, 96];
+    let n: usize = dims.iter().product();
+    let data = field_f32(n, 0xf00d);
+    let cfg = SzConfig::new(ErrorBound::Absolute(1e-3));
+    kernels::force_scalar(true);
+    let scalar = compress_typed(&data, &dims, &cfg).unwrap().bytes;
+    kernels::force_scalar(false);
+    let fast = compress_typed(&data, &dims, &cfg).unwrap().bytes;
+    kernels::reset_force_scalar();
+    assert_eq!(scalar, fast, "fused-histogram fast path changed the stream");
+    assert_eq!(
+        (fast.len(), fnv64(&fast)),
+        (1239326, 0xa14fe20444c14883),
+        "fused-histogram stream changed format"
+    );
+    let (rec, got_dims) = decompress_typed::<f32>(&fast).expect("decompress");
+    assert_eq!(got_dims, dims);
+    assert_eq!(rec.len(), n);
+}
+
+#[test]
 fn chunked_containers_match_pinned_hashes_across_threads() {
     let data = field_f32(32 * 9 * 7, 0xc0ffee);
     let cfg = SzConfig::new(ErrorBound::Absolute(1e-3));

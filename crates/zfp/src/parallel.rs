@@ -134,6 +134,12 @@ pub fn compress_chunked<T: ZfpElement>(
 }
 
 /// Decompress a chunked stream using up to `threads` workers.
+///
+/// Unlike SZ's decoder (`decompress_chunked_pooled` over an
+/// `SzScratchPool`), this path carries no scratch pool: each worker
+/// decodes straight into its pre-carved disjoint slice of the output
+/// array, and ZFP's per-block transform needs only a fixed 4³ local
+/// buffer — there are no per-chunk working arrays worth reusing.
 pub fn decompress_chunked<T: ZfpElement>(
     stream: &[u8],
     threads: usize,

@@ -26,6 +26,8 @@
 //! dump       [--gb 512]
 //! pipeline   --codec sz|zfp --eb 1e-3 [--threads N] [--queue-depth D]
 //!            [--writers W] [--chunk-elems N] -i in.lcpf -o out.lcs
+//! restart    [--queue-depth D] [--readers R] [--workers W]
+//!            -i in.lcs -o restored.lcpf
 //! ```
 //!
 //! Codec dispatch goes through [`lcpio_codec::registry`]: `compress`
@@ -181,11 +183,25 @@ pub enum Command {
         /// Output streaming container (`LCS1`).
         output: PathBuf,
     },
+    /// Restart: stream an `LCS1` container back through the overlapped
+    /// read→decompress pipeline into a field file.
+    Restart {
+        /// Bounded prefetch-queue depth between read and decode (≥ 1).
+        queue_depth: usize,
+        /// Reader workers issuing positioned frame reads (≥ 1).
+        readers: usize,
+        /// Decode workers draining the prefetch queue (0 = all cores).
+        workers: usize,
+        /// Input streaming container (`LCS1`).
+        input: PathBuf,
+        /// Destination field file.
+        output: PathBuf,
+    },
 }
 
 /// Top-level usage text.
 pub fn usage() -> &'static str {
-    "lcpio-cli <gen|compress|decompress|info|codecs|quality|sweep|tables|tune|dump|pipeline> [options]\n\
+    "lcpio-cli <gen|compress|decompress|info|codecs|quality|sweep|tables|tune|dump|pipeline|restart> [options]\n\
      run `lcpio-cli <command>` with missing options to see its requirements"
 }
 
@@ -359,6 +375,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             input: PathBuf::from(req(&m, &["i", "input"])?),
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
+        "restart" => Ok(Command::Restart {
+            queue_depth: parse_nonzero(
+                m.get("queue-depth").map(String::as_str).unwrap_or("4"),
+                "queue-depth",
+            )?,
+            readers: parse_nonzero(m.get("readers").map(String::as_str).unwrap_or("1"), "readers")?,
+            workers: parse_threads(m.get("workers").map(String::as_str).unwrap_or("0"))?,
+            input: PathBuf::from(req(&m, &["i", "input"])?),
+            output: PathBuf::from(req(&m, &["o", "output"])?),
+        }),
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{}", usage()))),
     }
 }
@@ -433,6 +459,7 @@ fn command_name(cmd: &Command) -> &'static str {
         Command::Tune { .. } => "tune",
         Command::Dump { .. } => "dump",
         Command::Pipeline { .. } => "pipeline",
+        Command::Restart { .. } => "restart",
     }
 }
 
@@ -627,6 +654,33 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 outcome.ratio(),
                 outcome.write_retries,
                 outcome.raw_fallbacks,
+                outcome.wall_s
+            )?;
+        }
+        Command::Restart { queue_depth, readers, workers, input, output } => {
+            let source = lcpio_core::pipeline::FileSource::open(&input)
+                .map_err(|e| CliError::Codec(format!("{}: {e}", input.display())))?;
+            let cfg = lcpio_core::pipeline::RestartConfig {
+                queue_depth,
+                readers,
+                workers,
+                ..lcpio_core::pipeline::RestartConfig::default()
+            };
+            let (data, outcome) = lcpio_core::pipeline::run_restart(&source, &cfg)
+                .map_err(|e| CliError::Codec(e.to_string()))?;
+            let n = data.len();
+            write_field(&output, &data, &[n])?;
+            writeln!(
+                out,
+                "restarted {} -> {}: {} chunks, {} elements, {:.2}x, \
+                 {} read retries, {} decode retries, {:.3} s",
+                input.display(),
+                output.display(),
+                outcome.chunks,
+                outcome.elements,
+                outcome.ratio(),
+                outcome.read_retries,
+                outcome.decode_retries,
                 outcome.wall_s
             )?;
         }
@@ -1115,6 +1169,95 @@ mod tests {
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.contains("streamed"), "{text}");
         assert!(text.contains("chunks"), "{text}");
+    }
+
+    #[test]
+    fn parse_restart_with_defaults_and_knobs() {
+        let c = parse(&argv("restart -i a -o b")).expect("parse");
+        assert_eq!(
+            c,
+            Command::Restart {
+                queue_depth: 4,
+                readers: 1,
+                workers: 0,
+                input: PathBuf::from("a"),
+                output: PathBuf::from("b"),
+            }
+        );
+        let c = parse(&argv("restart --queue-depth 2 --readers 2 --workers 3 -i a -o b"))
+            .expect("parse");
+        match c {
+            Command::Restart { queue_depth, readers, workers, .. } => {
+                assert_eq!((queue_depth, readers, workers), (2, 2, 3));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        for cmd in [
+            "restart --queue-depth 0 -i a -o b",
+            "restart --readers 0 -i a -o b",
+            "restart --workers 1000000 -i a -o b",
+            "restart -i a",
+        ] {
+            assert!(matches!(parse(&argv(cmd)), Err(CliError::Usage(_))), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn restart_end_to_end_matches_sequential_decompress() {
+        let field = tmp("restart.lcpf");
+        let stream = tmp("restart.lcs");
+        let seq_back = tmp("restart-seq.lcpf");
+        let pipe_back = tmp("restart-pipe.lcpf");
+        let mut out = Vec::new();
+        run(
+            parse(&argv(&format!(
+                "gen --dataset nyx --scale 65536 --seed 13 -o {}",
+                field.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("gen");
+        run(
+            parse(&argv(&format!(
+                "pipeline --codec sz --eb 1e-2 --chunk-elems 2048 -i {} -o {}",
+                field.display(),
+                stream.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("pipeline");
+        run(
+            parse(&argv(&format!(
+                "decompress -i {} -o {}",
+                stream.display(),
+                seq_back.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("decompress");
+        run(
+            parse(&argv(&format!(
+                "restart --queue-depth 2 --workers 2 -i {} -o {}",
+                stream.display(),
+                pipe_back.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("restart");
+        // The overlapped restart reconstructs bit-identically to the
+        // sequential decode of the same stream.
+        let (seq, _) = read_field(&seq_back).expect("read");
+        let (pipe, _) = read_field(&pipe_back).expect("read");
+        assert_eq!(seq.len(), pipe.len());
+        for (a, b) in seq.iter().zip(&pipe) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("restarted"), "{text}");
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn walkthrough_commands_run_as_documented() {
     let commands = walkthrough_commands(&md);
     assert!(
         commands.len() >= 6,
-        "the walkthrough should cover gen → pipeline → decode → sweep → fit → tune, \
+        "the walkthrough should cover gen → pipeline → decode → restart → sweep → fit → tune, \
          found {} commands",
         commands.len()
     );
@@ -61,9 +61,13 @@ fn walkthrough_commands_run_as_documented() {
     }
 
     // The walkthrough's artifacts exist and its claims hold.
-    for artifact in ["nyx.lcpf", "nyx.lcs", "restored.lcpf", "sweep.json"] {
+    for artifact in ["nyx.lcpf", "nyx.lcs", "restored.lcpf", "restart.lcpf", "sweep.json"] {
         assert!(dir.join(artifact).exists(), "walkthrough must produce {artifact}");
     }
+    assert!(
+        transcript.contains("restarted"),
+        "`restart` must report the overlapped restore:\n{transcript}"
+    );
     assert!(
         transcript.contains("streaming pipeline container"),
         "`info` must identify the LCS1 stream:\n{transcript}"
