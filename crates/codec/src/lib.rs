@@ -24,6 +24,7 @@
 
 mod registry;
 mod sz_adapter;
+pub mod wire;
 mod zfp_adapter;
 
 pub use registry::{registry, render_container_table, CodecRegistry};
@@ -31,6 +32,7 @@ pub use sz_adapter::SzCodec;
 pub use zfp_adapter::ZfpCodec;
 
 use lcpio_sz::SzError;
+use lcpio_wire::WireError;
 use lcpio_zfp::ZfpError;
 
 /// How the compression error is bounded, across all backends.
@@ -150,9 +152,23 @@ pub enum CodecError {
         bound: BoundSpec,
     },
     /// No registered container matches the stream's 4-byte magic.
+    /// `Display` lists every known magic so the holder of a mystery file
+    /// can see what this build could have decoded.
     UnknownMagic([u8; 4]),
     /// The stream is shorter than a 4-byte magic.
     TooShort,
+    /// Two registered codecs claim the same container magic (rejected at
+    /// registration time — resolution is never first-match-wins).
+    DuplicateMagic {
+        /// The contested magic.
+        magic: [u8; 4],
+        /// Codec that registered it first.
+        first: &'static str,
+        /// Codec that tried to register it again.
+        second: &'static str,
+    },
+    /// The LCW1 wire envelope layer failed.
+    Wire(WireError),
 }
 
 impl std::fmt::Display for CodecError {
@@ -163,13 +179,37 @@ impl std::fmt::Display for CodecError {
             CodecError::UnsupportedBound { codec, bound } => {
                 write!(f, "codec `{codec}` does not support {bound} error bounds")
             }
-            CodecError::UnknownMagic(m) => write!(f, "unknown stream magic {m:?}"),
+            CodecError::UnknownMagic(m) => {
+                let known: Vec<String> = registry::registry()
+                    .known_magics()
+                    .iter()
+                    .map(|m| String::from_utf8_lossy(m).into_owned())
+                    .collect();
+                write!(
+                    f,
+                    "unknown stream magic {:?} (known: {})",
+                    String::from_utf8_lossy(m),
+                    known.join(", ")
+                )
+            }
             CodecError::TooShort => write!(f, "stream too short"),
+            CodecError::DuplicateMagic { magic, first, second } => write!(
+                f,
+                "container magic {:?} registered by both `{first}` and `{second}`",
+                String::from_utf8_lossy(magic)
+            ),
+            CodecError::Wire(e) => write!(f, "wire envelope: {e}"),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+impl From<WireError> for CodecError {
+    fn from(e: WireError) -> Self {
+        CodecError::Wire(e)
+    }
+}
 
 impl From<SzError> for CodecError {
     fn from(e: SzError) -> Self {

@@ -129,6 +129,12 @@ pub struct PipelineConfig {
     pub retry_backoff_ms: u64,
     /// Compression attempts per chunk before falling back to a raw frame.
     pub max_compress_attempts: u32,
+    /// Emit the stream as an `LCW1` wire envelope (container id `LCS1`,
+    /// one frame per chunk with the kind byte leading the payload) instead
+    /// of the legacy `LCS1` container. Both forms carry identical chunk
+    /// payloads and decode identically; the wire form additionally
+    /// supports incremental push decoding ([`run_restart_streamed`]).
+    pub wire_format: bool,
     /// Injected failures (empty in production).
     pub failure_plan: FailurePlan,
 }
@@ -145,6 +151,7 @@ impl Default for PipelineConfig {
             max_write_attempts: 3,
             retry_backoff_ms: 1,
             max_compress_attempts: 2,
+            wire_format: false,
             failure_plan: FailurePlan::default(),
         }
     }
@@ -311,13 +318,48 @@ fn chunk_ranges(len: usize, chunk_elements: usize) -> Vec<std::ops::Range<usize>
     out
 }
 
-/// Render the stream header: magic, element count, chunk size.
-fn header_bytes(elements: u64, chunk_elements: u64) -> Vec<u8> {
+/// Serialize the LCS1 geometry (element count, chunk size) as the LCW1
+/// `PARAMS` field — the wire-form replacement for the legacy 20-byte
+/// header's two `u64`s.
+fn lcs_params(elements: u64, chunk_elements: u64) -> [u8; 16] {
+    let mut p = [0u8; 16];
+    p[..8].copy_from_slice(&elements.to_le_bytes());
+    p[8..].copy_from_slice(&chunk_elements.to_le_bytes());
+    p
+}
+
+/// Render the stream header: the legacy 20-byte `LCS1` header (magic,
+/// element count, chunk size), or the `LCW1` envelope header carrying the
+/// same geometry in its `PARAMS` field when `wire` is set.
+fn header_bytes(wire: bool, elements: u64, chunk_elements: u64, chunks: usize) -> Vec<u8> {
+    if wire {
+        return lcpio_wire::envelope::EnvelopeBuilder::new(STREAM_MAGIC)
+            .params(&lcs_params(elements, chunk_elements))
+            .header_bytes(chunks);
+    }
     let mut h = Vec::with_capacity(20);
     h.extend_from_slice(&STREAM_MAGIC);
     h.extend_from_slice(&elements.to_le_bytes());
     h.extend_from_slice(&chunk_elements.to_le_bytes());
     h
+}
+
+/// Frame one chunk payload for the container: legacy `[kind][u32 len]`
+/// framing, or an LCW1 frame (varint length, kind byte leading the
+/// payload) when `wire` is set.
+fn frame_bytes(wire: bool, kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out;
+    if wire {
+        out = lcpio_wire::envelope::frame_prefix(payload.len() + 1);
+        out.reserve(payload.len() + 1);
+        out.push(kind);
+    } else {
+        out = Vec::with_capacity(5 + payload.len());
+        out.push(kind);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    }
+    out.extend_from_slice(payload);
+    out
 }
 
 /// A compressed (or raw-fallback) chunk, framed for the container.
@@ -346,24 +388,20 @@ fn compress_frame(cfg: &PipelineConfig, seq: usize, chunk: &[f32]) -> Frame {
             Err(_) => continue,
         }
     }
-    let mut frame = Vec::new();
-    let (stats, raw) = match encoded {
+    let (frame, stats, raw) = match encoded {
         Some(e) => {
-            frame.push(FRAME_COMPRESSED);
-            frame.extend_from_slice(&(e.bytes.len() as u32).to_le_bytes());
-            frame.extend_from_slice(&e.bytes);
-            (Some(e.stats), false)
+            let frame = frame_bytes(cfg.wire_format, FRAME_COMPRESSED, &e.bytes);
+            (frame, Some(e.stats), false)
         }
         None => {
             // Graceful degradation: repeated codec failure must not sink
             // the dump — store the chunk uncompressed (bound trivially
             // respected: the data is exact).
-            frame.push(FRAME_RAW);
-            frame.extend_from_slice(&(chunk.len() as u32 * 4).to_le_bytes());
+            let mut payload = Vec::with_capacity(chunk.len() * 4);
             for &v in chunk {
-                frame.extend_from_slice(&v.to_le_bytes());
+                payload.extend_from_slice(&v.to_le_bytes());
             }
-            (None, true)
+            (frame_bytes(cfg.wire_format, FRAME_RAW, &payload), None, true)
         }
     };
     Frame { bytes: frame, stats, raw, compress_s: t0.elapsed().as_secs_f64() }
@@ -419,7 +457,8 @@ pub fn run_sequential(
     let _span = lcpio_trace::span("pipeline.sequential");
     let t0 = std::time::Instant::now();
     let ranges = chunk_ranges(data.len(), cfg.chunk_elements);
-    let header = header_bytes(data.len() as u64, cfg.chunk_elements as u64);
+    let header =
+        header_bytes(cfg.wire_format, data.len() as u64, cfg.chunk_elements as u64, ranges.len());
     sink.write_header(&header).map_err(|e| header_error(&e))?;
     let mut out = StreamOutcome {
         chunks: ranges.len(),
@@ -557,6 +596,18 @@ impl<T> BoundedQueue<T> {
         self.space.notify_all();
         self.ready.notify_all();
     }
+
+    /// Fix the total chunk count after the fact. The streamed restart path
+    /// opens the queue with an unknown total (`usize::MAX`) because a
+    /// legacy `LCS1` stream only reveals its frame count at EOF; the
+    /// feeder closes the queue once the last frame has been pushed so
+    /// consumers can drain and exit.
+    fn close(&self, total: usize) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.total = total;
+        self.space.notify_all();
+        self.ready.notify_all();
+    }
 }
 
 /// Serializes sink commits into sequence order across writer workers.
@@ -631,7 +682,8 @@ pub fn run_streaming(
     let t0 = std::time::Instant::now();
     let ranges = chunk_ranges(data.len(), cfg.chunk_elements);
     let total = ranges.len();
-    let header = header_bytes(data.len() as u64, cfg.chunk_elements as u64);
+    let header =
+        header_bytes(cfg.wire_format, data.len() as u64, cfg.chunk_elements as u64, total);
     sink.write_header(&header).map_err(|e| header_error(&e))?;
     lcpio_trace::counter_add("pipeline.chunks", total as u64);
 
@@ -834,9 +886,17 @@ impl StreamLayout {
     pub fn chunks(&self) -> usize {
         self.frames.len()
     }
+
+    /// Payload length in bytes of the largest frame — the dominant term of
+    /// the streamed-restart buffering bound.
+    pub fn max_frame_len(&self) -> usize {
+        self.frames.iter().map(|f| f.len).max().unwrap_or(0)
+    }
 }
 
-/// Scan an `LCS1` container's header and frame table.
+/// Scan a streaming container's header and frame table — either the
+/// legacy `LCS1` layout or its `LCW1` wire form (auto-detected from the
+/// magic).
 ///
 /// Every length that later drives an allocation is validated here against
 /// the *actual* stream size, so a forged header can never trigger a huge
@@ -847,6 +907,13 @@ impl StreamLayout {
 pub fn scan_stream(source: &dyn ChunkSource) -> Result<StreamLayout, CoreError> {
     let err = |msg: &str| CoreError::Pipeline(PipelineError::new(0, 0, msg));
     let total = source.len();
+    if total >= 4 {
+        let mut magic = [0u8; 4];
+        source.read_at(0, &mut magic).map_err(|e| err(&format!("header read failed: {e}")))?;
+        if magic == lcpio_wire::MAGIC {
+            return scan_wire_stream(source);
+        }
+    }
     if total < 20 {
         return Err(err("not an LCS1 stream"));
     }
@@ -881,6 +948,101 @@ pub fn scan_stream(source: &dyn ChunkSource) -> Result<StreamLayout, CoreError> 
         }
         frames.push(FrameEntry { kind, off, len: len as usize });
         off += len;
+    }
+    Ok(StreamLayout {
+        elements: elements as usize,
+        chunk_elements: chunk_elements as usize,
+        frames,
+    })
+}
+
+/// Typed error for a wire-envelope failure inside the core pipeline.
+fn wire_err(e: lcpio_wire::WireError) -> CoreError {
+    CoreError::Pipeline(PipelineError::new(0, 0, format!("wire envelope: {e}")))
+}
+
+/// Scan the `LCW1` wire form of the streaming container into the same
+/// [`StreamLayout`] the legacy scan produces, so every decode path (serial
+/// decode, sequential restart, overlapped restart) handles both forms
+/// identically.
+///
+/// The scan reads only the envelope header plus ~10 bytes per frame
+/// boundary — payloads stay untouched — and applies the same validation as
+/// the legacy path: frame extents proven in-bounds with checked
+/// arithmetic, nothing trailing the final frame, and the promised element
+/// count capped at 512× the payload bytes.
+fn scan_wire_stream(source: &dyn ChunkSource) -> Result<StreamLayout, CoreError> {
+    use lcpio_wire::envelope::parse_header_partial;
+    use lcpio_wire::varint::{self, Partial};
+
+    let err = |msg: &str| CoreError::Pipeline(PipelineError::new(0, 0, msg));
+    let read_err = |e: io::Error| err(&format!("header read failed: {e}"));
+    let total = source.len();
+
+    // Incrementally widen the header window until the envelope parses; it
+    // is bounded by the wire crate's 1 MiB TLV-block ceiling.
+    let cap = total.min(lcpio_wire::MAX_HEADER_LEN as u64 + 64) as usize;
+    let mut want = cap.min(256);
+    let (elements, chunk_elements, frame_count, frames_at) = loop {
+        let mut buf = vec![0u8; want];
+        source.read_at(0, &mut buf).map_err(read_err)?;
+        match parse_header_partial(&buf).map_err(wire_err)? {
+            Partial::Ready(env, used) => {
+                if env.container != STREAM_MAGIC {
+                    return Err(err("wire envelope does not carry an LCS1 stream"));
+                }
+                let params =
+                    env.params().ok_or_else(|| err("wire LCS1 header missing params"))?;
+                let p: [u8; 16] =
+                    params.try_into().map_err(|_| err("wire LCS1 params must be 16 bytes"))?;
+                let elements = u64::from_le_bytes(p[..8].try_into().expect("8 bytes"));
+                let chunk_elements = u64::from_le_bytes(p[8..].try_into().expect("8 bytes"));
+                break (elements, chunk_elements, env.frame_count, used as u64);
+            }
+            Partial::NeedMore => {
+                if want >= cap {
+                    return Err(err("truncated wire envelope header"));
+                }
+                want = (want * 2).min(cap);
+            }
+        }
+    };
+    if elements > (total - frames_at).saturating_mul(512) {
+        return Err(err("element count exceeds stream capacity"));
+    }
+
+    let mut frames = Vec::with_capacity(frame_count.min(1 << 16));
+    let mut off = frames_at;
+    for _ in 0..frame_count {
+        let avail = (total - off).min(varint::MAX_LEN as u64) as usize;
+        let mut fh = vec![0u8; avail];
+        source
+            .read_at(off, &mut fh)
+            .map_err(|e| err(&format!("frame header read failed: {e}")))?;
+        let (len, used) = match varint::read_partial(&fh).map_err(wire_err)? {
+            Partial::Ready(len, used) => (len, used),
+            Partial::NeedMore => return Err(err("truncated frame header")),
+        };
+        if len == 0 {
+            return Err(err("empty wire frame (missing kind byte)"));
+        }
+        let payload_at = off + used as u64;
+        if len > total - payload_at {
+            return Err(err("truncated frame payload"));
+        }
+        let mut kind = [0u8; 1];
+        source
+            .read_at(payload_at, &mut kind)
+            .map_err(|e| err(&format!("frame header read failed: {e}")))?;
+        let kind = kind[0];
+        if kind != FRAME_COMPRESSED && kind != FRAME_RAW {
+            return Err(err("unknown frame tag"));
+        }
+        frames.push(FrameEntry { kind, off: payload_at + 1, len: (len - 1) as usize });
+        off = payload_at + len;
+    }
+    if off != total {
+        return Err(err("trailing bytes after final wire frame"));
     }
     Ok(StreamLayout {
         elements: elements as usize,
@@ -1013,6 +1175,12 @@ pub struct RestartOutcome {
     pub decode_busy_s: f64,
     /// Elapsed wall-clock seconds for the whole run.
     pub wall_s: f64,
+    /// High-water mark of undecoded bytes buffered by the incremental
+    /// framer ([`run_restart_streamed`] only; 0 on the random-access
+    /// paths). Bounded by one frame plus one read-buffer fill — asserted
+    /// by `ext_wire_stream` — so streamed restart never holds the
+    /// container in memory.
+    pub peak_buffered_bytes: usize,
 }
 
 impl RestartOutcome {
@@ -1290,6 +1458,335 @@ pub fn run_restart(
         read_busy_s: read_busy_ns.into_inner() as f64 / 1e9,
         decode_busy_s: decode_busy_ns.into_inner() as f64 / 1e9,
         wall_s: t0.elapsed().as_secs_f64(),
+        peak_buffered_bytes: 0,
+    };
+    Ok((vals, outcome))
+}
+
+/// Incremental frame splitter for the *legacy* `LCS1` byte layout — the
+/// push-mode sibling of the wire crate's `StreamDecoder`, for sources that
+/// only support forward reads.
+struct LegacyFramer {
+    buf: Vec<u8>,
+    /// `(elements, chunk_elements)` once the 20-byte header has arrived.
+    geometry: Option<(u64, u64)>,
+    peak: usize,
+}
+
+impl LegacyFramer {
+    fn new() -> Self {
+        LegacyFramer { buf: Vec::new(), geometry: None, peak: 0 }
+    }
+
+    /// Push bytes in; get back every `(kind, payload)` frame they
+    /// completed. Errors are terminal.
+    fn feed(&mut self, chunk: &[u8]) -> Result<Vec<(u8, Vec<u8>)>, CoreError> {
+        let err = |msg: &str| CoreError::Pipeline(PipelineError::new(0, 0, msg));
+        self.buf.extend_from_slice(chunk);
+        self.peak = self.peak.max(self.buf.len());
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        if self.geometry.is_none() {
+            if self.buf.len() < 20 {
+                return Ok(out);
+            }
+            if self.buf[..4] != STREAM_MAGIC {
+                return Err(err("not an LCS1 stream"));
+            }
+            let elements = u64::from_le_bytes(self.buf[4..12].try_into().expect("8 bytes"));
+            let chunk_elements =
+                u64::from_le_bytes(self.buf[12..20].try_into().expect("8 bytes"));
+            self.geometry = Some((elements, chunk_elements));
+            cursor = 20;
+        }
+        loop {
+            let rest = &self.buf[cursor..];
+            if rest.len() < 5 {
+                break;
+            }
+            let kind = rest[0];
+            if kind != FRAME_COMPRESSED && kind != FRAME_RAW {
+                return Err(err("unknown frame tag"));
+            }
+            let len = u32::from_le_bytes(rest[1..5].try_into().expect("4 bytes")) as usize;
+            if rest.len() < 5 + len {
+                break; // partial frame: wait for more bytes
+            }
+            out.push((kind, rest[5..5 + len].to_vec()));
+            cursor += 5 + len;
+        }
+        self.buf.drain(..cursor);
+        Ok(out)
+    }
+
+    /// Declare end-of-input; errors if a header or frame is incomplete.
+    fn finish(&self) -> Result<(), CoreError> {
+        let err = |msg: &str| CoreError::Pipeline(PipelineError::new(0, 0, msg));
+        if self.geometry.is_none() {
+            return Err(err("truncated LCS1 header"));
+        }
+        if !self.buf.is_empty() {
+            return Err(err("truncated frame"));
+        }
+        Ok(())
+    }
+}
+
+/// Format-sniffing push framer: buffers the first four bytes, then routes
+/// everything through either the wire crate's incremental
+/// [`StreamDecoder`](lcpio_wire::stream::StreamDecoder) (`LCW1`) or the
+/// [`LegacyFramer`] (`LCS1`).
+enum FramerKind {
+    Sniff,
+    Wire(lcpio_wire::stream::StreamDecoder),
+    Legacy(LegacyFramer),
+}
+
+struct PushFramer {
+    kind: FramerKind,
+    pending: Vec<u8>,
+    elements: Option<u64>,
+}
+
+impl PushFramer {
+    fn new() -> Self {
+        PushFramer { kind: FramerKind::Sniff, pending: Vec::new(), elements: None }
+    }
+
+    fn feed(&mut self, chunk: &[u8]) -> Result<Vec<(u8, Vec<u8>)>, CoreError> {
+        if matches!(self.kind, FramerKind::Sniff) {
+            self.pending.extend_from_slice(chunk);
+            if self.pending.len() < 4 {
+                return Ok(Vec::new());
+            }
+            let buffered = std::mem::take(&mut self.pending);
+            self.kind = if buffered[..4] == lcpio_wire::MAGIC {
+                FramerKind::Wire(lcpio_wire::stream::StreamDecoder::new())
+            } else {
+                FramerKind::Legacy(LegacyFramer::new())
+            };
+            return self.dispatch(&buffered);
+        }
+        self.dispatch(chunk)
+    }
+
+    fn dispatch(&mut self, chunk: &[u8]) -> Result<Vec<(u8, Vec<u8>)>, CoreError> {
+        let err = |msg: &str| CoreError::Pipeline(PipelineError::new(0, 0, msg));
+        match &mut self.kind {
+            FramerKind::Wire(dec) => {
+                let frames = dec.feed(chunk).map_err(wire_err)?;
+                if self.elements.is_none() {
+                    if let Some(h) = dec.header() {
+                        if h.container != STREAM_MAGIC {
+                            return Err(err("wire envelope does not carry an LCS1 stream"));
+                        }
+                        let env = h.envelope();
+                        let params =
+                            env.params().ok_or_else(|| err("wire LCS1 header missing params"))?;
+                        let p: [u8; 16] = params
+                            .try_into()
+                            .map_err(|_| err("wire LCS1 params must be 16 bytes"))?;
+                        self.elements =
+                            Some(u64::from_le_bytes(p[..8].try_into().expect("8 bytes")));
+                    }
+                }
+                let mut out = Vec::with_capacity(frames.len());
+                for f in frames {
+                    let Some((&kind, payload)) = f.payload.split_first() else {
+                        return Err(err("empty wire frame (missing kind byte)"));
+                    };
+                    if kind != FRAME_COMPRESSED && kind != FRAME_RAW {
+                        return Err(err("unknown frame tag"));
+                    }
+                    out.push((kind, payload.to_vec()));
+                }
+                Ok(out)
+            }
+            FramerKind::Legacy(fr) => {
+                let out = fr.feed(chunk)?;
+                if self.elements.is_none() {
+                    if let Some((e, _)) = fr.geometry {
+                        self.elements = Some(e);
+                    }
+                }
+                Ok(out)
+            }
+            FramerKind::Sniff => unreachable!("sniff resolved on first 4 bytes"),
+        }
+    }
+
+    fn finish(&self) -> Result<(), CoreError> {
+        match &self.kind {
+            FramerKind::Sniff => {
+                Err(CoreError::Pipeline(PipelineError::new(0, 0, "truncated stream")))
+            }
+            FramerKind::Wire(dec) => dec.finish().map_err(wire_err),
+            FramerKind::Legacy(fr) => fr.finish(),
+        }
+    }
+
+    /// Element count promised by the header, once it has arrived.
+    fn elements(&self) -> Option<u64> {
+        self.elements
+    }
+
+    /// High-water mark of bytes buffered awaiting a frame boundary.
+    fn peak_buffered(&self) -> usize {
+        match &self.kind {
+            FramerKind::Sniff => self.pending.len(),
+            FramerKind::Wire(dec) => dec.peak_buffered(),
+            FramerKind::Legacy(fr) => fr.peak,
+        }
+    }
+}
+
+/// Bytes per `read` call in [`run_restart_streamed`]. Small enough that
+/// the framer's buffering bound (one frame + one read) stays tight, large
+/// enough to amortize syscalls.
+const STREAM_READ_BYTES: usize = 1 << 16;
+
+/// Run the restart pipeline over a *forward-only* byte stream — a pipe, a
+/// socket, a sequential file read — with incremental push decoding.
+///
+/// Unlike [`run_restart`], which needs a random-access [`ChunkSource`] and
+/// an up-front frame-table scan, this path parses frames as bytes arrive
+/// (sniffing `LCW1` wire envelopes vs legacy `LCS1` from the first four
+/// bytes) and hands each completed frame to the decode-worker pool
+/// immediately — decode of chunk *k* overlaps arrival of chunk *k+1*, and
+/// peak buffering is bounded by one frame plus the bounded queue
+/// ([`RestartOutcome::peak_buffered_bytes`]) rather than the container
+/// size. Output is element-identical to [`run_restart_sequential`] on the
+/// same container.
+///
+/// The failure plan's `read_failures` are not honoured here (a
+/// forward-only stream cannot replay a positioned read); `decode_failures`
+/// behave exactly as in [`run_restart`].
+pub fn run_restart_streamed(
+    reader: &mut dyn io::Read,
+    cfg: &RestartConfig,
+) -> Result<(Vec<f32>, RestartOutcome), CoreError> {
+    cfg.validate()?;
+    let _span = lcpio_trace::span("restart.streamed");
+    let t0 = std::time::Instant::now();
+
+    let queue: BoundedQueue<(u8, Vec<u8>)> = BoundedQueue::new(cfg.queue_depth, usize::MAX);
+    let ordered = OrderedOutput {
+        inner: Mutex::new(OutState { out: Vec::new(), next_commit: 0, failed: None }),
+        turn: Condvar::new(),
+    };
+    let decode_busy_ns = AtomicU64::new(0);
+    let decode_retries = AtomicU64::new(0);
+    let raw_frames = AtomicUsize::new(0);
+    let workers = crate::par::effective_threads(cfg.workers).max(1);
+
+    let mut total_frames = 0usize;
+    let mut bytes_in = 0u64;
+    let mut read_busy_s = 0.0f64;
+    let mut framer = PushFramer::new();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let _span = lcpio_trace::span("restart.decode.worker");
+                while let Some((seq, (kind, payload))) = queue.pop_next() {
+                    let td = std::time::Instant::now();
+                    let result = decode_with_retry(cfg, kind, &payload, seq);
+                    decode_busy_ns.fetch_add(td.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    match result {
+                        Ok((vals, r)) => {
+                            decode_retries.fetch_add(r, Ordering::Relaxed);
+                            let ok = ordered.commit(seq, &vals);
+                            queue.commit();
+                            if !ok {
+                                queue.poison();
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            ordered.fail(e);
+                            queue.commit();
+                            queue.poison();
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+
+        // Feeder: runs on the calling thread, reading forward and pushing
+        // completed frames into the bounded queue (backpressure caps how
+        // far arrival runs ahead of decode).
+        let mut rbuf = vec![0u8; STREAM_READ_BYTES];
+        let mut seq = 0usize;
+        'feed: loop {
+            let tr = std::time::Instant::now();
+            let n = match reader.read(&mut rbuf) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    ordered.fail(CoreError::Pipeline(PipelineError::new(
+                        seq,
+                        1,
+                        format!("stream read failed: {e}"),
+                    )));
+                    queue.poison();
+                    break;
+                }
+            };
+            read_busy_s += tr.elapsed().as_secs_f64();
+            if n == 0 {
+                match framer.finish() {
+                    Ok(()) => queue.close(seq),
+                    Err(e) => {
+                        ordered.fail(e);
+                        queue.poison();
+                    }
+                }
+                break;
+            }
+            bytes_in += n as u64;
+            match framer.feed(&rbuf[..n]) {
+                Ok(frames) => {
+                    for (kind, payload) in frames {
+                        if kind == FRAME_RAW {
+                            raw_frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if !queue.push(seq, (kind, payload)) {
+                            break 'feed; // poisoned: a decode worker failed
+                        }
+                        seq += 1;
+                    }
+                }
+                Err(e) => {
+                    ordered.fail(e);
+                    queue.poison();
+                    break;
+                }
+            }
+        }
+        total_frames = seq;
+    });
+
+    let st = ordered.inner.into_inner().expect("output lock");
+    if let Some(e) = st.failed {
+        return Err(e);
+    }
+    let vals = st.out;
+    let expected = framer.elements().unwrap_or(0);
+    if vals.len() as u64 != expected {
+        return Err(CoreError::Pipeline(PipelineError::new(0, 0, "element count mismatch")));
+    }
+    let outcome = RestartOutcome {
+        chunks: total_frames,
+        elements: vals.len(),
+        bytes_in,
+        bytes_out: vals.len() as u64 * 4,
+        raw_frames: raw_frames.into_inner(),
+        read_retries: 0,
+        decode_retries: decode_retries.into_inner(),
+        read_busy_s,
+        decode_busy_s: decode_busy_ns.into_inner() as f64 / 1e9,
+        wall_s: t0.elapsed().as_secs_f64(),
+        peak_buffered_bytes: framer.peak_buffered(),
     };
     Ok((vals, outcome))
 }
@@ -1740,7 +2237,7 @@ mod tests {
     fn forged_element_count_is_rejected_before_allocation() {
         // A 20-byte header promising u64::MAX elements must be refused by
         // the 512× capacity guard, not drive a giant Vec::with_capacity.
-        let mut stream = header_bytes(u64::MAX, 1 << 18);
+        let mut stream = header_bytes(false, u64::MAX, 1 << 18, 1);
         stream.extend_from_slice(&[FRAME_RAW, 4, 0, 0, 0, 0, 0, 0, 0]);
         let source = SliceSource::new(&stream);
         let err = scan_stream(&source).expect_err("forged header");
@@ -1799,5 +2296,148 @@ mod tests {
         assert!((o.total_j() - raw.total_j()).abs() <= 1e-9 * o.total_j());
         assert!(o.pipelined_s < o.sequential_s);
         assert!(o.speedup() > 1.0);
+    }
+
+    // -- LCW1 wire format and incremental streamed restart --------------
+
+    fn wire_cfg() -> PipelineConfig {
+        PipelineConfig { wire_format: true, ..cfg() }
+    }
+
+    fn wire_stream_of(data: &[f32]) -> Vec<u8> {
+        let mut sink = VecSink::default();
+        run_sequential(data, &wire_cfg(), &mut sink).expect("sequential wire");
+        sink.bytes
+    }
+
+    #[test]
+    fn wire_format_streaming_is_byte_identical_to_sequential() {
+        let data = field(10_500);
+        for depth in [1, 4] {
+            for writers in [1, 3] {
+                let c = PipelineConfig { queue_depth: depth, writers, ..wire_cfg() };
+                let mut seq = VecSink::default();
+                let mut par = VecSink::default();
+                run_sequential(&data, &c, &mut seq).expect("sequential");
+                run_streaming(&data, &c, &mut par).expect("streaming");
+                assert_eq!(seq.bytes, par.bytes, "depth {depth} writers {writers}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_and_legacy_streams_decode_identically() {
+        let data = field(7_321);
+        let legacy = stream_of(&data);
+        let wire = wire_stream_of(&data);
+        assert_eq!(&legacy[..4], &STREAM_MAGIC);
+        assert_eq!(&wire[..4], &lcpio_wire::MAGIC);
+        let a = decode_stream(&legacy).expect("decode legacy");
+        let b = decode_stream(&wire).expect("decode wire");
+        assert_eq!(bits(&a), bits(&b));
+        // Both scans agree on the geometry; only the framing differs.
+        let la = scan_stream(&SliceSource::new(&legacy)).expect("scan legacy");
+        let lb = scan_stream(&SliceSource::new(&wire)).expect("scan wire");
+        assert_eq!(la.elements, lb.elements);
+        assert_eq!(la.chunk_elements, lb.chunk_elements);
+        assert_eq!(la.chunks(), lb.chunks());
+    }
+
+    #[test]
+    fn restart_decodes_wire_streams_like_legacy() {
+        let data = field(10_500);
+        let reference = decode_stream(&stream_of(&data)).expect("decode legacy");
+        let wire = wire_stream_of(&data);
+        let source = SliceSource::new(&wire);
+        let (seq_vals, _) = run_restart_sequential(&source, &restart_cfg()).expect("sequential");
+        assert_eq!(bits(&seq_vals), bits(&reference));
+        let c = RestartConfig { queue_depth: 2, workers: 2, ..restart_cfg() };
+        let (vals, out) = run_restart(&source, &c).expect("restart");
+        assert_eq!(bits(&vals), bits(&reference));
+        assert_eq!(out.elements, data.len());
+        assert_eq!(out.bytes_in, wire.len() as u64);
+    }
+
+    #[test]
+    fn streamed_restart_matches_positioned_restart_on_both_formats() {
+        let data = field(10_500);
+        for stream in [stream_of(&data), wire_stream_of(&data)] {
+            let reference = decode_stream(&stream).expect("decode");
+            let layout = scan_stream(&SliceSource::new(&stream)).expect("scan");
+            let max_frame = layout.max_frame_len();
+            for depth in [1, 4] {
+                for workers in [1, 3] {
+                    let c = RestartConfig { queue_depth: depth, workers, ..restart_cfg() };
+                    let mut rd: &[u8] = &stream;
+                    let (vals, out) = run_restart_streamed(&mut rd, &c).expect("streamed");
+                    assert_eq!(bits(&vals), bits(&reference), "depth {depth} workers {workers}");
+                    assert_eq!(out.chunks, layout.chunks());
+                    assert_eq!(out.elements, data.len());
+                    // Peak buffering is bounded by one frame plus one
+                    // read-buffer fill plus the header — never the whole
+                    // container.
+                    assert!(out.peak_buffered_bytes > 0);
+                    assert!(
+                        out.peak_buffered_bytes
+                            <= max_frame + STREAM_READ_BYTES + lcpio_wire::MAX_HEADER_LEN,
+                        "peak {} vs frame {max_frame}",
+                        out.peak_buffered_bytes
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_restart_of_empty_streams_is_empty() {
+        for stream in [stream_of(&[]), wire_stream_of(&[])] {
+            let mut rd: &[u8] = &stream;
+            let (vals, out) = run_restart_streamed(&mut rd, &restart_cfg()).expect("streamed");
+            assert!(vals.is_empty());
+            assert_eq!(out.chunks, 0);
+        }
+    }
+
+    #[test]
+    fn streamed_restart_rejects_truncation_at_every_offset() {
+        let data = field(2_500);
+        for stream in [stream_of(&data), wire_stream_of(&data)] {
+            for cut in 0..stream.len() {
+                let mut rd: &[u8] = &stream[..cut];
+                assert!(
+                    run_restart_streamed(&mut rd, &restart_cfg()).is_err(),
+                    "cut at {cut}/{} decoded",
+                    stream.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_scan_rejects_forged_element_count() {
+        // A wire header claiming u64::MAX elements over a tiny payload
+        // must trip the 512× capacity guard during the scan.
+        let mut stream = header_bytes(true, u64::MAX, 1 << 18, 1);
+        let frame = frame_bytes(true, FRAME_RAW, &[0u8; 4]);
+        stream.extend_from_slice(&frame);
+        let err = scan_stream(&SliceSource::new(&stream)).expect_err("forged header");
+        assert!(err.to_string().contains("element count exceeds stream capacity"), "{err}");
+        assert!(decode_stream(&stream).is_err());
+    }
+
+    #[test]
+    fn wire_scan_rejects_foreign_container_and_bad_frame_kind() {
+        // An LCW1 envelope whose container id is not LCS1 is not a
+        // streaming container.
+        let env = lcpio_wire::EnvelopeBuilder::new(*b"SZL1")
+            .params(&lcs_params(0, 1))
+            .build(&[b"xxxx"]);
+        assert!(scan_stream(&SliceSource::new(&env)).is_err());
+        // A frame whose kind byte is neither compressed nor raw is
+        // rejected during the scan, before any decode work.
+        let mut bad = header_bytes(true, 4, 4, 1);
+        bad.extend_from_slice(&frame_bytes(true, 7, &[0u8; 16]));
+        let err = scan_stream(&SliceSource::new(&bad)).expect_err("bad kind");
+        assert!(err.to_string().contains("unknown frame tag"), "{err}");
     }
 }

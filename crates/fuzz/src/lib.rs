@@ -1,0 +1,260 @@
+//! Deterministic mutation fuzzing of the decode surfaces.
+//!
+//! No external fuzzing engine: a seeded xorshift RNG mutates a corpus of
+//! valid containers (every registry codec, wire-wrapped and legacy, plus
+//! the `LCS1`/`LCW1` streaming containers and a few hand-forged headers
+//! mirroring the failure-injection fixtures) and throws the results at
+//! three targets:
+//!
+//! 1. **Envelope parse** — [`lcpio_wire::Envelope::parse`] + the validated
+//!    frame index and every typed accessor.
+//! 2. **Streaming decode** — [`lcpio_wire::StreamDecoder`] fed the same
+//!    bytes in randomly sized pieces, differentially checked against the
+//!    one-shot parse: both must accept or both must reject, and on accept
+//!    the frames must agree byte-for-byte.
+//! 3. **Registry auto-decompress** — the product decode path
+//!    ([`lcpio_codec::CodecRegistry::decompress_auto`]) plus the streaming
+//!    container decoder.
+//!
+//! Every run is reproducible from its seed; the harness panics (and the
+//! smoke test fails) on the first input that panics a target or breaks the
+//! differential contract.
+
+use lcpio_codec::{registry, BoundSpec};
+use lcpio_core::pipeline::{decode_stream, run_sequential, PipelineConfig, VecSink};
+use lcpio_wire::{Envelope, StreamDecoder};
+
+/// Splittable xorshift64* PRNG — deterministic and dependency-free.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator (any seed, including 0, is fine).
+    pub fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `0..n` (`n` > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Valid-container corpus the mutators start from.
+pub fn seed_corpus() -> Vec<Vec<u8>> {
+    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
+    let mut corpus = Vec::new();
+    // Every registry codec, serial and chunked, absolute and pointwise-
+    // relative bounds — compression dispatches through the registry only.
+    for name in ["sz", "zfp"] {
+        let codec = registry().by_name(name).expect("registered codec");
+        for bound in [BoundSpec::Absolute(1e-3), BoundSpec::PointwiseRelative(1e-3)] {
+            for threads in [1usize, 2] {
+                let enc = if threads > 1 {
+                    codec.compress_chunked(&data, &[32, 64], bound, threads)
+                } else {
+                    codec.compress(&data, &[32, 64], bound)
+                };
+                if let Ok(enc) = enc {
+                    // Both the legacy container and its wire-wrapped form.
+                    if let Ok(wired) = lcpio_codec::wire::wrap(&enc.bytes) {
+                        corpus.push(wired);
+                    }
+                    corpus.push(enc.bytes);
+                }
+            }
+        }
+    }
+    // The streaming-pipeline container in both framings.
+    for wire in [false, true] {
+        let cfg = PipelineConfig {
+            chunk_elements: 512,
+            wire_format: wire,
+            ..PipelineConfig::default()
+        };
+        let mut sink = VecSink::default();
+        run_sequential(&data, &cfg, &mut sink).expect("pipeline");
+        corpus.push(sink.bytes);
+    }
+    // Hand-forged headers mirroring the failure-injection fixtures:
+    // forged element counts, absurd section lengths, bare magics.
+    corpus.push(b"LCW1".to_vec());
+    corpus.push(b"LCW1\x01\x00\x00".to_vec());
+    corpus.push(b"LCS1".to_vec());
+    let mut forged = b"LCS1".to_vec();
+    forged.extend_from_slice(&u64::MAX.to_le_bytes());
+    forged.extend_from_slice(&512u64.to_le_bytes());
+    corpus.push(forged);
+    let mut huge_section = b"SZL1\x00".to_vec();
+    huge_section.extend_from_slice(&(1u32 << 20).to_le_bytes());
+    huge_section.extend_from_slice(&(1u64 << 40).to_le_bytes());
+    corpus.push(huge_section);
+    corpus
+}
+
+/// Mutate `input` in place-ish: flips, overwrites, truncations, splices,
+/// and insertions, 1–4 of them per call.
+pub fn mutate(input: &[u8], rng: &mut Rng) -> Vec<u8> {
+    let mut out = input.to_vec();
+    for _ in 0..(1 + rng.below(4)) {
+        if out.is_empty() {
+            out.push(rng.next_u64() as u8);
+            continue;
+        }
+        match rng.below(5) {
+            0 => {
+                let i = rng.below(out.len());
+                out[i] ^= 1 << rng.below(8);
+            }
+            1 => {
+                let i = rng.below(out.len());
+                out[i] = rng.next_u64() as u8;
+            }
+            2 => out.truncate(rng.below(out.len() + 1)),
+            3 => {
+                // Splice a window from one offset over another.
+                let len = 1 + rng.below(9.min(out.len()));
+                let src = rng.below(out.len() - len + 1);
+                let dst = rng.below(out.len() - len + 1);
+                let window: Vec<u8> = out[src..src + len].to_vec();
+                out[dst..dst + len].copy_from_slice(&window);
+            }
+            _ => {
+                let i = rng.below(out.len() + 1);
+                out.insert(i, rng.next_u64() as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Target 1: one-shot envelope parse + frame index + typed accessors.
+/// Returns the frame payloads when the input is a valid envelope.
+pub fn target_envelope_parse(bytes: &[u8]) -> Option<Vec<Vec<u8>>> {
+    let env = Envelope::parse(bytes).ok()?;
+    let idx = env.index(bytes).ok()?;
+    // Typed accessors must error or answer — never panic — regardless of
+    // what the TLV block claims.
+    let _ = env.element_type();
+    let _ = env.dims();
+    let _ = env.chunk_table();
+    let _ = env.params();
+    Some(idx.entries.iter().map(|e| bytes[e.off..e.off + e.len].to_vec()).collect())
+}
+
+/// Target 2: incremental decode in randomly sized pieces, differentially
+/// checked against the one-shot parse.
+pub fn target_stream_decode(bytes: &[u8], rng: &mut Rng) {
+    let oneshot = target_envelope_parse(bytes);
+    let mut dec = StreamDecoder::new();
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    let mut failed = false;
+    while pos < bytes.len() {
+        let step = 1 + rng.below(97);
+        let end = (pos + step).min(bytes.len());
+        match dec.feed(&bytes[pos..end]) {
+            Ok(mut f) => frames.append(&mut f),
+            Err(_) => {
+                failed = true;
+                break;
+            }
+        }
+        pos = end;
+    }
+    let ok = !failed && dec.finish().is_ok() && (bytes.is_empty() || dec.is_done());
+    match (ok, oneshot) {
+        (true, Some(expect)) => {
+            let got: Vec<Vec<u8>> = frames.into_iter().map(|f| f.payload).collect();
+            assert_eq!(got, expect, "streamed and one-shot decode disagree on frame payloads");
+        }
+        (true, None) => panic!("streaming decoder accepted an envelope the one-shot parse rejects"),
+        (false, Some(_)) => {
+            panic!("streaming decoder rejected an envelope the one-shot parse accepts")
+        }
+        (false, None) => {}
+    }
+}
+
+/// Target 3: the product decode surface — registry auto-decompress (f32
+/// and f64) and the streaming-container decoder.
+pub fn target_registry_auto(bytes: &[u8]) {
+    let _ = registry().decompress_auto(bytes, 1);
+    let _ = registry().decompress_auto_f64(bytes, 1);
+    let _ = decode_stream(bytes);
+}
+
+/// Run the harness: `iters` mutations (spread round-robin over the
+/// corpus), stopping early after `max_seconds` if set. Returns the number
+/// of inputs executed.
+pub fn run(iters: u64, seed: u64, max_seconds: Option<f64>) -> u64 {
+    let corpus = seed_corpus();
+    let mut rng = Rng::new(seed);
+    let t0 = std::time::Instant::now();
+    let mut executed = 0u64;
+    for i in 0..iters {
+        if let Some(limit) = max_seconds {
+            if t0.elapsed().as_secs_f64() >= limit {
+                break;
+            }
+        }
+        let base = &corpus[(i as usize) % corpus.len()];
+        let input = mutate(base, &mut rng);
+        let _ = target_envelope_parse(&input);
+        target_stream_decode(&input, &mut rng);
+        target_registry_auto(&input);
+        executed += 1;
+    }
+    executed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: Vec<u64> = (0..8).map(|_| Rng::new(42).next_u64()).collect();
+        let mut r = Rng::new(42);
+        assert!(a.iter().all(|&v| v == a[0]));
+        let b: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_eq!(b.len(), 8);
+        assert!(b.windows(2).any(|w| w[0] != w[1]), "sequence must advance");
+    }
+
+    #[test]
+    fn corpus_is_nonempty_and_mostly_valid() {
+        let corpus = seed_corpus();
+        assert!(corpus.len() >= 10, "expected a rich corpus, got {}", corpus.len());
+        // The wire-wrapped members round-trip through target 1.
+        let wired = corpus.iter().filter(|c| c.starts_with(b"LCW1") && c.len() > 8).count();
+        assert!(wired >= 4, "expected several valid LCW1 seeds, got {wired}");
+    }
+
+    #[test]
+    fn unmutated_corpus_passes_every_target() {
+        let mut rng = Rng::new(7);
+        for input in seed_corpus() {
+            let _ = target_envelope_parse(&input);
+            target_stream_decode(&input, &mut rng);
+            target_registry_auto(&input);
+        }
+    }
+
+    /// Small-budget smoke pass — the per-PR gate.
+    #[test]
+    fn smoke_two_thousand_mutated_inputs() {
+        let executed = run(2_000, 0xC0FFEE, None);
+        assert_eq!(executed, 2_000);
+    }
+}

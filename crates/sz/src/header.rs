@@ -96,11 +96,15 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], SzError> {
-        if self.pos + n > self.buf.len() {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(SzError::Corrupt("section length overflows cursor"))?;
+        if end > self.buf.len() {
             return Err(SzError::Corrupt("unexpected end of stream"));
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -139,9 +143,17 @@ impl<'a> Reader<'a> {
     }
 
     /// Read a length-prefixed byte section.
+    ///
+    /// The claimed length is validated against the bytes actually remaining
+    /// *before* it is narrowed to `usize`, so a forged 2^40 length can
+    /// neither drive an oversized slice reservation on 64-bit targets nor
+    /// silently truncate on 32-bit ones.
     pub fn section(&mut self) -> Result<&'a [u8], SzError> {
-        let n = self.u64()? as usize;
-        self.take(n)
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(SzError::Corrupt("section length exceeds remaining input"));
+        }
+        self.take(n as usize)
     }
 
     /// Bytes remaining.
@@ -190,5 +202,29 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert!(r.section().is_err());
+    }
+
+    #[test]
+    fn forged_huge_section_length_is_rejected_before_narrowing() {
+        // Regression: a forged 2^40 section length used to be narrowed to
+        // `usize` with `as` before any bounds check. The claim must be
+        // validated as a u64 against the bytes actually remaining, so it
+        // can neither reserve an absurd slice on 64-bit targets nor wrap
+        // to a small in-bounds value on 32-bit ones.
+        for forged in [1u64 << 40, u64::MAX, usize::MAX as u64, (u32::MAX as u64) + 1] {
+            let mut w = Writer::new();
+            w.u64(forged);
+            w.bytes(&[0xAB; 32]); // far fewer bytes than claimed
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let err = r.section().expect_err("forged length must not parse");
+            assert!(
+                err.to_string().contains("section length exceeds remaining input"),
+                "{err}"
+            );
+            // The cursor did not advance past the length prefix, so the
+            // reader is still usable and no partial slice escaped.
+            assert_eq!(r.remaining(), 32);
+        }
     }
 }

@@ -114,7 +114,8 @@ impl SzConfig {
         self
     }
 
-    /// Builder-style quantizer radius override.
+    /// Builder-style quantizer radius override. Values are clamped to
+    /// `1..=Quantizer::MAX_RADIUS` at compression time.
     pub fn with_radius(mut self, radius: u32) -> Self {
         self.radius = radius;
         self

@@ -213,24 +213,41 @@ pub fn compress_chunked_pooled<T: Element>(
     }
 
     // ---- container ----
+    let labeled: Vec<(usize, usize, &[u8])> = ranges
+        .iter()
+        .zip(&chunks)
+        .map(|(&(a, b), bytes)| (a, b, bytes.as_slice()))
+        .collect();
+    let out = build_container(T::TYPE_TAG, dims, &labeled);
+    stats.output_bytes = out.len() as u64;
+    Ok(Compressed { bytes: out, stats })
+}
+
+/// Serialize a chunked SZLP container from already-compressed chunks.
+///
+/// This is the single writer for the SZLP byte layout: the chunked
+/// compressor and the LCW1 wire bridge (which re-emits a legacy container
+/// from envelope frames) both go through it, so the two can never drift.
+/// Inverse of [`parse_chunked`] — `build_container` over a parsed
+/// container's chunks reproduces the input bytes exactly.
+pub fn build_container(type_tag: u8, dims: &[usize], chunks: &[(usize, usize, &[u8])]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&CHUNKED_MAGIC);
-    out.push(T::TYPE_TAG);
+    out.push(type_tag);
     out.push(dims.len() as u8);
     for &d in dims {
         out.extend_from_slice(&(d as u64).to_le_bytes());
     }
-    out.extend_from_slice(&(ranges.len() as u32).to_le_bytes());
-    for ((a, b), bytes) in ranges.iter().zip(&chunks) {
-        out.extend_from_slice(&(*a as u64).to_le_bytes());
-        out.extend_from_slice(&(*b as u64).to_le_bytes());
+    out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+    for &(a, b, bytes) in chunks {
+        out.extend_from_slice(&(a as u64).to_le_bytes());
+        out.extend_from_slice(&(b as u64).to_le_bytes());
         out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
     }
-    for bytes in &chunks {
+    for &(_, _, bytes) in chunks {
         out.extend_from_slice(bytes);
     }
-    stats.output_bytes = out.len() as u64;
-    Ok(Compressed { bytes: out, stats })
+    out
 }
 
 /// Parsed chunked-container header: dims plus each chunk's slow-dimension
@@ -250,11 +267,14 @@ pub struct ChunkedInfo<'a> {
 pub fn parse_chunked(stream: &[u8]) -> Result<ChunkedInfo<'_>, SzError> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Result<&[u8], SzError> {
-        if *pos + n > stream.len() {
+        // checked_add: a forged chunk length near usize::MAX must not wrap
+        // the bounds check in release builds.
+        let end = pos.checked_add(n).ok_or(SzError::Corrupt("length overflows cursor"))?;
+        if end > stream.len() {
             return Err(SzError::Corrupt("unexpected end of stream"));
         }
-        let s = &stream[*pos..*pos + n];
-        *pos += n;
+        let s = &stream[*pos..end];
+        *pos = end;
         Ok(s)
     };
     if take(&mut pos, 4)? != CHUNKED_MAGIC {

@@ -447,7 +447,12 @@ pub fn compress_typed_with<T: Element>(
 ) -> Result<Compressed, SzError> {
     let g = geometry(dims, data.len())?;
     let eb = resolve_eb(data, cfg.error_bound)?;
-    let q = Quantizer::new(eb, cfg.radius);
+    // The radius lands in the stream header and drives the decoder's
+    // alphabet allocation, so it must respect the same cap the decoder
+    // enforces. Clamping (rather than erroring) is sound: the radius is a
+    // quality/speed knob, and out-of-range residuals fall back to exact
+    // literals either way, so the error bound still holds.
+    let q = Quantizer::new(eb, cfg.radius.clamp(1, Quantizer::MAX_RADIUS));
     let block_mode = matches!(cfg.mode, PredictorMode::BlockAdaptive) && g.rank >= 2;
 
     s.symbols.clear();
@@ -550,7 +555,7 @@ pub fn compress_typed_with<T: Element>(
     p.u8(if block_mode { 1 } else { 0 });
     p.u8(cfg.lorenzo_order);
     p.f64(eb);
-    p.u32(cfg.radius);
+    p.u32(q.radius());
     p.u64(data.len() as u64);
     // Huffman table: dense u8 code lengths over the occupied symbol range.
     // Quantization codes cluster tightly around the zero bin, so the range
@@ -700,7 +705,11 @@ pub fn decompress_typed_with<T: Element>(
         return Err(SzError::Corrupt("element count exceeds payload"));
     }
     let g = geometry(&dims, n)?;
-    if eb <= 0.0 || !eb.is_finite() || radius == 0 {
+    // The radius sizes the decode alphabet (`2·radius + 1` code lengths
+    // plus several full scans building the Huffman decoder), so a forged
+    // header must not be able to demand gigabytes of table work. The cap
+    // matches the encoder's clamp — no legitimate stream can exceed it.
+    if eb <= 0.0 || !eb.is_finite() || radius == 0 || radius > Quantizer::MAX_RADIUS {
         return Err(SzError::Corrupt("bad quantizer params"));
     }
     let q = Quantizer::new(eb, radius);
@@ -965,6 +974,51 @@ mod tests {
         assert_eq!(decompress(&f64_stream.bytes).unwrap_err(), SzError::TypeMismatch);
         assert_eq!(stream_type_tag(&f32_stream.bytes).unwrap(), 0);
         assert_eq!(stream_type_tag(&f64_stream.bytes).unwrap(), 1);
+    }
+
+    #[test]
+    fn forged_huge_radius_is_rejected_cheaply() {
+        // The radius field sizes the decode alphabet; a forged value near
+        // u32::MAX must be a cheap typed error, not gigabytes of Huffman
+        // table setup. Lossless off keeps the payload raw so the field
+        // sits at a fixed offset: magic(4) + flags(1) + body_len(8) +
+        // tag(1) + rank(1) + dim(8) + block_mode(1) + order(1) + eb(8).
+        let data: Vec<f32> = (0..256).map(|i| (i as f32 * 0.03).sin()).collect();
+        let cfg = SzConfig::new(ErrorBound::Absolute(1e-3)).with_radius(4).with_lossless(false);
+        let out = compress(&data, &[256], &cfg).expect("compress");
+        const RADIUS_OFF: usize = 4 + 1 + 8 + 1 + 1 + 8 + 1 + 1 + 8;
+        assert_eq!(&out.bytes[RADIUS_OFF..RADIUS_OFF + 4], &4u32.to_le_bytes());
+        for forged in [u32::MAX, 1 << 31, Quantizer::MAX_RADIUS + 1] {
+            let mut bad = out.bytes.clone();
+            bad[RADIUS_OFF..RADIUS_OFF + 4].copy_from_slice(&forged.to_le_bytes());
+            assert_eq!(
+                decompress(&bad).unwrap_err(),
+                SzError::Corrupt("bad quantizer params"),
+                "radius {forged}"
+            );
+        }
+        // The cap itself still decodes.
+        let mut capped = out.bytes.clone();
+        capped[RADIUS_OFF..RADIUS_OFF + 4]
+            .copy_from_slice(&Quantizer::MAX_RADIUS.to_le_bytes());
+        // (symbols were coded against radius 4, so decode may reject the
+        // table — the point is it must not be rejected for the radius.)
+        if let Err(e) = decompress(&capped) {
+            assert_ne!(e, SzError::Corrupt("bad quantizer params"));
+        }
+    }
+
+    #[test]
+    fn oversized_configured_radius_is_clamped_not_fatal() {
+        // An out-of-range config radius clamps to MAX_RADIUS and the
+        // stream still round-trips within the bound.
+        let data: Vec<f32> = (0..512).map(|i| (i as f32 * 0.01).cos() * 3.0).collect();
+        let cfg = SzConfig::new(ErrorBound::Absolute(1e-3)).with_radius(u32::MAX);
+        let out = compress(&data, &[512], &cfg).expect("compress clamps the radius");
+        let (rec, _) = decompress(&out.bytes).expect("decompress");
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((a - b).abs() <= 1e-3 + 1e-6);
+        }
     }
 
     #[test]

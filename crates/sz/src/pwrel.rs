@@ -64,13 +64,12 @@ pub fn compress_pointwise_rel<T: Element>(
     let inner_cfg = SzConfig { error_bound: ErrorBound::Absolute(eb_log), ..*cfg };
     let inner = compress_typed::<f64>(&logs, dims, &inner_cfg)?;
 
-    let mut out = Writer::new();
-    out.bytes(&PWREL_MAGIC);
-    out.u8(T::TYPE_TAG);
-    out.f64(r);
-    out.section(&signs.into_bytes());
-    out.section(&inner.bytes);
-    let bytes = out.into_bytes();
+    let bytes = build_pointwise_rel(&PwrelParts {
+        type_tag: T::TYPE_TAG,
+        r,
+        signs: &signs.into_bytes(),
+        inner: &inner.bytes,
+    });
     let stats = CompressionStats {
         input_bytes: (data.len() * T::BYTES) as u64,
         output_bytes: bytes.len() as u64,
@@ -79,22 +78,61 @@ pub fn compress_pointwise_rel<T: Element>(
     Ok(Compressed { bytes, stats })
 }
 
+/// Parsed SZPR wrapper fields, without decoding the inner log-domain
+/// stream. Shared by the decompressor and the LCW1 wire bridge.
+#[derive(Debug, Clone, Copy)]
+pub struct PwrelParts<'a> {
+    /// Element type tag of the original data (matches [`Element::TYPE_TAG`]).
+    pub type_tag: u8,
+    /// Pointwise-relative bound recorded at compression time (raw bits
+    /// preserved on rebuild; the decoder does not consume it).
+    pub r: f64,
+    /// Sign bitmap, one bit per element.
+    pub signs: &'a [u8],
+    /// Inner `f64` log-domain SZ stream.
+    pub inner: &'a [u8],
+}
+
+/// Parse and validate an SZPR wrapper without decoding the inner stream.
+pub fn parse_pointwise_rel(stream: &[u8]) -> Result<PwrelParts<'_>, SzError> {
+    let mut rd = Reader::new(stream);
+    if rd.bytes(4)? != PWREL_MAGIC {
+        return Err(SzError::Corrupt("bad pwrel magic"));
+    }
+    let type_tag = rd.u8()?;
+    let r = rd.f64()?;
+    let signs = rd.section()?;
+    let inner = rd.section()?;
+    if rd.remaining() != 0 {
+        return Err(SzError::Corrupt("trailing bytes after pwrel sections"));
+    }
+    Ok(PwrelParts { type_tag, r, signs, inner })
+}
+
+/// Serialize an SZPR wrapper. Single writer for the layout — the
+/// compressor and the LCW1 wire bridge both go through it, and it is the
+/// exact inverse of [`parse_pointwise_rel`] (bit-preserving, including a
+/// non-canonical `r`).
+pub fn build_pointwise_rel(parts: &PwrelParts<'_>) -> Vec<u8> {
+    let mut out = Writer::new();
+    out.bytes(&PWREL_MAGIC);
+    out.u8(parts.type_tag);
+    out.f64(parts.r);
+    out.section(parts.signs);
+    out.section(parts.inner);
+    out.into_bytes()
+}
+
 /// Decompress a pointwise-relative stream.
 pub fn decompress_pointwise_rel<T: Element>(
     stream: &[u8],
 ) -> Result<(Vec<T>, Vec<usize>), SzError> {
-    let mut r = Reader::new(stream);
-    if r.bytes(4)? != PWREL_MAGIC {
-        return Err(SzError::Corrupt("bad pwrel magic"));
-    }
-    let tag = r.u8()?;
-    if tag != T::TYPE_TAG {
+    let parts = parse_pointwise_rel(stream)?;
+    if parts.type_tag != T::TYPE_TAG {
         return Err(SzError::TypeMismatch);
     }
-    let _rel = r.f64()?;
-    let sign_bytes = r.section()?;
-    let inner_stream = r.section()?;
-    let (logs, dims) = decompress_typed::<f64>(inner_stream)?;
+    let sign_bytes = parts.signs;
+    let (logs, dims) = decompress_typed::<f64>(parts.inner)?;
     if logs.len() > sign_bytes.len().saturating_mul(8) {
         return Err(SzError::Corrupt("sign bitmap too short"));
     }

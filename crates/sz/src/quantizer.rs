@@ -58,10 +58,19 @@ impl Quantizer {
     /// virtually every predictable residual).
     pub const DEFAULT_RADIUS: u32 = 32768;
 
-    /// Create a quantizer. `eb` must be positive and finite.
+    /// Largest accepted bin radius. The decoder's Huffman table and its
+    /// setup scans are O(2·radius), so the radius recorded in a stream
+    /// header must be bounded independent of what the header claims — an
+    /// unchecked value near `u32::MAX` costs gigabytes of allocation and
+    /// minutes of table scans per chunk. 32× the default leaves ample
+    /// headroom for custom configs while keeping that work trivial.
+    pub const MAX_RADIUS: u32 = 1 << 20;
+
+    /// Create a quantizer. `eb` must be positive and finite; `radius`
+    /// must be in `1..=MAX_RADIUS`.
     pub fn new(eb: f64, radius: u32) -> Self {
         assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
-        assert!(radius >= 1);
+        assert!((1..=Self::MAX_RADIUS).contains(&radius));
         Quantizer { eb, radius, twoeb: 2.0 * eb, radm: radius as f64 - 0.5 }
     }
 

@@ -113,24 +113,124 @@ pub fn compress_chunked<T: ZfpElement>(
     }
 
     // ---- container ----
+    let labeled: Vec<(usize, usize, &[u8])> = ranges
+        .iter()
+        .zip(&chunks)
+        .map(|(&(a, b), bytes)| (a, b, bytes.as_slice()))
+        .collect();
+    let out = build_container(T::TYPE_TAG, dims, &labeled);
+    stats.output_bytes = out.len() as u64;
+    Ok(ZfpCompressed { bytes: out, stats })
+}
+
+/// Serialize a chunked ZFLP container from already-compressed chunks.
+///
+/// Single writer for the ZFLP byte layout, shared by the chunked
+/// compressor and the LCW1 wire bridge; exact inverse of
+/// [`parse_chunked`].
+pub fn build_container(type_tag: u8, dims: &[usize], chunks: &[(usize, usize, &[u8])]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&CHUNKED_MAGIC);
-    out.push(T::TYPE_TAG);
+    out.push(type_tag);
     out.push(dims.len() as u8);
     for &d in dims {
         out.extend_from_slice(&(d as u64).to_le_bytes());
     }
-    out.extend_from_slice(&(ranges.len() as u32).to_le_bytes());
-    for ((a, b), bytes) in ranges.iter().zip(&chunks) {
-        out.extend_from_slice(&(*a as u64).to_le_bytes());
-        out.extend_from_slice(&(*b as u64).to_le_bytes());
+    out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+    for &(a, b, bytes) in chunks {
+        out.extend_from_slice(&(a as u64).to_le_bytes());
+        out.extend_from_slice(&(b as u64).to_le_bytes());
         out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
     }
-    for bytes in &chunks {
+    for &(_, _, bytes) in chunks {
         out.extend_from_slice(bytes);
     }
-    stats.output_bytes = out.len() as u64;
-    Ok(ZfpCompressed { bytes: out, stats })
+    out
+}
+
+/// Parsed chunked-container header: dims plus each chunk's slow-dimension
+/// range and its standalone ZFP stream.
+#[derive(Debug)]
+pub struct ChunkedInfo<'a> {
+    /// Element type tag (matches [`ZfpElement::TYPE_TAG`]).
+    pub type_tag: u8,
+    /// Full-array dimensions, slowest first.
+    pub dims: Vec<usize>,
+    /// Per chunk: `(slow_start, slow_end, standalone ZFP stream)`.
+    pub chunks: Vec<(usize, usize, &'a [u8])>,
+}
+
+/// Parse and validate a chunked container without decoding any chunk.
+///
+/// Every length and range is validated here — contiguous block-aligned
+/// coverage of the slow dimension, no trailing bytes, and the 512×
+/// element-capacity guard (a ZFP stream spends at least one bit per block
+/// and a block covers at most 64 elements, so a header claiming more than
+/// 512 elements per payload byte is forged) — so callers never size an
+/// allocation from an unvalidated header field.
+pub fn parse_chunked(stream: &[u8]) -> Result<ChunkedInfo<'_>, ZfpError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], ZfpError> {
+        // checked_add: a forged chunk length near usize::MAX must not wrap
+        // the bounds check in release builds.
+        let end = pos.checked_add(n).ok_or(ZfpError::Corrupt("length overflows cursor"))?;
+        if end > stream.len() {
+            return Err(ZfpError::Corrupt("unexpected end of stream"));
+        }
+        let s = &stream[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != CHUNKED_MAGIC {
+        return Err(ZfpError::Corrupt("bad chunked magic"));
+    }
+    let type_tag = take(&mut pos, 1)?[0];
+    let rank = take(&mut pos, 1)?[0] as usize;
+    if rank == 0 || rank > 4 {
+        return Err(ZfpError::Corrupt("bad rank"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize);
+    }
+    if dims.contains(&0) {
+        return Err(ZfpError::Corrupt("zero dimension"));
+    }
+    let n = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or(ZfpError::Corrupt("dims overflow"))?;
+    let n_chunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    if n_chunks == 0 || n_chunks > dims[0].div_ceil(SIDE).max(1) {
+        return Err(ZfpError::Corrupt("bad chunk count"));
+    }
+    let mut meta = Vec::with_capacity(n_chunks);
+    let mut prev_end = 0usize;
+    for _ in 0..n_chunks {
+        let a = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+        let b = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+        let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
+        if a >= b || b > dims[0] || a != prev_end {
+            return Err(ZfpError::Corrupt("bad chunk range"));
+        }
+        prev_end = b;
+        meta.push((a, b, len));
+    }
+    if prev_end != dims[0] {
+        return Err(ZfpError::Corrupt("chunks do not cover the array"));
+    }
+    let mut chunks = Vec::with_capacity(n_chunks);
+    for (a, b, len) in meta {
+        chunks.push((a, b, take(&mut pos, len)?));
+    }
+    if pos != stream.len() {
+        return Err(ZfpError::Corrupt("trailing bytes after chunks"));
+    }
+    let payload_bytes: usize = chunks.iter().map(|&(_, _, c)| c.len()).sum();
+    if n > payload_bytes.saturating_mul(512) {
+        return Err(ZfpError::Corrupt("dims exceed payload capacity"));
+    }
+    Ok(ChunkedInfo { type_tag, dims, chunks })
 }
 
 /// Decompress a chunked stream using up to `threads` workers.
@@ -144,70 +244,27 @@ pub fn decompress_chunked<T: ZfpElement>(
     stream: &[u8],
     threads: usize,
 ) -> Result<(Vec<T>, Vec<usize>), ZfpError> {
-    let mut pos = 0usize;
-    let take = |pos: &mut usize, n: usize| -> Result<&[u8], ZfpError> {
-        if *pos + n > stream.len() {
-            return Err(ZfpError::Corrupt("unexpected end of stream"));
-        }
-        let s = &stream[*pos..*pos + n];
-        *pos += n;
-        Ok(s)
-    };
-    if take(&mut pos, 4)? != CHUNKED_MAGIC {
-        return Err(ZfpError::Corrupt("bad chunked magic"));
-    }
-    if take(&mut pos, 1)?[0] != T::TYPE_TAG {
+    let info = parse_chunked(stream)?;
+    if info.type_tag != T::TYPE_TAG {
         return Err(ZfpError::TypeMismatch);
     }
-    let rank = take(&mut pos, 1)?[0] as usize;
-    if rank == 0 || rank > 4 {
-        return Err(ZfpError::Corrupt("bad rank"));
-    }
-    let mut dims = Vec::with_capacity(rank);
-    for _ in 0..rank {
-        dims.push(u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize);
-    }
+    let dims = info.dims;
     let n = dims
         .iter()
         .try_fold(1usize, |acc, &d| acc.checked_mul(d))
         .ok_or(ZfpError::Corrupt("dims overflow"))?;
-    let n_chunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
-    if n_chunks == 0 || n_chunks > dims[0].div_ceil(SIDE).max(1) {
-        return Err(ZfpError::Corrupt("bad chunk count"));
-    }
-    let mut meta = Vec::with_capacity(n_chunks);
-    for _ in 0..n_chunks {
-        let a = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
-        let b = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
-        let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes")) as usize;
-        if a >= b || b > dims[0] {
-            return Err(ZfpError::Corrupt("bad chunk range"));
-        }
-        meta.push((a, b, len));
-    }
     let row: usize = dims[1..].iter().product::<usize>().max(1);
-    // Slice out the per-chunk streams.
-    let mut chunk_streams = Vec::with_capacity(n_chunks);
-    for &(_, _, len) in &meta {
-        chunk_streams.push(take(&mut pos, len)?);
-    }
 
-    // A stream spends at least one bit per block and each block covers at
-    // most 64 elements, so the element count claimed by the header cannot
-    // exceed 512× the payload bytes actually present. Rejecting here keeps
-    // a forged header from driving a huge output allocation.
-    let payload_bytes: usize = chunk_streams.iter().map(|c| c.len()).sum();
-    if n > payload_bytes.saturating_mul(512) {
-        return Err(ZfpError::Corrupt("dims exceed payload capacity"));
-    }
-
-    // Carve the output into disjoint slices matching the chunk ranges.
+    // Carve the output into disjoint slices matching the chunk ranges
+    // (parse_chunked proved the ranges contiguous and the claimed element
+    // count within the payload's 512× capacity, so `n` is safe to
+    // allocate).
     let mut out: Vec<T> = vec![T::from_f64(0.0); n];
     {
         let mut rest: &mut [T] = &mut out;
         let mut offset = 0usize;
         let mut jobs: Vec<ChunkJob<'_, T>> = Vec::new();
-        for (i, &(a, b, _)) in meta.iter().enumerate() {
+        for (i, &(a, b, chunk)) in info.chunks.iter().enumerate() {
             let start = a * row;
             let end = b * row;
             if start != offset || end > n {
@@ -216,7 +273,7 @@ pub fn decompress_chunked<T: ZfpElement>(
             let (head, tail) = rest.split_at_mut(end - offset);
             rest = tail;
             offset = end;
-            jobs.push((head, i, chunk_streams[i], a, b));
+            jobs.push((head, i, chunk, a, b));
         }
         if offset != n {
             return Err(ZfpError::Corrupt("chunks do not cover the array"));

@@ -25,8 +25,8 @@
 //! tune       -i sweep.json
 //! dump       [--gb 512]
 //! pipeline   --codec sz|zfp --eb 1e-3 [--threads N] [--queue-depth D]
-//!            [--writers W] [--chunk-elems N] -i in.lcpf -o out.lcs
-//! restart    [--queue-depth D] [--readers R] [--workers W]
+//!            [--writers W] [--chunk-elems N] [--wire] -i in.lcpf -o out.lcs
+//! restart    [--queue-depth D] [--readers R] [--workers W] [--streamed]
 //!            -i in.lcs -o restored.lcpf
 //! ```
 //!
@@ -178,13 +178,16 @@ pub enum Command {
         writers: usize,
         /// Elements per chunk.
         chunk_elems: usize,
+        /// Emit the `LCW1` wire envelope instead of the legacy `LCS1`
+        /// header (`--wire`).
+        wire: bool,
         /// Input field file.
         input: PathBuf,
-        /// Output streaming container (`LCS1`).
+        /// Output streaming container (`LCS1` legacy or `LCW1` wire).
         output: PathBuf,
     },
-    /// Restart: stream an `LCS1` container back through the overlapped
-    /// read→decompress pipeline into a field file.
+    /// Restart: stream an `LCS1`/`LCW1` container back through the
+    /// overlapped read→decompress pipeline into a field file.
     Restart {
         /// Bounded prefetch-queue depth between read and decode (≥ 1).
         queue_depth: usize,
@@ -192,7 +195,10 @@ pub enum Command {
         readers: usize,
         /// Decode workers draining the prefetch queue (0 = all cores).
         workers: usize,
-        /// Input streaming container (`LCS1`).
+        /// Decode incrementally from a forward-only read of the file
+        /// (`--streamed`) instead of positioned frame reads.
+        streamed: bool,
+        /// Input streaming container (`LCS1` legacy or `LCW1` wire).
         input: PathBuf,
         /// Destination field file.
         output: PathBuf,
@@ -215,7 +221,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         }
         let key = a.trim_start_matches('-').to_string();
         // Boolean flags take no value.
-        if matches!(key.as_str(), "rel" | "pwrel") {
+        if matches!(key.as_str(), "rel" | "pwrel" | "wire" | "streamed") {
             map.insert(key, "true".to_string());
             i += 1;
             continue;
@@ -372,6 +378,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 m.get("chunk-elems").map(String::as_str).unwrap_or("262144"),
                 "chunk-elems",
             )?,
+            wire: m.contains_key("wire"),
             input: PathBuf::from(req(&m, &["i", "input"])?),
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
@@ -382,6 +389,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             )?,
             readers: parse_nonzero(m.get("readers").map(String::as_str).unwrap_or("1"), "readers")?,
             workers: parse_threads(m.get("workers").map(String::as_str).unwrap_or("0"))?,
+            streamed: m.contains_key("streamed"),
             input: PathBuf::from(req(&m, &["i", "input"])?),
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
@@ -619,7 +627,17 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 summary.mean_savings * 100.0
             )?;
         }
-        Command::Pipeline { codec, eb, threads, queue_depth, writers, chunk_elems, input, output } => {
+        Command::Pipeline {
+            codec,
+            eb,
+            threads,
+            queue_depth,
+            writers,
+            chunk_elems,
+            wire,
+            input,
+            output,
+        } => {
             let (data, _dims) = read_field(&input)?;
             let compressor = match codec.as_str() {
                 "sz" => lcpio_core::Compressor::Sz,
@@ -638,6 +656,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 queue_depth,
                 writers,
                 compress_threads: threads,
+                wire_format: wire,
                 ..lcpio_core::pipeline::PipelineConfig::default()
             };
             // The sink writes to `<output>.part` and renames only on
@@ -657,17 +676,24 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 outcome.wall_s
             )?;
         }
-        Command::Restart { queue_depth, readers, workers, input, output } => {
-            let source = lcpio_core::pipeline::FileSource::open(&input)
-                .map_err(|e| CliError::Codec(format!("{}: {e}", input.display())))?;
+        Command::Restart { queue_depth, readers, workers, streamed, input, output } => {
             let cfg = lcpio_core::pipeline::RestartConfig {
                 queue_depth,
                 readers,
                 workers,
                 ..lcpio_core::pipeline::RestartConfig::default()
             };
-            let (data, outcome) = lcpio_core::pipeline::run_restart(&source, &cfg)
-                .map_err(|e| CliError::Codec(e.to_string()))?;
+            let (data, outcome) = if streamed {
+                let mut file = std::fs::File::open(&input)
+                    .map_err(|e| CliError::Codec(format!("{}: {e}", input.display())))?;
+                lcpio_core::pipeline::run_restart_streamed(&mut file, &cfg)
+                    .map_err(|e| CliError::Codec(e.to_string()))?
+            } else {
+                let source = lcpio_core::pipeline::FileSource::open(&input)
+                    .map_err(|e| CliError::Codec(format!("{}: {e}", input.display())))?;
+                lcpio_core::pipeline::run_restart(&source, &cfg)
+                    .map_err(|e| CliError::Codec(e.to_string()))?
+            };
             let n = data.len();
             write_field(&output, &data, &[n])?;
             writeln!(
@@ -683,6 +709,13 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 outcome.decode_retries,
                 outcome.wall_s
             )?;
+            if streamed {
+                writeln!(
+                    out,
+                    "streamed decode peak buffering: {} bytes",
+                    outcome.peak_buffered_bytes
+                )?;
+            }
         }
     }
     Ok(())
@@ -721,13 +754,27 @@ fn known_containers() -> String {
     registry().list().iter().map(|(_, i)| i.magic_str()).collect::<Vec<_>>().join(", ")
 }
 
+/// True if `bytes` are a streaming pipeline container in either its
+/// legacy `LCS1` form or wrapped in an `LCW1` envelope whose container
+/// id is `LCS1`.
+fn is_stream_container(bytes: &[u8]) -> bool {
+    if bytes.len() >= 4 && bytes[..4] == lcpio_core::pipeline::STREAM_MAGIC {
+        return true;
+    }
+    lcpio_wire::Envelope::sniff(bytes)
+        && lcpio_wire::Envelope::parse(bytes)
+            .map(|env| env.container == lcpio_core::pipeline::STREAM_MAGIC)
+            .unwrap_or(false)
+}
+
 /// Decode a compressed buffer whose codec is identified by its magic.
 ///
-/// `LCS1` streaming containers are decoded by the pipeline module (their
-/// frames, in turn, go through the registry); everything else resolves
-/// directly through the registry's magic sniffing.
+/// `LCS1` streaming containers (legacy or `LCW1`-wrapped) are decoded by
+/// the pipeline module (their frames, in turn, go through the registry);
+/// everything else resolves directly through the registry's magic
+/// sniffing, which unwraps codec-container `LCW1` envelopes itself.
 fn decode_any(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), CliError> {
-    if bytes.len() >= 4 && bytes[..4] == lcpio_core::pipeline::STREAM_MAGIC {
+    if is_stream_container(bytes) {
         let data = lcpio_core::pipeline::decode_stream(bytes)
             .map_err(|e| CliError::Codec(e.to_string()))?;
         let n = data.len();
@@ -761,7 +808,11 @@ fn describe(bytes: &[u8]) -> String {
         "raw field container"
     } else if bytes[..4] == lcpio_core::pipeline::STREAM_MAGIC {
         "streaming pipeline container (LCS1)"
+    } else if is_stream_container(bytes) {
+        "LCW1 wire envelope (LCS1 streaming container)"
     } else {
+        // Codec containers, including their `LCW1`-wrapped form: the
+        // registry resolves a wire envelope to its inner codec.
         registry().describe(bytes).unwrap_or("unrecognized")
     };
     format!("{kind}, {} bytes", bytes.len())
@@ -1084,26 +1135,29 @@ mod tests {
     fn parse_pipeline_with_defaults_and_knobs() {
         let c = parse(&argv("pipeline --codec sz -i a -o b")).expect("parse");
         match c {
-            Command::Pipeline { codec, eb, threads, queue_depth, writers, chunk_elems, .. } => {
+            Command::Pipeline { codec, eb, threads, queue_depth, writers, chunk_elems, wire, .. } => {
                 assert_eq!(codec, "sz");
                 assert_eq!(eb, 1e-3);
                 assert_eq!(threads, 0);
                 assert_eq!(queue_depth, 4);
                 assert_eq!(writers, 1);
                 assert_eq!(chunk_elems, 262144);
+                assert!(!wire, "legacy LCS1 output is the default");
             }
             other => panic!("wrong command {other:?}"),
         }
         let c = parse(&argv(
-            "pipeline --codec zfp --eb 1e-2 --queue-depth 2 --writers 3 --chunk-elems 4096 -i a -o b",
+            "pipeline --codec zfp --eb 1e-2 --queue-depth 2 --writers 3 --chunk-elems 4096 \
+             --wire -i a -o b",
         ))
         .expect("parse");
         match c {
-            Command::Pipeline { codec, queue_depth, writers, chunk_elems, .. } => {
+            Command::Pipeline { codec, queue_depth, writers, chunk_elems, wire, .. } => {
                 assert_eq!(codec, "zfp");
                 assert_eq!(queue_depth, 2);
                 assert_eq!(writers, 3);
                 assert_eq!(chunk_elems, 4096);
+                assert!(wire, "--wire is a boolean flag");
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -1180,15 +1234,18 @@ mod tests {
                 queue_depth: 4,
                 readers: 1,
                 workers: 0,
+                streamed: false,
                 input: PathBuf::from("a"),
                 output: PathBuf::from("b"),
             }
         );
-        let c = parse(&argv("restart --queue-depth 2 --readers 2 --workers 3 -i a -o b"))
-            .expect("parse");
+        let c =
+            parse(&argv("restart --queue-depth 2 --readers 2 --workers 3 --streamed -i a -o b"))
+                .expect("parse");
         match c {
-            Command::Restart { queue_depth, readers, workers, .. } => {
+            Command::Restart { queue_depth, readers, workers, streamed, .. } => {
                 assert_eq!((queue_depth, readers, workers), (2, 2, 3));
+                assert!(streamed, "--streamed is a boolean flag");
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -1258,6 +1315,89 @@ mod tests {
         }
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.contains("restarted"), "{text}");
+    }
+
+    #[test]
+    fn wire_pipeline_streamed_restart_round_trip() {
+        // `--wire` emits an LCW1 envelope; info/decompress/restart (both
+        // positioned and `--streamed`) must all accept it and agree with
+        // the legacy-format decode of the same data.
+        let field = tmp("wire.lcpf");
+        let legacy = tmp("wire-legacy.lcs");
+        let wired = tmp("wire.lcw");
+        let legacy_back = tmp("wire-legacy-back.lcpf");
+        let wired_back = tmp("wire-back.lcpf");
+        let streamed_back = tmp("wire-streamed-back.lcpf");
+        let mut out = Vec::new();
+        run(
+            parse(&argv(&format!(
+                "gen --dataset nyx --scale 65536 --seed 17 -o {}",
+                field.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("gen");
+        for (flags, path) in [("", &legacy), ("--wire ", &wired)] {
+            run(
+                parse(&argv(&format!(
+                    "pipeline --codec sz --eb 1e-2 --chunk-elems 2048 {flags}-i {} -o {}",
+                    field.display(),
+                    path.display()
+                )))
+                .expect("parse"),
+                &mut out,
+            )
+            .expect("pipeline");
+        }
+        let wired_bytes = std::fs::read(&wired).expect("read wire stream");
+        assert_eq!(&wired_bytes[..4], b"LCW1");
+        let mut info_out = Vec::new();
+        run(parse(&argv(&format!("info -i {}", wired.display()))).expect("parse"), &mut info_out)
+            .expect("info");
+        let info_text = String::from_utf8(info_out).expect("utf8");
+        assert!(info_text.contains("LCW1 wire envelope (LCS1 streaming container)"), "{info_text}");
+        run(
+            parse(&argv(&format!(
+                "decompress -i {} -o {}",
+                legacy.display(),
+                legacy_back.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("decompress legacy");
+        run(
+            parse(&argv(&format!(
+                "restart --queue-depth 2 --workers 2 -i {} -o {}",
+                wired.display(),
+                wired_back.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("restart wire");
+        run(
+            parse(&argv(&format!(
+                "restart --streamed --queue-depth 2 --workers 2 -i {} -o {}",
+                wired.display(),
+                streamed_back.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("streamed restart wire");
+        let (legacy_vals, _) = read_field(&legacy_back).expect("read");
+        let (wired_vals, _) = read_field(&wired_back).expect("read");
+        let (streamed_vals, _) = read_field(&streamed_back).expect("read");
+        assert_eq!(legacy_vals.len(), wired_vals.len());
+        assert_eq!(legacy_vals.len(), streamed_vals.len());
+        for ((a, b), c) in legacy_vals.iter().zip(&wired_vals).zip(&streamed_vals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("peak buffering"), "{text}");
     }
 
     #[test]

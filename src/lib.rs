@@ -50,6 +50,7 @@ pub use lcpio_datagen as datagen;
 pub use lcpio_fit as fit;
 pub use lcpio_powersim as powersim;
 pub use lcpio_sz as sz;
+pub use lcpio_wire as wire;
 pub use lcpio_zfp as zfp;
 
 /// Convenience re-exports of the most commonly used types.

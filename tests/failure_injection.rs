@@ -41,53 +41,125 @@ fn zfp_chunked_stream() -> Vec<u8> {
     fixture("zfp", BoundSpec::Absolute(1e-3), 2)
 }
 
+/// An `LCS1` streaming-pipeline container, legacy or `LCW1`-framed.
+fn lcs_stream(wire: bool) -> Vec<u8> {
+    let data: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin() * 10.0).collect();
+    let cfg = lcpio::core::pipeline::PipelineConfig {
+        chunk_elements: 512,
+        wire_format: wire,
+        ..lcpio::core::pipeline::PipelineConfig::default()
+    };
+    let mut sink = lcpio::core::pipeline::VecSink::default();
+    lcpio::core::pipeline::run_sequential(&data, &cfg, &mut sink).expect("pipeline");
+    sink.bytes
+}
+
+/// How a container must behave when cut mid-stream.
+enum Truncation {
+    /// Every strict prefix is invalid (lengths are cross-checked against
+    /// the bytes present), so every cut must yield a typed error.
+    Strict,
+    /// The payload is self-terminating, so a cut past the terminator can
+    /// still decode; the only requirement is "no panic, no hang".
+    Lenient,
+}
+
+/// Shared cut-at-every-offset harness: decode every strict prefix of
+/// `stream` and check the container's truncation contract.
+fn assert_survives_every_truncation<T, E: std::fmt::Debug>(
+    label: &str,
+    stream: &[u8],
+    mode: Truncation,
+    decode: impl Fn(&[u8]) -> Result<T, E>,
+) {
+    for len in 0..stream.len() {
+        let res = decode(&stream[..len]);
+        if matches!(mode, Truncation::Strict) {
+            assert!(
+                res.is_err(),
+                "{label}: prefix of {len}/{} bytes decoded instead of erroring",
+                stream.len()
+            );
+        }
+        // In both modes, reaching the next iteration means no panic.
+        drop(res);
+    }
+}
+
 #[test]
 fn sz_survives_every_truncation_length() {
-    let stream = sz_stream();
-    for len in 0..stream.len() {
-        // Any prefix must fail cleanly (or, for lengths past the payload
-        // terminator, decode) — never panic.
-        let _ = sz::decompress(&stream[..len]);
-    }
+    // Any prefix must fail cleanly (or, for lengths past the payload
+    // terminator, decode) — never panic.
+    assert_survives_every_truncation("SZL1", &sz_stream(), Truncation::Lenient, |s| {
+        sz::decompress(s)
+    });
 }
 
 #[test]
 fn sz_chunked_survives_every_truncation_length() {
-    let stream = sz_chunked_stream();
-    for len in 0..stream.len() {
-        // A strict prefix can never be a valid container (the chunk table
-        // and payload lengths must line up exactly), so every truncation
-        // must fail cleanly — never panic.
-        assert!(sz::decompress_chunked::<f32>(&stream[..len], 1).is_err());
-    }
+    // A strict prefix can never be a valid container (the chunk table and
+    // payload lengths must line up exactly).
+    assert_survives_every_truncation("SZLP", &sz_chunked_stream(), Truncation::Strict, |s| {
+        sz::decompress_chunked::<f32>(s, 1)
+    });
 }
 
 #[test]
 fn sz_pwrel_survives_every_truncation_length() {
-    let stream = sz_pwrel_stream();
-    for len in 0..stream.len() {
-        // The header, sign-bitmap section, and inner SZ stream are all
-        // length-prefixed, so any strict prefix must fail cleanly — never
-        // panic.
-        assert!(sz::decompress_pointwise_rel::<f32>(&stream[..len]).is_err());
-    }
+    // The header, sign-bitmap section, and inner SZ stream are all
+    // length-prefixed, so any strict prefix must fail cleanly.
+    assert_survives_every_truncation("SZPR", &sz_pwrel_stream(), Truncation::Strict, |s| {
+        sz::decompress_pointwise_rel::<f32>(s)
+    });
 }
 
 #[test]
 fn zfp_survives_every_truncation_length() {
-    let stream = zfp_stream();
-    for len in 0..stream.len() {
-        let _ = zfp::decompress(&stream[..len]);
-    }
+    assert_survives_every_truncation("ZFL1", &zfp_stream(), Truncation::Lenient, |s| {
+        zfp::decompress(s)
+    });
 }
 
 #[test]
 fn zfp_chunked_survives_every_truncation_length() {
-    let stream = zfp_chunked_stream();
-    for len in 0..stream.len() {
-        // A strict prefix loses payload bytes the chunk table promises, so
-        // every truncation must fail cleanly — never panic.
-        assert!(zfp::decompress_chunked::<f32>(&stream[..len], 1).is_err());
+    // A strict prefix loses payload bytes the chunk table promises.
+    assert_survives_every_truncation("ZFLP", &zfp_chunked_stream(), Truncation::Strict, |s| {
+        zfp::decompress_chunked::<f32>(s, 1)
+    });
+}
+
+#[test]
+fn lcs_stream_survives_every_truncation_length() {
+    // The streaming container records its element count up front, so a
+    // header-only prefix (missing frames) is as invalid as a mid-frame cut.
+    assert_survives_every_truncation("LCS1", &lcs_stream(false), Truncation::Strict, |s| {
+        lcpio::core::pipeline::decode_stream(s)
+    });
+}
+
+#[test]
+fn wire_lcs_stream_survives_every_truncation_length() {
+    assert_survives_every_truncation("LCW1/LCS1", &lcs_stream(true), Truncation::Strict, |s| {
+        lcpio::core::pipeline::decode_stream(s)
+    });
+}
+
+#[test]
+fn wire_wrapped_codec_containers_survive_every_truncation_length() {
+    // Every legacy codec container re-framed as an LCW1 envelope: the
+    // envelope's validated frame index must catch every cut, through the
+    // product decode surface (`decompress_auto`).
+    for (label, legacy) in [
+        ("LCW1/SZL1", sz_stream()),
+        ("LCW1/SZLP", sz_chunked_stream()),
+        ("LCW1/SZPR", sz_pwrel_stream()),
+        ("LCW1/ZFL1", zfp_stream()),
+        ("LCW1/ZFLP", zfp_chunked_stream()),
+    ] {
+        let wired = lcpio::codec::wire::wrap(&legacy).expect("wrap");
+        assert_survives_every_truncation(label, &wired, Truncation::Strict, |s| {
+            registry().decompress_auto(s, 1)
+        });
     }
 }
 
@@ -285,6 +357,30 @@ proptest! {
             s[idx] ^= mask;
         }
         let _ = sz::decompress_pointwise_rel::<f32>(&s);
+    }
+
+    #[test]
+    fn wire_envelope_never_panics_on_noise(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        // Arbitrary bytes behind the LCW1 magic: both the registry surface
+        // and the streaming-container decoder must error, never panic.
+        let mut s = b"LCW1".to_vec();
+        s.extend_from_slice(&bytes);
+        let _ = registry().decompress_auto(&s, 1);
+        let _ = lcpio::core::pipeline::decode_stream(&s);
+    }
+
+    #[test]
+    fn wire_envelope_never_panics_on_mutated_valid_stream(
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8)
+    ) {
+        let mut s = lcpio::codec::wire::wrap(&sz_chunked_stream()).expect("wrap");
+        for (pos, mask) in flips {
+            let idx = pos as usize % s.len();
+            s[idx] ^= mask;
+        }
+        let _ = registry().decompress_auto(&s, 1);
     }
 
     #[test]
