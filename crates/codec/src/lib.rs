@@ -22,11 +22,13 @@
 //! assert_eq!(restored.len(), data.len());
 //! ```
 
+pub mod policy;
 mod registry;
 mod sz_adapter;
 pub mod wire;
 mod zfp_adapter;
 
+pub use policy::{ChunkPlan, ChunkPolicy, CodecId, FixedPolicy, HeuristicPolicy};
 pub use registry::{registry, render_container_table, CodecRegistry};
 pub use sz_adapter::SzCodec;
 pub use zfp_adapter::ZfpCodec;

@@ -53,6 +53,28 @@ impl SzCodec {
     }
 }
 
+/// Compress a policy probe window with a quantizer radius clamped to the
+/// window length. SZ's per-call fixed cost is O(radius): the frequency
+/// table, the code-length histogram, and the Huffman table are all sized
+/// by the dense `2·radius+1` alphabet, which at the default radius
+/// (32768) costs more than compressing the whole 1–2 Ki window. A window
+/// of `n` elements can populate at most `n` bins, so pricing it at radius
+/// `n` keeps the probe O(window) with near-identical stats — residuals
+/// past the clamped radius fall back to literals, exactly the elements
+/// the full-radius run spends the most bits on.
+///
+/// `None` when the bound has no direct SZ config (pointwise-relative runs
+/// a wrapper pipeline) or the backend rejects the window; callers fall
+/// back to the full-price registry path.
+pub(crate) fn probe_stats(
+    window: &[f32],
+    bound: BoundSpec,
+    radius: u32,
+) -> Option<CodecStats> {
+    let cfg = SzCodec::config(bound)?.with_radius(radius);
+    sz::compress(window, &[window.len()], &cfg).ok().map(|out| convert(&out.stats))
+}
+
 impl Default for SzCodec {
     fn default() -> Self {
         Self::new()

@@ -9,6 +9,7 @@
 //! deterministic because every combination derives its own RNG seed from
 //! its identity, not from scheduling order.
 
+use crate::policy::{interleaved_cesm_hacc, run_policy_study, PolicyRecord, PolicyStudy};
 use crate::records::{CompressionRecord, Compressor, TransitRecord};
 use crate::workmap::CostModel;
 use lcpio_datagen::Dataset;
@@ -115,6 +116,10 @@ pub struct SweepResult {
     pub compression: Vec<CompressionRecord>,
     /// One record per (chip, size, frequency).
     pub transit: Vec<TransitRecord>,
+    /// Adaptive-policy axis: per chip, every fixed codec×frequency arm
+    /// plus the heuristic and adaptive policies evaluated over the
+    /// interleaved CESM+HACC workload ([`run_policy_sweep`]).
+    pub policy: Vec<PolicyRecord>,
 }
 
 impl SweepResult {
@@ -258,11 +263,45 @@ pub fn run_transit_sweep(cfg: &ExperimentConfig) -> Vec<TransitRecord> {
     per_combo.into_iter().flatten().collect()
 }
 
-/// Run both sweeps.
+/// Elements per chunk of the policy sweep's interleaved workload.
+pub const POLICY_SWEEP_CHUNK_ELEMENTS: usize = 8192;
+
+/// Chunks in the policy sweep's interleaved workload (alternating CESM
+/// and range-amplified HACC).
+pub const POLICY_SWEEP_CHUNKS: usize = 8;
+
+/// Run the adaptive-policy axis: for every chip, evaluate each fixed
+/// codec×frequency arm plus the heuristic and adaptive policies over the
+/// interleaved CESM+HACC workload, one [`PolicyRecord`] per arm.
+///
+/// The chips fan out over the shared worker pool; each chip's study is
+/// deterministic (real compressions of a seeded workload, modelled
+/// energies), so record order is fixed by the chip index.
+pub fn run_policy_sweep(cfg: &ExperimentConfig) -> Vec<PolicyRecord> {
+    let _span = lcpio_trace::span("core.sweep.policy");
+    let data =
+        interleaved_cesm_hacc(POLICY_SWEEP_CHUNK_ELEMENTS, POLICY_SWEEP_CHUNKS, cfg.seed);
+    let per_chip = crate::par::par_map(&cfg.chips, cfg.threads, |_, &chip| {
+        let study = PolicyStudy {
+            chip,
+            cost_model: cfg.cost_model,
+            chunk_elements: POLICY_SWEEP_CHUNK_ELEMENTS,
+            ..PolicyStudy::default()
+        };
+        let result = run_policy_study(&data, &study);
+        // Canonical records only: the measured wall-times would break the
+        // provenance manifest's rerun-determinism digest.
+        result.all().into_iter().map(|r| r.clone().canonical()).collect::<Vec<PolicyRecord>>()
+    });
+    per_chip.into_iter().flatten().collect()
+}
+
+/// Run all three sweeps.
 pub fn run_full_sweep(cfg: &ExperimentConfig) -> SweepResult {
     SweepResult {
         compression: run_compression_sweep(cfg),
         transit: run_transit_sweep(cfg),
+        policy: run_policy_sweep(cfg),
     }
 }
 
@@ -387,5 +426,35 @@ mod tests {
         let back: SweepResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back.compression.len(), res.compression.len());
         assert_eq!(back.transit.len(), res.transit.len());
+        assert_eq!(back.policy.len(), res.policy.len());
+        assert_eq!(back.policy.last().map(|p| p.label.clone()),
+                   res.policy.last().map(|p| p.label.clone()));
+    }
+
+    #[test]
+    fn policy_sweep_covers_every_chip_and_adaptive_dominates() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.chips = vec![Chip::Broadwell, Chip::Skylake];
+        let recs = run_policy_sweep(&cfg);
+        // Per chip: 2 codecs × ladder points fixed arms + heuristic +
+        // adaptive.
+        let per_chip = |chip: Chip| recs.iter().filter(|r| r.chip == chip).count();
+        let ladder = |chip: Chip| Machine::for_chip(chip).cpu.ladder_len();
+        assert_eq!(per_chip(Chip::Broadwell), 2 * ladder(Chip::Broadwell) + 2);
+        assert_eq!(per_chip(Chip::Skylake), 2 * ladder(Chip::Skylake) + 2);
+        // The adaptive record dominates every fixed arm on its chip.
+        for chip in [Chip::Broadwell, Chip::Skylake] {
+            let adaptive = recs
+                .iter()
+                .find(|r| r.chip == chip && r.policy == "adaptive")
+                .expect("adaptive record");
+            for fixed in recs.iter().filter(|r| r.chip == chip && r.policy == "fixed") {
+                assert!(
+                    adaptive.dominates(fixed),
+                    "{chip:?}: adaptive fails to dominate {}",
+                    fixed.label
+                );
+            }
+        }
     }
 }

@@ -41,6 +41,7 @@ pub mod models;
 pub mod par;
 pub mod pareto;
 pub mod pipeline;
+pub mod policy;
 pub mod provenance;
 pub mod readback;
 pub mod records;
@@ -52,6 +53,7 @@ pub mod workmap;
 
 pub use error::{CoreError, PipelineError};
 pub use pipeline::{PipelineConfig, RestartConfig, RestartOutcome, StreamOutcome};
+pub use policy::{ParetoAdaptive, PolicyKind, PolicyRecord};
 pub use experiment::{ExperimentConfig, SweepResult};
 pub use records::{CompressionRecord, Compressor, TransitRecord};
 pub use tuning::{TuningReport, TuningRule};

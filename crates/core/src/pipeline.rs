@@ -50,10 +50,12 @@
 //! ```
 
 use crate::error::{CoreError, PipelineError};
+use crate::policy::{build_policy, codec_id_of, PolicyKind};
 use crate::records::Compressor;
 use crate::workmap::CostModel;
+use lcpio_codec::policy::{ChunkPlan, CodecId};
 use lcpio_codec::{BoundSpec, CodecStats};
-use lcpio_powersim::{simulate, Machine, WorkProfile};
+use lcpio_powersim::{simulate, Chip, Machine, WorkProfile};
 use std::collections::BTreeMap;
 use std::io;
 use std::io::Write as _;
@@ -135,6 +137,14 @@ pub struct PipelineConfig {
     /// payloads and decode identically; the wire form additionally
     /// supports incremental push decoding ([`run_restart_streamed`]).
     pub wire_format: bool,
+    /// Per-chunk planning policy. [`PolicyKind::Fixed`] reproduces the
+    /// single-codec stream byte-for-byte; the heuristic and adaptive
+    /// policies may route each chunk to a different codec (and simulated
+    /// frequency), producing a mixed-codec container. Wire-form mixed
+    /// containers additionally carry a per-frame codec-tag TLV.
+    pub policy: PolicyKind,
+    /// Simulated chip whose DVFS ladder the policy plans against.
+    pub chip: Chip,
     /// Injected failures (empty in production).
     pub failure_plan: FailurePlan,
 }
@@ -152,6 +162,8 @@ impl Default for PipelineConfig {
             retry_backoff_ms: 1,
             max_compress_attempts: 2,
             wire_format: false,
+            policy: PolicyKind::Fixed,
+            chip: Chip::Broadwell,
             failure_plan: FailurePlan::default(),
         }
     }
@@ -295,6 +307,14 @@ pub struct StreamOutcome {
     pub compress_busy_s: f64,
     /// Wall-clock seconds spent inside sink writes (busy time).
     pub write_busy_s: f64,
+    /// Wall-clock seconds spent computing per-chunk plans before the
+    /// stream was opened (0 for the fixed policy, which needs no
+    /// sampling).
+    pub plan_s: f64,
+    /// Chunks emitted per codec, indexed by wire codec id
+    /// ([`CodecId::Raw`], [`CodecId::Sz`], [`CodecId::Zfp`]). Raw counts
+    /// both planned-raw chunks and codec-failure fallbacks.
+    pub codec_chunks: [usize; 3],
     /// Elapsed wall-clock seconds for the whole run.
     pub wall_s: f64,
 }
@@ -330,18 +350,70 @@ fn lcs_params(elements: u64, chunk_elements: u64) -> [u8; 16] {
 
 /// Render the stream header: the legacy 20-byte `LCS1` header (magic,
 /// element count, chunk size), or the `LCW1` envelope header carrying the
-/// same geometry in its `PARAMS` field when `wire` is set.
-fn header_bytes(wire: bool, elements: u64, chunk_elements: u64, chunks: usize) -> Vec<u8> {
+/// same geometry in its `PARAMS` field when `wire` is set. A wire header
+/// additionally carries the per-frame `CODEC_TAGS` TLV when `codec_tags`
+/// is given (mixed-codec containers only — the legacy header has no TLV
+/// space, and fixed-policy wire streams omit the field so their bytes are
+/// unchanged from earlier writers).
+fn header_bytes(
+    wire: bool,
+    elements: u64,
+    chunk_elements: u64,
+    chunks: usize,
+    codec_tags: Option<&[u8]>,
+) -> Vec<u8> {
     if wire {
-        return lcpio_wire::envelope::EnvelopeBuilder::new(STREAM_MAGIC)
-            .params(&lcs_params(elements, chunk_elements))
-            .header_bytes(chunks);
+        let mut b = lcpio_wire::envelope::EnvelopeBuilder::new(STREAM_MAGIC)
+            .params(&lcs_params(elements, chunk_elements));
+        if let Some(tags) = codec_tags {
+            b = b.codec_tags(tags);
+        }
+        return b.header_bytes(chunks);
     }
     let mut h = Vec::with_capacity(20);
     h.extend_from_slice(&STREAM_MAGIC);
     h.extend_from_slice(&elements.to_le_bytes());
     h.extend_from_slice(&chunk_elements.to_le_bytes());
     h
+}
+
+/// Compute every chunk's plan up front, before the header is written.
+///
+/// Plans are a pure function of `(chunk bytes, seq)` — never of thread
+/// interleaving — so the sequential and streaming paths produce identical
+/// plans, and with them identical streams, at every worker count. The
+/// fixed policy short-circuits without sampling: every chunk keeps the
+/// configured compressor/bound at the chip's nominal frequency.
+fn plan_chunks(
+    cfg: &PipelineConfig,
+    data: &[f32],
+    ranges: &[std::ops::Range<usize>],
+) -> (Vec<ChunkPlan>, f64) {
+    let t0 = std::time::Instant::now();
+    let plans = match cfg.policy {
+        PolicyKind::Fixed => {
+            let plan = ChunkPlan {
+                codec: codec_id_of(cfg.compressor),
+                bound: cfg.bound,
+                f_ghz: Machine::for_chip(cfg.chip).cpu.f_max_ghz,
+            };
+            vec![plan; ranges.len()]
+        }
+        _ => {
+            let policy =
+                build_policy(cfg.policy, cfg.compressor, cfg.bound, cfg.chip, CostModel::default());
+            ranges.iter().enumerate().map(|(seq, r)| policy.plan(&data[r.clone()], seq)).collect()
+        }
+    };
+    (plans, t0.elapsed().as_secs_f64())
+}
+
+/// The `CODEC_TAGS` TLV for a wire header, or `None` when the container
+/// must stay byte-identical to the single-codec form (legacy layout, or
+/// the fixed policy on either layout).
+fn codec_tag_bytes(cfg: &PipelineConfig, plans: &[ChunkPlan]) -> Option<Vec<u8>> {
+    (cfg.wire_format && cfg.policy != PolicyKind::Fixed)
+        .then(|| plans.iter().map(|p| p.codec.as_u8()).collect())
 }
 
 /// Frame one chunk payload for the container: legacy `[kind][u32 len]`
@@ -367,31 +439,39 @@ struct Frame {
     bytes: Vec<u8>,
     stats: Option<CodecStats>,
     raw: bool,
+    /// Codec the frame was actually emitted with ([`CodecId::Raw`] for
+    /// planned-raw chunks and codec-failure fallbacks alike).
+    codec: CodecId,
     compress_s: f64,
 }
 
-/// Compress one chunk into its frame, honouring the failure plan and the
-/// raw fallback. Deterministic: identical for sequential and streaming.
-fn compress_frame(cfg: &PipelineConfig, seq: usize, chunk: &[f32]) -> Frame {
+/// Compress one chunk into its frame under the chunk's plan, honouring
+/// the failure plan and the raw fallback. Deterministic: identical for
+/// sequential and streaming.
+fn compress_frame(cfg: &PipelineConfig, seq: usize, chunk: &[f32], plan: &ChunkPlan) -> Frame {
     let t0 = std::time::Instant::now();
-    let codec = cfg.compressor.codec();
+    // A plan for `CodecId::Raw` resolves to no registry codec and drops
+    // straight into the raw-frame path below.
+    let codec = lcpio_codec::registry().by_name(plan.codec.name());
     let mut encoded = None;
-    for attempt in 0..cfg.max_compress_attempts {
-        if cfg.failure_plan.compress_fails(seq, attempt) {
-            continue;
-        }
-        match codec.compress(chunk, &[chunk.len()], cfg.bound) {
-            Ok(e) => {
-                encoded = Some(e);
-                break;
+    if let Some(codec) = codec {
+        for attempt in 0..cfg.max_compress_attempts {
+            if cfg.failure_plan.compress_fails(seq, attempt) {
+                continue;
             }
-            Err(_) => continue,
+            match codec.compress(chunk, &[chunk.len()], plan.bound) {
+                Ok(e) => {
+                    encoded = Some(e);
+                    break;
+                }
+                Err(_) => continue,
+            }
         }
     }
-    let (frame, stats, raw) = match encoded {
+    let (frame, stats, raw, emitted) = match encoded {
         Some(e) => {
             let frame = frame_bytes(cfg.wire_format, FRAME_COMPRESSED, &e.bytes);
-            (frame, Some(e.stats), false)
+            (frame, Some(e.stats), false, plan.codec)
         }
         None => {
             // Graceful degradation: repeated codec failure must not sink
@@ -401,10 +481,10 @@ fn compress_frame(cfg: &PipelineConfig, seq: usize, chunk: &[f32]) -> Frame {
             for &v in chunk {
                 payload.extend_from_slice(&v.to_le_bytes());
             }
-            (frame_bytes(cfg.wire_format, FRAME_RAW, &payload), None, true)
+            (frame_bytes(cfg.wire_format, FRAME_RAW, &payload), None, true, CodecId::Raw)
         }
     };
-    Frame { bytes: frame, stats, raw, compress_s: t0.elapsed().as_secs_f64() }
+    Frame { bytes: frame, stats, raw, codec: emitted, compress_s: t0.elapsed().as_secs_f64() }
 }
 
 /// Write one frame to the sink with bounded retry/backoff.
@@ -457,21 +537,30 @@ pub fn run_sequential(
     let _span = lcpio_trace::span("pipeline.sequential");
     let t0 = std::time::Instant::now();
     let ranges = chunk_ranges(data.len(), cfg.chunk_elements);
-    let header =
-        header_bytes(cfg.wire_format, data.len() as u64, cfg.chunk_elements as u64, ranges.len());
+    let (plans, plan_s) = plan_chunks(cfg, data, &ranges);
+    let tags = codec_tag_bytes(cfg, &plans);
+    let header = header_bytes(
+        cfg.wire_format,
+        data.len() as u64,
+        cfg.chunk_elements as u64,
+        ranges.len(),
+        tags.as_deref(),
+    );
     sink.write_header(&header).map_err(|e| header_error(&e))?;
     let mut out = StreamOutcome {
         chunks: ranges.len(),
         bytes_in: data.len() as u64 * 4,
         bytes_out: header.len() as u64,
+        plan_s,
         ..StreamOutcome::default()
     };
     for (seq, r) in ranges.iter().enumerate() {
-        let frame = compress_frame(cfg, seq, &data[r.clone()]);
+        let frame = compress_frame(cfg, seq, &data[r.clone()], &plans[seq]);
         out.compress_busy_s += frame.compress_s;
         if let Some(s) = frame.stats {
             accumulate(&mut out.stats, &s);
         }
+        out.codec_chunks[frame.codec.as_u8() as usize] += 1;
         if frame.raw {
             out.raw_fallbacks += 1;
         }
@@ -682,8 +771,18 @@ pub fn run_streaming(
     let t0 = std::time::Instant::now();
     let ranges = chunk_ranges(data.len(), cfg.chunk_elements);
     let total = ranges.len();
-    let header =
-        header_bytes(cfg.wire_format, data.len() as u64, cfg.chunk_elements as u64, total);
+    // Plans are computed up front on the calling thread: the wire header
+    // needs the codec tags before the first frame, and a pure pre-pass is
+    // what keeps the stream byte-identical at every worker count.
+    let (plans, plan_s) = plan_chunks(cfg, data, &ranges);
+    let tags = codec_tag_bytes(cfg, &plans);
+    let header = header_bytes(
+        cfg.wire_format,
+        data.len() as u64,
+        cfg.chunk_elements as u64,
+        total,
+        tags.as_deref(),
+    );
     sink.write_header(&header).map_err(|e| header_error(&e))?;
     lcpio_trace::counter_add("pipeline.chunks", total as u64);
 
@@ -697,6 +796,7 @@ pub fn run_streaming(
     let write_busy_ns = AtomicU64::new(0);
     let retries = AtomicU64::new(0);
     let raw_fallbacks = AtomicUsize::new(0);
+    let codec_counts = [AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)];
     let bytes_out = AtomicU64::new(header.len() as u64);
     let stats_acc: Mutex<CodecStats> = Mutex::new(CodecStats::default());
 
@@ -710,12 +810,13 @@ pub fn run_streaming(
                     if seq >= total {
                         break;
                     }
-                    let frame = compress_frame(cfg, seq, &data[ranges[seq].clone()]);
+                    let frame = compress_frame(cfg, seq, &data[ranges[seq].clone()], &plans[seq]);
                     compress_busy_ns
                         .fetch_add((frame.compress_s * 1e9) as u64, Ordering::Relaxed);
                     if let Some(st) = frame.stats {
                         accumulate(&mut stats_acc.lock().expect("stats lock"), &st);
                     }
+                    codec_counts[frame.codec.as_u8() as usize].fetch_add(1, Ordering::Relaxed);
                     if frame.raw {
                         raw_fallbacks.fetch_add(1, Ordering::Relaxed);
                         lcpio_trace::counter_add("pipeline.raw_fallbacks", 1);
@@ -756,6 +857,8 @@ pub fn run_streaming(
         stats: stats_acc.into_inner().expect("stats lock"),
         compress_busy_s: compress_busy_ns.into_inner() as f64 / 1e9,
         write_busy_s: write_busy_ns.into_inner() as f64 / 1e9,
+        plan_s,
+        codec_chunks: codec_counts.map(AtomicUsize::into_inner),
         wall_s: t0.elapsed().as_secs_f64(),
     })
 }
@@ -879,6 +982,7 @@ pub struct StreamLayout {
     /// Elements per chunk (the last chunk may be shorter).
     pub chunk_elements: usize,
     frames: Vec<FrameEntry>,
+    codec_tags: Option<Vec<u8>>,
 }
 
 impl StreamLayout {
@@ -891,6 +995,14 @@ impl StreamLayout {
     /// the streamed-restart buffering bound.
     pub fn max_frame_len(&self) -> usize {
         self.frames.iter().map(|f| f.len).max().unwrap_or(0)
+    }
+
+    /// Per-frame codec tags from the wire header's `CODEC_TAGS` TLV, if
+    /// the container carried one (mixed-codec wire streams do; legacy and
+    /// fixed-policy streams do not). Validated by the scan: one known id
+    /// per frame, consistent with each compressed frame's payload magic.
+    pub fn codec_tags(&self) -> Option<&[u8]> {
+        self.codec_tags.as_deref()
     }
 }
 
@@ -953,12 +1065,43 @@ pub fn scan_stream(source: &dyn ChunkSource) -> Result<StreamLayout, CoreError> 
         elements: elements as usize,
         chunk_elements: chunk_elements as usize,
         frames,
+        codec_tags: None,
     })
 }
 
 /// Typed error for a wire-envelope failure inside the core pipeline.
 fn wire_err(e: lcpio_wire::WireError) -> CoreError {
     CoreError::Pipeline(PipelineError::new(0, 0, format!("wire envelope: {e}")))
+}
+
+/// Cross-check one frame against its header codec tag.
+///
+/// `FRAME_RAW` is accepted under any tag: the raw fallback keeps the
+/// *planned* codec's tag (the header is written before compression runs).
+/// A compressed frame must carry the tagged codec's container magic — an
+/// unknown id or a forged tag is a typed error, caught during the scan
+/// before any decode work. `magic` is the first (up to four) payload
+/// bytes after the kind byte.
+fn check_codec_tag(seq: usize, tag_byte: u8, kind: u8, magic: &[u8]) -> Result<(), CoreError> {
+    let err = |msg: &str| CoreError::Pipeline(PipelineError::new(seq, 0, msg));
+    let Some(tagged) = CodecId::from_u8(tag_byte) else {
+        return Err(err("unknown codec id in codec-tag field"));
+    };
+    if kind != FRAME_COMPRESSED {
+        return Ok(());
+    }
+    if tagged == CodecId::Raw {
+        return Err(err("codec tag mismatch: raw tag on compressed frame"));
+    }
+    if magic.len() >= 4 && magic[..4] == lcpio_wire::MAGIC {
+        // A wire-wrapped payload's inner codec resolves only through its
+        // own envelope; the cheap scan leaves it to decode-time checks.
+        return Ok(());
+    }
+    match lcpio_codec::registry().by_magic(magic) {
+        Ok((codec, _)) if codec.name() == tagged.name() => Ok(()),
+        _ => Err(err("codec tag mismatch: frame payload carries a different codec")),
+    }
 }
 
 /// Scan the `LCW1` wire form of the streaming container into the same
@@ -983,7 +1126,7 @@ fn scan_wire_stream(source: &dyn ChunkSource) -> Result<StreamLayout, CoreError>
     // is bounded by the wire crate's 1 MiB TLV-block ceiling.
     let cap = total.min(lcpio_wire::MAX_HEADER_LEN as u64 + 64) as usize;
     let mut want = cap.min(256);
-    let (elements, chunk_elements, frame_count, frames_at) = loop {
+    let (elements, chunk_elements, frame_count, frames_at, codec_tags) = loop {
         let mut buf = vec![0u8; want];
         source.read_at(0, &mut buf).map_err(read_err)?;
         match parse_header_partial(&buf).map_err(wire_err)? {
@@ -997,7 +1140,8 @@ fn scan_wire_stream(source: &dyn ChunkSource) -> Result<StreamLayout, CoreError>
                     params.try_into().map_err(|_| err("wire LCS1 params must be 16 bytes"))?;
                 let elements = u64::from_le_bytes(p[..8].try_into().expect("8 bytes"));
                 let chunk_elements = u64::from_le_bytes(p[8..].try_into().expect("8 bytes"));
-                break (elements, chunk_elements, env.frame_count, used as u64);
+                let tags = env.codec_tags().map_err(wire_err)?.map(|t| t.to_vec());
+                break (elements, chunk_elements, env.frame_count, used as u64, tags);
             }
             Partial::NeedMore => {
                 if want >= cap {
@@ -1038,6 +1182,16 @@ fn scan_wire_stream(source: &dyn ChunkSource) -> Result<StreamLayout, CoreError>
         if kind != FRAME_COMPRESSED && kind != FRAME_RAW {
             return Err(err("unknown frame tag"));
         }
+        if let Some(tags) = &codec_tags {
+            let take = ((len - 1).min(4)) as usize;
+            let mut magic = [0u8; 4];
+            if take > 0 {
+                source
+                    .read_at(payload_at + 1, &mut magic[..take])
+                    .map_err(|e| err(&format!("frame header read failed: {e}")))?;
+            }
+            check_codec_tag(frames.len(), tags[frames.len()], kind, &magic[..take])?;
+        }
         frames.push(FrameEntry { kind, off: payload_at + 1, len: (len - 1) as usize });
         off = payload_at + len;
     }
@@ -1048,6 +1202,7 @@ fn scan_wire_stream(source: &dyn ChunkSource) -> Result<StreamLayout, CoreError>
         elements: elements as usize,
         chunk_elements: chunk_elements as usize,
         frames,
+        codec_tags,
     })
 }
 
@@ -1546,11 +1701,21 @@ struct PushFramer {
     kind: FramerKind,
     pending: Vec<u8>,
     elements: Option<u64>,
+    /// `CODEC_TAGS` from the wire header, once it has arrived.
+    tags: Option<Vec<u8>>,
+    /// Frames handed out so far — indexes into `tags`.
+    next_frame: usize,
 }
 
 impl PushFramer {
     fn new() -> Self {
-        PushFramer { kind: FramerKind::Sniff, pending: Vec::new(), elements: None }
+        PushFramer {
+            kind: FramerKind::Sniff,
+            pending: Vec::new(),
+            elements: None,
+            tags: None,
+            next_frame: 0,
+        }
     }
 
     fn feed(&mut self, chunk: &[u8]) -> Result<Vec<(u8, Vec<u8>)>, CoreError> {
@@ -1588,6 +1753,7 @@ impl PushFramer {
                             .map_err(|_| err("wire LCS1 params must be 16 bytes"))?;
                         self.elements =
                             Some(u64::from_le_bytes(p[..8].try_into().expect("8 bytes")));
+                        self.tags = env.codec_tags().map_err(wire_err)?.map(|t| t.to_vec());
                     }
                 }
                 let mut out = Vec::with_capacity(frames.len());
@@ -1598,6 +1764,13 @@ impl PushFramer {
                     if kind != FRAME_COMPRESSED && kind != FRAME_RAW {
                         return Err(err("unknown frame tag"));
                     }
+                    if let Some(tags) = &self.tags {
+                        if let Some(&tb) = tags.get(self.next_frame) {
+                            let magic = &payload[..payload.len().min(4)];
+                            check_codec_tag(self.next_frame, tb, kind, magic)?;
+                        }
+                    }
+                    self.next_frame += 1;
                     out.push((kind, payload.to_vec()));
                 }
                 Ok(out)
@@ -1876,6 +2049,47 @@ pub fn simulate_pipeline(
         lcpio_trace::counter_add("pipeline.sim.writing_uj", (outcome.writing_j * 1e6) as u64);
     }
     outcome
+}
+
+/// Per-chunk generalization of [`simulate_pipeline`] for mixed-codec
+/// plans: every chunk carries its own `(frequency, work profile)` pair
+/// per stage, so the energy model attributes each chunk's compression
+/// joules at *that chunk's* planned DVFS frequency rather than one
+/// pipeline-wide setting.
+///
+/// The accounting invariant is unchanged: per-phase joules are summed
+/// chunk by chunk — exactly the sequential totals — while the makespan
+/// comes from [`overlap_makespan`] over the per-chunk stage times. With
+/// every chunk identical this reduces to [`simulate_pipeline`] exactly
+/// (asserted by a test).
+pub fn simulate_pipeline_mixed(
+    machine: &Machine,
+    comp: &[(f64, WorkProfile)],
+    write: &[(f64, WorkProfile)],
+    queue_depth: usize,
+) -> OverlapOutcome {
+    assert_eq!(comp.len(), write.len(), "one write per compressed chunk");
+    let _span = lcpio_trace::span("pipeline.simulate_mixed");
+    let mut compression_j = 0.0;
+    let mut writing_j = 0.0;
+    let mut t_c = Vec::with_capacity(comp.len());
+    let mut t_w = Vec::with_capacity(write.len());
+    for (f, profile) in comp {
+        let m = simulate(machine, *f, profile);
+        compression_j += m.energy_j;
+        t_c.push(m.runtime_s);
+    }
+    for (f, profile) in write {
+        let m = simulate(machine, *f, profile);
+        writing_j += m.energy_j;
+        t_w.push(m.runtime_s);
+    }
+    OverlapOutcome {
+        compression_j,
+        writing_j,
+        sequential_s: t_c.iter().sum::<f64>() + t_w.iter().sum::<f64>(),
+        pipelined_s: overlap_makespan(&t_c, &t_w, queue_depth),
+    }
 }
 
 /// One-stop characterization for the drivers: compress a sample once,
@@ -2237,7 +2451,7 @@ mod tests {
     fn forged_element_count_is_rejected_before_allocation() {
         // A 20-byte header promising u64::MAX elements must be refused by
         // the 512× capacity guard, not drive a giant Vec::with_capacity.
-        let mut stream = header_bytes(false, u64::MAX, 1 << 18, 1);
+        let mut stream = header_bytes(false, u64::MAX, 1 << 18, 1, None);
         stream.extend_from_slice(&[FRAME_RAW, 4, 0, 0, 0, 0, 0, 0, 0]);
         let source = SliceSource::new(&stream);
         let err = scan_stream(&source).expect_err("forged header");
@@ -2417,7 +2631,7 @@ mod tests {
     fn wire_scan_rejects_forged_element_count() {
         // A wire header claiming u64::MAX elements over a tiny payload
         // must trip the 512× capacity guard during the scan.
-        let mut stream = header_bytes(true, u64::MAX, 1 << 18, 1);
+        let mut stream = header_bytes(true, u64::MAX, 1 << 18, 1, None);
         let frame = frame_bytes(true, FRAME_RAW, &[0u8; 4]);
         stream.extend_from_slice(&frame);
         let err = scan_stream(&SliceSource::new(&stream)).expect_err("forged header");
@@ -2435,9 +2649,222 @@ mod tests {
         assert!(scan_stream(&SliceSource::new(&env)).is_err());
         // A frame whose kind byte is neither compressed nor raw is
         // rejected during the scan, before any decode work.
-        let mut bad = header_bytes(true, 4, 4, 1);
+        let mut bad = header_bytes(true, 4, 4, 1, None);
         bad.extend_from_slice(&frame_bytes(true, 7, &[0u8; 16]));
         let err = scan_stream(&SliceSource::new(&bad)).expect_err("bad kind");
         assert!(err.to_string().contains("unknown frame tag"), "{err}");
+    }
+
+    // -- per-chunk policy layer (mixed-codec containers) -----------------
+
+    fn adaptive_cfg(chunk_elements: usize) -> PipelineConfig {
+        PipelineConfig {
+            chunk_elements,
+            wire_format: true,
+            policy: PolicyKind::Adaptive,
+            retry_backoff_ms: 0,
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn mixed_stream(chunk_elements: usize, chunks: usize) -> (Vec<f32>, Vec<u8>) {
+        let data = crate::policy::interleaved_cesm_hacc(chunk_elements, chunks, 20220530);
+        let mut sink = VecSink::default();
+        run_sequential(&data, &adaptive_cfg(chunk_elements), &mut sink).expect("sequential");
+        (data, sink.bytes)
+    }
+
+    #[test]
+    fn adaptive_policy_emits_mixed_codec_container_and_roundtrips() {
+        let (data, stream) = mixed_stream(4096, 6);
+        let layout = scan_stream(&SliceSource::new(&stream)).expect("scan");
+        let tags = layout.codec_tags().expect("adaptive wire stream carries tags").to_vec();
+        assert_eq!(tags.len(), 6);
+        assert!(tags.contains(&CodecId::Sz.as_u8()), "no SZ chunk: {tags:?}");
+        assert!(tags.contains(&CodecId::Zfp.as_u8()), "no ZFP chunk: {tags:?}");
+        let back = decode_stream(&stream).expect("decode");
+        assert_eq!(back.len(), data.len());
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() as f64 <= 1e-3 * 1.0000001, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mixed_codec_streaming_is_byte_identical_at_every_knob() {
+        let data = crate::policy::interleaved_cesm_hacc(2048, 6, 7);
+        for policy in [PolicyKind::Heuristic, PolicyKind::Adaptive] {
+            for wire in [false, true] {
+                let base = PipelineConfig {
+                    chunk_elements: 2048,
+                    wire_format: wire,
+                    policy,
+                    retry_backoff_ms: 0,
+                    ..PipelineConfig::default()
+                };
+                let mut seq = VecSink::default();
+                let a = run_sequential(&data, &base, &mut seq).expect("sequential");
+                assert_eq!(a.codec_chunks.iter().sum::<usize>(), a.chunks);
+                for (threads, writers) in [(1, 1), (2, 3), (0, 2)] {
+                    let c = PipelineConfig {
+                        compress_threads: threads,
+                        writers,
+                        ..base.clone()
+                    };
+                    let mut par = VecSink::default();
+                    let b = run_streaming(&data, &c, &mut par).expect("streaming");
+                    assert_eq!(
+                        seq.bytes, par.bytes,
+                        "{policy:?} wire={wire} threads={threads} writers={writers}"
+                    );
+                    assert_eq!(a.codec_chunks, b.codec_chunks);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_codec_restart_paths_agree() {
+        let (data, stream) = mixed_stream(4096, 6);
+        let reference = decode_stream(&stream).expect("decode");
+        assert_eq!(reference.len(), data.len());
+        let source = SliceSource::new(&stream);
+        let (a, _) = run_restart_sequential(&source, &restart_cfg()).expect("sequential restart");
+        assert_eq!(bits(&a), bits(&reference));
+        let c = RestartConfig { queue_depth: 2, workers: 3, ..restart_cfg() };
+        let (b, _) = run_restart(&source, &c).expect("restart");
+        assert_eq!(bits(&b), bits(&reference));
+        let mut rd: &[u8] = &stream;
+        let (d, _) = run_restart_streamed(&mut rd, &c).expect("streamed restart");
+        assert_eq!(bits(&d), bits(&reference));
+    }
+
+    #[test]
+    fn mixed_codec_truncation_rejected_at_every_offset() {
+        let (_, stream) = mixed_stream(1024, 2);
+        for cut in 0..stream.len() {
+            let mut rd: &[u8] = &stream[..cut];
+            assert!(
+                run_restart_streamed(&mut rd, &restart_cfg()).is_err(),
+                "cut at {cut}/{} decoded",
+                stream.len()
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_layout_supports_mixed_codecs_without_tags() {
+        let data = crate::policy::interleaved_cesm_hacc(4096, 4, 11);
+        let c = PipelineConfig {
+            chunk_elements: 4096,
+            policy: PolicyKind::Adaptive,
+            retry_backoff_ms: 0,
+            ..PipelineConfig::default()
+        };
+        let mut sink = VecSink::default();
+        let out = run_sequential(&data, &c, &mut sink).expect("sequential");
+        assert_eq!(out.codec_chunks.iter().sum::<usize>(), out.chunks);
+        assert!(out.plan_s > 0.0);
+        // Legacy frames are self-describing (magic-sniffed), so the mixed
+        // container needs no tag TLV — and the layout reports none.
+        let layout = scan_stream(&SliceSource::new(&sink.bytes)).expect("scan");
+        assert!(layout.codec_tags().is_none());
+        assert_eq!(decode_stream(&sink.bytes).expect("decode").len(), data.len());
+    }
+
+    #[test]
+    fn fixed_policy_wire_stream_carries_no_codec_tags() {
+        let stream = wire_stream_of(&field(2_500));
+        let layout = scan_stream(&SliceSource::new(&stream)).expect("scan");
+        assert!(layout.codec_tags().is_none());
+    }
+
+    fn tagged_envelope(tags: &[u8], frames: &[&[u8]]) -> Vec<u8> {
+        lcpio_wire::EnvelopeBuilder::new(STREAM_MAGIC)
+            .params(&lcs_params(600, 600))
+            .codec_tags(tags)
+            .build(frames)
+    }
+
+    #[test]
+    fn forged_codec_tag_is_rejected_by_scan_and_streamed_paths() {
+        let data = field(600);
+        let enc = Compressor::Sz
+            .codec()
+            .compress(&data, &[600], BoundSpec::Absolute(1e-3))
+            .expect("compress");
+        let mut payload = vec![FRAME_COMPRESSED];
+        payload.extend_from_slice(&enc.bytes);
+
+        // Tag claims ZFP over an SZ payload: typed error, both paths.
+        let forged = tagged_envelope(&[CodecId::Zfp.as_u8()], &[payload.as_slice()]);
+        let err = scan_stream(&SliceSource::new(&forged)).expect_err("forged tag");
+        assert!(err.to_string().contains("codec tag mismatch"), "{err}");
+        let mut rd: &[u8] = &forged;
+        let err = run_restart_streamed(&mut rd, &restart_cfg()).expect_err("forged tag");
+        assert!(err.to_string().contains("codec tag mismatch"), "{err}");
+
+        // A raw tag over a compressed frame is forged too.
+        let raw_tag = tagged_envelope(&[CodecId::Raw.as_u8()], &[payload.as_slice()]);
+        assert!(scan_stream(&SliceSource::new(&raw_tag)).is_err());
+
+        // The honest tag decodes.
+        let honest = tagged_envelope(&[CodecId::Sz.as_u8()], &[payload.as_slice()]);
+        assert_eq!(decode_stream(&honest).expect("decode").len(), 600);
+
+        // A raw frame is accepted under any tag (fallback keeps the
+        // planned codec's tag).
+        let mut raw_payload = vec![FRAME_RAW];
+        for v in &data {
+            raw_payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let fallback = tagged_envelope(&[CodecId::Zfp.as_u8()], &[raw_payload.as_slice()]);
+        assert_eq!(decode_stream(&fallback).expect("decode"), data);
+    }
+
+    #[test]
+    fn unknown_codec_id_in_tags_is_a_typed_error() {
+        let data = field(600);
+        let enc = Compressor::Sz
+            .codec()
+            .compress(&data, &[600], BoundSpec::Absolute(1e-3))
+            .expect("compress");
+        let mut payload = vec![FRAME_COMPRESSED];
+        payload.extend_from_slice(&enc.bytes);
+        let bad = tagged_envelope(&[9], &[payload.as_slice()]);
+        let err = scan_stream(&SliceSource::new(&bad)).expect_err("unknown id");
+        assert!(err.to_string().contains("unknown codec id"), "{err}");
+        let mut rd: &[u8] = &bad;
+        assert!(run_restart_streamed(&mut rd, &restart_cfg()).is_err());
+        // Wrong tag count never reaches the codec check: the envelope
+        // accessor rejects the shape.
+        let short = tagged_envelope(&[1, 2], &[payload.as_slice()]);
+        let err = scan_stream(&SliceSource::new(&short)).expect_err("shape");
+        assert!(err.to_string().contains("wire envelope"), "{err}");
+    }
+
+    #[test]
+    fn mixed_simulation_reduces_to_uniform_and_conserves_energy() {
+        let machine = Machine::for_chip(Chip::Broadwell);
+        let comp = WorkProfile { compute_cycles: 3e9, memory_bytes: 16e9, ..Default::default() };
+        let write = machine.nfs.write_profile(1e8);
+        // Uniform plans: the mixed simulator must equal simulate_pipeline.
+        let uniform = simulate_pipeline(&machine, 2.0, 1.7, &comp, &write, 16, 4);
+        let mixed = simulate_pipeline_mixed(
+            &machine,
+            &vec![(2.0, comp); 16],
+            &vec![(1.7, write); 16],
+            4,
+        );
+        assert!((uniform.compression_j - mixed.compression_j).abs() < 1e-9);
+        assert!((uniform.writing_j - mixed.writing_j).abs() < 1e-9);
+        assert!((uniform.pipelined_s - mixed.pipelined_s).abs() < 1e-12);
+        // Per-chunk frequencies: joules still sum chunk by chunk.
+        let comps: Vec<(f64, WorkProfile)> =
+            (0..16).map(|k| (if k % 2 == 0 { 2.0 } else { 1.2 }, comp)).collect();
+        let writes = vec![(1.7, write); 16];
+        let o = simulate_pipeline_mixed(&machine, &comps, &writes, 4);
+        let expect_j: f64 = comps.iter().map(|(f, p)| simulate(&machine, *f, p).energy_j).sum();
+        assert!((o.compression_j - expect_j).abs() < 1e-9 * expect_j.max(1.0));
+        assert!(o.pipelined_s <= o.sequential_s + 1e-12);
     }
 }

@@ -15,14 +15,21 @@
 //! 3. **Registry auto-decompress** — the product decode path
 //!    ([`lcpio_codec::CodecRegistry::decompress_auto`]) plus the streaming
 //!    container decoder.
+//! 4. **Codec-tag field** — the per-frame codec-tag TLV of mixed-codec
+//!    streaming containers: the accessor must answer or error (never
+//!    panic), and a tag list carrying an unknown codec id must never
+//!    decode. The corpus seeds honest mixed-codec containers plus
+//!    deterministic forgeries (unknown id, swapped tags, truncated tag
+//!    list) for the mutators to work from.
 //!
 //! Every run is reproducible from its seed; the harness panics (and the
 //! smoke test fails) on the first input that panics a target or breaks the
 //! differential contract.
 
 use lcpio_codec::{registry, BoundSpec};
-use lcpio_core::pipeline::{decode_stream, run_sequential, PipelineConfig, VecSink};
-use lcpio_wire::{Envelope, StreamDecoder};
+use lcpio_core::pipeline::{decode_stream, run_sequential, PipelineConfig, VecSink, STREAM_MAGIC};
+use lcpio_core::PolicyKind;
+use lcpio_wire::{Envelope, EnvelopeBuilder, StreamDecoder};
 
 /// Splittable xorshift64* PRNG — deterministic and dependency-free.
 #[derive(Debug, Clone)]
@@ -86,6 +93,8 @@ pub fn seed_corpus() -> Vec<Vec<u8>> {
         run_sequential(&data, &cfg, &mut sink).expect("pipeline");
         corpus.push(sink.bytes);
     }
+    // Mixed-codec containers and their codec-tag forgeries.
+    corpus.extend(mixed_tag_corpus());
     // Hand-forged headers mirroring the failure-injection fixtures:
     // forged element counts, absurd section lengths, bare magics.
     corpus.push(b"LCW1".to_vec());
@@ -100,6 +109,53 @@ pub fn seed_corpus() -> Vec<Vec<u8>> {
     huge_section.extend_from_slice(&(1u64 << 40).to_le_bytes());
     corpus.push(huge_section);
     corpus
+}
+
+/// Mixed-codec `LCW1` streaming containers plus deterministic codec-tag
+/// forgeries: honest heuristic- and adaptive-planned streams over data
+/// that alternates smooth and noisy blocks (so the tags genuinely mix),
+/// then — rebuilt from the heuristic member — one container with an
+/// unknown codec id spliced into the tag list, one with every SZ/ZFP tag
+/// swapped, and one whose tag list is one entry short of the frame count.
+pub fn mixed_tag_corpus() -> Vec<Vec<u8>> {
+    let data: Vec<f32> = (0..4 * 512)
+        .map(|i| {
+            let block = i / 512;
+            let x = (i % 512) as f32;
+            if block % 2 == 0 { (x * 0.02).sin() } else { (x * 7919.0).sin() * 1e4 }
+        })
+        .collect();
+    let mut out = Vec::new();
+    for policy in [PolicyKind::Heuristic, PolicyKind::Adaptive] {
+        let cfg = PipelineConfig {
+            chunk_elements: 512,
+            wire_format: true,
+            policy,
+            ..PipelineConfig::default()
+        };
+        let mut sink = VecSink::default();
+        run_sequential(&data, &cfg, &mut sink).expect("mixed-codec pipeline");
+        out.push(sink.bytes);
+    }
+    let honest = out[0].clone();
+    let env = Envelope::parse(&honest).expect("valid envelope");
+    let idx = env.index(&honest).expect("valid frame index");
+    let frames: Vec<Vec<u8>> =
+        idx.entries.iter().map(|e| honest[e.off..e.off + e.len].to_vec()).collect();
+    let frame_refs: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+    let params = env.params().expect("LCS1 params").to_vec();
+    let tags = env.codec_tags().expect("well-formed tags").expect("tagged stream").to_vec();
+    let rebuild = |t: &[u8]| {
+        EnvelopeBuilder::new(env.container).params(&params).codec_tags(t).build(&frame_refs)
+    };
+    let mut unknown = tags.clone();
+    unknown[0] = 9; // no such codec id
+    out.push(rebuild(&unknown));
+    let swapped: Vec<u8> =
+        tags.iter().map(|&t| match t { 1 => 2, 2 => 1, other => other }).collect();
+    out.push(rebuild(&swapped));
+    out.push(rebuild(&tags[..tags.len() - 1]));
+    out
 }
 
 /// Mutate `input` in place-ish: flips, overwrites, truncations, splices,
@@ -194,6 +250,21 @@ pub fn target_registry_auto(bytes: &[u8]) {
     let _ = decode_stream(bytes);
 }
 
+/// Target 4: the codec-tag field. The accessor must answer or return a
+/// typed error — never panic — and an `LCS1` streaming container whose
+/// tag list carries an unknown codec id must never decode successfully.
+pub fn target_codec_tags(bytes: &[u8]) {
+    let Ok(env) = Envelope::parse(bytes) else { return };
+    if let Ok(Some(tags)) = env.codec_tags() {
+        if env.container == STREAM_MAGIC && tags.iter().any(|&t| t > 2) {
+            assert!(
+                decode_stream(bytes).is_err(),
+                "container with an unknown codec id in its tag list must not decode"
+            );
+        }
+    }
+}
+
 /// Run the harness: `iters` mutations (spread round-robin over the
 /// corpus), stopping early after `max_seconds` if set. Returns the number
 /// of inputs executed.
@@ -213,6 +284,7 @@ pub fn run(iters: u64, seed: u64, max_seconds: Option<f64>) -> u64 {
         let _ = target_envelope_parse(&input);
         target_stream_decode(&input, &mut rng);
         target_registry_auto(&input);
+        target_codec_tags(&input);
         executed += 1;
     }
     executed
@@ -248,6 +320,32 @@ mod tests {
             let _ = target_envelope_parse(&input);
             target_stream_decode(&input, &mut rng);
             target_registry_auto(&input);
+            target_codec_tags(&input);
+        }
+    }
+
+    #[test]
+    fn codec_tag_corpus_mixes_and_forgeries_are_rejected() {
+        let members = mixed_tag_corpus();
+        assert_eq!(members.len(), 5, "2 honest + 3 forged");
+        let (honest, forged) = members.split_at(2);
+        // The heuristic member genuinely mixes codecs — both SZ and ZFP
+        // tags appear — and both honest members decode.
+        let env = Envelope::parse(&honest[0]).expect("valid envelope");
+        let tags = env.codec_tags().expect("well-formed").expect("tagged").to_vec();
+        assert!(tags.contains(&1) && tags.contains(&2), "tags {tags:?} do not mix");
+        for m in honest {
+            decode_stream(m).expect("honest mixed-codec container decodes");
+        }
+        // Unknown codec id, swapped tags, and a short tag list are all
+        // typed errors, matched in that order.
+        for (member, needle) in forged.iter().zip([
+            "unknown codec id",
+            "codec tag mismatch",
+            "wire envelope",
+        ]) {
+            let err = decode_stream(member).expect_err("forged member must not decode");
+            assert!(err.to_string().contains(needle), "{needle}: got {err}");
         }
     }
 

@@ -33,13 +33,14 @@ pub struct Envelope<'a> {
 }
 
 /// Tags this version understands; each may appear at most once.
-const KNOWN_TAGS: [u8; 6] = [
+const KNOWN_TAGS: [u8; 7] = [
     tag::CONTAINER,
     tag::FRAME_COUNT,
     tag::ELEMENT_TYPE,
     tag::DIMS,
     tag::CHUNK_TABLE,
     tag::PARAMS,
+    tag::CODEC_TAGS,
 ];
 
 /// Incremental header parse from the front of `buf`.
@@ -271,6 +272,17 @@ impl<'a> Envelope<'a> {
     pub fn params(&self) -> Option<&'a [u8]> {
         self.field(tag::PARAMS)
     }
+
+    /// Per-frame codec tags, if present: exactly `frame_count` bytes, one
+    /// codec id per frame. The id values themselves are owned by the codec
+    /// layer; the wire layer validates only the field's shape.
+    pub fn codec_tags(&self) -> Result<Option<&'a [u8]>, WireError> {
+        let Some(v) = self.field(tag::CODEC_TAGS) else { return Ok(None) };
+        if v.len() != self.frame_count {
+            return Err(WireError::Malformed { what: "codec tags field" });
+        }
+        Ok(Some(v))
+    }
 }
 
 /// Builder for envelope headers and whole envelopes.
@@ -338,6 +350,12 @@ impl EnvelopeBuilder {
     /// Append the opaque params field.
     pub fn params(self, bytes: &[u8]) -> Self {
         self.raw_field(tag::PARAMS, bytes.to_vec())
+    }
+
+    /// Append the per-frame codec-tag field (one id byte per frame; the
+    /// caller must pass exactly as many bytes as frames it will emit).
+    pub fn codec_tags(self, tags: &[u8]) -> Self {
+        self.raw_field(tag::CODEC_TAGS, tags.to_vec())
     }
 
     /// Serialize the header for an envelope that will carry `frame_count`
@@ -537,6 +555,41 @@ mod tests {
             env.index(&bytes).unwrap_err(),
             WireError::Truncated { section: "frame payload" }
         );
+    }
+
+    #[test]
+    fn codec_tags_roundtrip_and_shape_validation() {
+        // One tag byte per frame round-trips.
+        let bytes = EnvelopeBuilder::new(*b"LCS1")
+            .codec_tags(&[1, 2, 0])
+            .build(&[b"a", b"bb", b"ccc"]);
+        let env = Envelope::parse(&bytes).unwrap();
+        assert_eq!(env.codec_tags().unwrap(), Some(&[1u8, 2, 0][..]));
+        env.index(&bytes).unwrap();
+        // Absent field reads back as None.
+        let bytes = EnvelopeBuilder::new(*b"LCS1").build(&[b"a"]);
+        assert_eq!(Envelope::parse(&bytes).unwrap().codec_tags().unwrap(), None);
+        // Wrong length (fewer or more bytes than frames) is malformed.
+        for tags in [&[1u8][..], &[1, 2, 0, 0][..]] {
+            let bytes = EnvelopeBuilder::new(*b"LCS1").codec_tags(tags).build(&[b"a", b"b", b"c"]);
+            let env = Envelope::parse(&bytes).unwrap();
+            assert_eq!(
+                env.codec_tags().unwrap_err(),
+                WireError::Malformed { what: "codec tags field" }
+            );
+        }
+        // Duplicate codec-tag field is rejected like any known tag.
+        let bytes =
+            EnvelopeBuilder::new(*b"LCS1").codec_tags(&[1]).codec_tags(&[2]).build(&[b"a"]);
+        assert_eq!(
+            Envelope::parse(&bytes).unwrap_err(),
+            WireError::DuplicateField { tag: tag::CODEC_TAGS }
+        );
+        // Pre-tag decoders skip it: the field is just an unknown tag to
+        // them, which parse_tlv_block collects without interpreting.
+        let bytes = EnvelopeBuilder::new(*b"LCS1").codec_tags(&[1, 2]).build(&[b"a", b"b"]);
+        let env = Envelope::parse(&bytes).unwrap();
+        assert_eq!(env.field(tag::CODEC_TAGS), Some(&[1u8, 2][..]));
     }
 
     #[test]

@@ -91,6 +91,13 @@ pub mod tag {
     pub const CHUNK_TABLE: u8 = 0x05;
     /// Optional. Container-specific opaque parameter bytes.
     pub const PARAMS: u8 = 0x06;
+    /// Optional. Per-frame codec tags: exactly `frame_count` bytes, one
+    /// codec id per frame, so a single envelope can carry mixed-codec
+    /// chunks. Id values are assigned by the codec layer (0 = raw); the
+    /// wire layer only enforces the field's shape. Old decoders skip the
+    /// tag (forward compatibility), so tagged containers still decode
+    /// under pre-tag readers.
+    pub const CODEC_TAGS: u8 = 0x07;
 }
 
 /// Typed decode error. Every failure mode of the envelope layer is a

@@ -20,15 +20,24 @@
 //! info       -i out.bin
 //! codecs
 //! quality    -a original.lcpf -b restored.lcpf
-//! sweep      [--scale N] [--reps R] -o sweep.json
+//! sweep      [--scale N] [--reps R] [--policy fixed|heuristic|adaptive]
+//!            -o sweep.json        (alias: experiment)
 //! tables     -i sweep.json
 //! tune       -i sweep.json
 //! dump       [--gb 512]
 //! pipeline   --codec sz|zfp --eb 1e-3 [--threads N] [--queue-depth D]
-//!            [--writers W] [--chunk-elems N] [--wire] -i in.lcpf -o out.lcs
+//!            [--writers W] [--chunk-elems N] [--wire]
+//!            [--policy fixed|heuristic|adaptive] -i in.lcpf -o out.lcs
 //! restart    [--queue-depth D] [--readers R] [--workers W] [--streamed]
-//!            -i in.lcs -o restored.lcpf
+//!            [--policy fixed|heuristic|adaptive] -i in.lcs -o restored.lcpf
 //! ```
+//!
+//! `--policy` selects the per-chunk codec/DVFS policy: `pipeline` plans
+//! every chunk through it (non-fixed wire output carries the per-frame
+//! codec-tag field), `restart` re-prices the modelled read-back energy
+//! under it, and `sweep` highlights its records from the policy axis.
+//! When the flag is absent the kind comes from `LCPIO_POLICY` (default
+//! `fixed`).
 //!
 //! Codec dispatch goes through [`lcpio_codec::registry`]: `compress`
 //! resolves the backend by name, `decompress`/`info` sniff the container
@@ -50,6 +59,7 @@ use lcpio_core::experiment::{run_full_sweep, ExperimentConfig, SweepResult};
 use lcpio_core::models::{compression_model_table, transit_model_table};
 use lcpio_core::report::{render_dump, render_model_table, render_tuning};
 use lcpio_core::tuning::{evaluate_rule, TuningRule};
+use lcpio_core::PolicyKind;
 use lcpio_codec::{registry, render_container_table, BoundSpec, CodecError};
 use lcpio_datagen::{metrics, Dataset};
 use std::collections::HashMap;
@@ -146,6 +156,8 @@ pub enum Command {
         scale: usize,
         /// Repetitions per measurement point.
         reps: u32,
+        /// Policy whose records the summary highlights.
+        policy: PolicyKind,
         /// Destination JSON file.
         output: PathBuf,
     },
@@ -181,6 +193,8 @@ pub enum Command {
         /// Emit the `LCW1` wire envelope instead of the legacy `LCS1`
         /// header (`--wire`).
         wire: bool,
+        /// Per-chunk codec/DVFS policy planning every chunk.
+        policy: PolicyKind,
         /// Input field file.
         input: PathBuf,
         /// Output streaming container (`LCS1` legacy or `LCW1` wire).
@@ -198,6 +212,8 @@ pub enum Command {
         /// Decode incrementally from a forward-only read of the file
         /// (`--streamed`) instead of positioned frame reads.
         streamed: bool,
+        /// Policy the modelled read-back energy is re-priced under.
+        policy: PolicyKind,
         /// Input streaming container (`LCS1` legacy or `LCW1` wire).
         input: PathBuf,
         /// Destination field file.
@@ -208,6 +224,8 @@ pub enum Command {
 /// Top-level usage text.
 pub fn usage() -> &'static str {
     "lcpio-cli <gen|compress|decompress|info|codecs|quality|sweep|tables|tune|dump|pipeline|restart> [options]\n\
+     (`experiment` is an alias for `sweep`; pipeline/restart/sweep accept \
+     --policy fixed|heuristic|adaptive)\n\
      run `lcpio-cli <command>` with missing options to see its requirements"
 }
 
@@ -242,6 +260,18 @@ fn req<'m>(m: &'m HashMap<String, String>, keys: &[&str]) -> Result<&'m str, Cli
         }
     }
     Err(CliError::Usage(format!("missing required flag --{}", keys[0])))
+}
+
+/// Parse `--policy`; absent means "whatever `LCPIO_POLICY` says" (which
+/// itself defaults to fixed), so CI legs can retarget whole suites
+/// without touching every invocation.
+fn parse_policy(m: &HashMap<String, String>) -> Result<PolicyKind, CliError> {
+    match m.get("policy") {
+        None => Ok(PolicyKind::from_env()),
+        Some(s) => PolicyKind::parse(s).ok_or_else(|| {
+            CliError::Usage(format!("unknown policy `{s}`; expected fixed|heuristic|adaptive"))
+        }),
+    }
 }
 
 fn parse_dataset(s: &str) -> Result<Dataset, CliError> {
@@ -355,9 +385,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             a: PathBuf::from(req(&m, &["a"])?),
             b: PathBuf::from(req(&m, &["b"])?),
         }),
-        "sweep" => Ok(Command::Sweep {
+        "sweep" | "experiment" => Ok(Command::Sweep {
             scale: parse_nonzero(m.get("scale").map(String::as_str).unwrap_or("256"), "scale")?,
             reps: parse_nonzero(m.get("reps").map(String::as_str).unwrap_or("10"), "reps")?,
+            policy: parse_policy(&m)?,
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
         "tables" => Ok(Command::Tables { input: PathBuf::from(req(&m, &["i", "input"])?) }),
@@ -379,6 +410,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 "chunk-elems",
             )?,
             wire: m.contains_key("wire"),
+            policy: parse_policy(&m)?,
             input: PathBuf::from(req(&m, &["i", "input"])?),
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
@@ -390,6 +422,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             readers: parse_nonzero(m.get("readers").map(String::as_str).unwrap_or("1"), "readers")?,
             workers: parse_threads(m.get("workers").map(String::as_str).unwrap_or("0"))?,
             streamed: m.contains_key("streamed"),
+            policy: parse_policy(&m)?,
             input: PathBuf::from(req(&m, &["i", "input"])?),
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
@@ -583,7 +616,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 m.max_abs_error, m.rmse, m.nrmse, m.psnr_db, m.correlation
             )?;
         }
-        Command::Sweep { scale, reps, output } => {
+        Command::Sweep { scale, reps, policy, output } => {
             let mut cfg = ExperimentConfig::paper();
             cfg.scale = scale;
             cfg.reps = reps;
@@ -591,11 +624,38 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             std::fs::write(&output, sweep.to_json())?;
             writeln!(
                 out,
-                "swept {} compression and {} transit records into {}",
+                "swept {} compression, {} transit and {} policy records into {}",
                 sweep.compression.len(),
                 sweep.transit.len(),
+                sweep.policy.len(),
                 output.display()
             )?;
+            // Highlight the requested policy's best arm per chip from the
+            // adaptive axis.
+            let focus: Vec<_> =
+                sweep.policy.iter().filter(|r| r.policy == policy.name()).collect();
+            let mut seen = Vec::new();
+            for r in &focus {
+                let chip = r.chip.name();
+                if seen.contains(&chip) {
+                    continue;
+                }
+                seen.push(chip);
+                let best = focus
+                    .iter()
+                    .filter(|x| x.chip == r.chip)
+                    .min_by(|a, b| a.energy_j.total_cmp(&b.energy_j))
+                    .expect("non-empty by construction");
+                writeln!(
+                    out,
+                    "  {chip}: best {} arm `{}` — {:.3} J, {:.2}x, planned in {:.4} s",
+                    policy.name(),
+                    best.label,
+                    best.energy_j,
+                    best.ratio(),
+                    best.plan_s
+                )?;
+            }
         }
         Command::Tables { input } => {
             let sweep = load_sweep(&input)?;
@@ -635,6 +695,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             writers,
             chunk_elems,
             wire,
+            policy,
             input,
             output,
         } => {
@@ -657,6 +718,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 writers,
                 compress_threads: threads,
                 wire_format: wire,
+                policy,
                 ..lcpio_core::pipeline::PipelineConfig::default()
             };
             // The sink writes to `<output>.part` and renames only on
@@ -675,8 +737,18 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 outcome.raw_fallbacks,
                 outcome.wall_s
             )?;
+            if policy != PolicyKind::Fixed {
+                let [raw, sz, zfp] = outcome.codec_chunks;
+                writeln!(
+                    out,
+                    "policy {}: planned {} chunks in {:.4} s (sz {sz}, zfp {zfp}, raw {raw})",
+                    policy.name(),
+                    outcome.chunks,
+                    outcome.plan_s
+                )?;
+            }
         }
-        Command::Restart { queue_depth, readers, workers, streamed, input, output } => {
+        Command::Restart { queue_depth, readers, workers, streamed, policy, input, output } => {
             let cfg = lcpio_core::pipeline::RestartConfig {
                 queue_depth,
                 readers,
@@ -714,6 +786,28 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                     out,
                     "streamed decode peak buffering: {} bytes",
                     outcome.peak_buffered_bytes
+                )?;
+            }
+            if policy != PolicyKind::Fixed {
+                // Re-price the read-back energy of a volume this size
+                // under the chosen policy: the decode phase runs the
+                // planned codec at the plan's DVFS frequency.
+                let rb_cfg = lcpio_core::readback::ReadbackConfig {
+                    total_bytes: (outcome.elements.max(1) * 4) as f64,
+                    policy,
+                    ..lcpio_core::readback::ReadbackConfig::quick()
+                };
+                let rb = lcpio_core::readback::run_readback(&rb_cfg);
+                writeln!(
+                    out,
+                    "modelled read-back energy under `{}` policy: \
+                     {:.3} J decode + {:.3} J fetch ({:.2}x overlap speedup; \
+                     fixed-tuned decode {:.3} J)",
+                    policy.name(),
+                    rb.policy_overlap.compression_j,
+                    rb.policy_overlap.writing_j,
+                    rb.policy_overlap.speedup(),
+                    rb.tuned_overlap.compression_j
                 )?;
             }
         }
@@ -1235,6 +1329,7 @@ mod tests {
                 readers: 1,
                 workers: 0,
                 streamed: false,
+                policy: PolicyKind::from_env(),
                 input: PathBuf::from("a"),
                 output: PathBuf::from("b"),
             }
@@ -1398,6 +1493,87 @@ mod tests {
         }
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.contains("peak buffering"), "{text}");
+    }
+
+    #[test]
+    fn parse_policy_flag_and_experiment_alias() {
+        // Explicit --policy wins on all three subcommands.
+        match parse(&argv("pipeline --codec sz --policy adaptive -i a -o b")).expect("parse") {
+            Command::Pipeline { policy, .. } => assert_eq!(policy, PolicyKind::Adaptive),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("restart --policy heuristic -i a -o b")).expect("parse") {
+            Command::Restart { policy, .. } => assert_eq!(policy, PolicyKind::Heuristic),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("sweep --policy fixed -o s.json")).expect("parse") {
+            Command::Sweep { policy, .. } => assert_eq!(policy, PolicyKind::Fixed),
+            other => panic!("wrong command {other:?}"),
+        }
+        // `experiment` is an alias for `sweep`.
+        assert_eq!(
+            parse(&argv("experiment --scale 64 --policy adaptive -o s.json")).expect("parse"),
+            parse(&argv("sweep --scale 64 --policy adaptive -o s.json")).expect("parse"),
+        );
+        // Absent flag defers to the environment (LCPIO_POLICY).
+        match parse(&argv("pipeline --codec sz -i a -o b")).expect("parse") {
+            Command::Pipeline { policy, .. } => assert_eq!(policy, PolicyKind::from_env()),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Garbage is a usage error.
+        assert!(matches!(
+            parse(&argv("pipeline --codec sz --policy greedy -i a -o b")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn adaptive_pipeline_restart_round_trip_reports_policy() {
+        // An adaptive wire pipeline mixes codecs per chunk; restart must
+        // reconstruct it and report the re-priced read-back energy.
+        let field = tmp("policy.lcpf");
+        let stream = tmp("policy.lcw");
+        let back = tmp("policy-back.lcpf");
+        let mut out = Vec::new();
+        run(
+            parse(&argv(&format!(
+                "gen --dataset cesm --scale 16384 --seed 19 -o {}",
+                field.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("gen");
+        run(
+            parse(&argv(&format!(
+                "pipeline --codec sz --eb 1e-3 --chunk-elems 4096 --wire --policy adaptive \
+                 -i {} -o {}",
+                field.display(),
+                stream.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("pipeline");
+        run(
+            parse(&argv(&format!(
+                "restart --queue-depth 2 --workers 2 --policy adaptive -i {} -o {}",
+                stream.display(),
+                back.display()
+            )))
+            .expect("parse"),
+            &mut out,
+        )
+        .expect("restart");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("policy adaptive: planned"), "{text}");
+        assert!(text.contains("modelled read-back energy under `adaptive`"), "{text}");
+        // Bound holds through the mixed-codec container.
+        let (orig, _) = read_field(&field).expect("read");
+        let (rec, _) = read_field(&back).expect("read");
+        assert_eq!(orig.len(), rec.len());
+        let err = orig.iter().zip(&rec).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(err <= 1e-3 * 1.001, "max err {err}");
     }
 
     #[test]
