@@ -21,6 +21,12 @@
 //!    decode. The corpus seeds honest mixed-codec containers plus
 //!    deterministic forgeries (unknown id, swapped tags, truncated tag
 //!    list) for the mutators to work from.
+//! 5. **Serve protocol** — the `LCRQ`/`LCRS` request/response frame
+//!    codec of `lcpio-serve` (spec: `PROTOCOL.md`): decode must answer
+//!    or error (never panic), a successful decode must agree with
+//!    [`lcpio_serve::protocol::frame_len`] on where the frame ends, and
+//!    re-encoding a decoded frame must decode back to the same value.
+//!    Seeded with a valid frame for every operation and status family.
 //!
 //! Every run is reproducible from its seed; the harness panics (and the
 //! smoke test fails) on the first input that panics a target or breaks the
@@ -95,6 +101,8 @@ pub fn seed_corpus() -> Vec<Vec<u8>> {
     }
     // Mixed-codec containers and their codec-tag forgeries.
     corpus.extend(mixed_tag_corpus());
+    // Serve-protocol request and response frames.
+    corpus.extend(serve_protocol_corpus());
     // Hand-forged headers mirroring the failure-injection fixtures:
     // forged element counts, absurd section lengths, bare magics.
     corpus.push(b"LCW1".to_vec());
@@ -156,6 +164,90 @@ pub fn mixed_tag_corpus() -> Vec<Vec<u8>> {
     out.push(rebuild(&swapped));
     out.push(rebuild(&tags[..tags.len() - 1]));
     out
+}
+
+/// Serve-protocol seeds: one valid request frame per operation (with
+/// the optional codec/bound/policy/dims fields exercised), plus response
+/// frames spanning the status families (success-with-payload, typed
+/// error, busy) — the envelope-mutation corpus for target 5.
+pub fn serve_protocol_corpus() -> Vec<Vec<u8>> {
+    use lcpio_serve::protocol::{status, Op, Request, Response};
+    let data: Vec<f32> = (0..256).map(|i| (i as f32 * 0.03).cos()).collect();
+    let container = registry()
+        .by_name("sz")
+        .expect("registered codec")
+        .compress(&data, &[256], BoundSpec::Absolute(1e-3))
+        .expect("seed compress")
+        .bytes;
+    let mut out = vec![
+        Request::compress(
+            1,
+            &data,
+            &[16, 16],
+            lcpio_codec::policy::CodecId::Sz,
+            BoundSpec::PointwiseRelative(1e-2),
+            PolicyKind::Adaptive,
+        )
+        .encode(),
+        Request::decompress(2, &container).encode(),
+        Request::info(3, &container).encode(),
+        Request::control(42, Op::Ping).encode(),
+        Request::control(5, Op::Shutdown).encode(),
+    ];
+    // A minimal compress request: every optional field absent.
+    let mut bare = Request::control(6, Op::Compress);
+    bare.dims = vec![256];
+    bare.payload = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+    out.push(bare.encode());
+    // Responses: an OK carrying a container, a decompress-shaped OK with
+    // dims, and typed rejections.
+    let mut ok = Response::of_status(1, status::OK, "");
+    ok.latency_us = 1234;
+    ok.energy_uj = 56789;
+    ok.codec = Some(lcpio_codec::policy::CodecId::Sz);
+    ok.payload = container;
+    out.push(ok.encode());
+    let mut restored = Response::of_status(2, status::OK, "");
+    restored.dims = vec![16, 16];
+    restored.payload = vec![0u8; 64];
+    out.push(restored.encode());
+    out.push(Response::of_status(7, status::BUSY, "every worker queue is full").encode());
+    out.push(Response::of_status(0, status::MALFORMED, "duplicate TLV tag").encode());
+    out
+}
+
+/// Target 5: the serve-protocol frame codec. Decode must never panic; a
+/// successful decode must agree with `frame_len` about where the frame
+/// ends; re-encoding the decoded value must decode back equal (the codec
+/// is lossless modulo unknown TLV tags, which re-encoding drops).
+pub fn target_serve_protocol(bytes: &[u8]) {
+    use lcpio_serve::protocol::{frame_len, Request, Response};
+    if let Ok((req, used)) = Request::decode(bytes) {
+        assert!(used <= bytes.len(), "request decode consumed past the buffer");
+        assert_eq!(
+            frame_len(&bytes[..used]).expect("decoded frame has sound lengths"),
+            Some(used),
+            "frame_len and Request::decode disagree on the frame boundary"
+        );
+        let rewired = req.encode();
+        let (again, n) = Request::decode(&rewired).expect("re-encoded request decodes");
+        assert_eq!(n, rewired.len());
+        assert_eq!(again, req, "request round-trip drifted");
+    }
+    if let Ok((resp, used)) = Response::decode(bytes) {
+        assert!(used <= bytes.len(), "response decode consumed past the buffer");
+        assert_eq!(
+            frame_len(&bytes[..used]).expect("decoded frame has sound lengths"),
+            Some(used),
+            "frame_len and Response::decode disagree on the frame boundary"
+        );
+        let rewired = resp.encode();
+        let (again, n) = Response::decode(&rewired).expect("re-encoded response decodes");
+        assert_eq!(n, rewired.len());
+        assert_eq!(again, resp, "response round-trip drifted");
+    }
+    // frame_len itself must answer or error on any prefix, never panic.
+    let _ = frame_len(bytes);
 }
 
 /// Mutate `input` in place-ish: flips, overwrites, truncations, splices,
@@ -285,6 +377,7 @@ pub fn run(iters: u64, seed: u64, max_seconds: Option<f64>) -> u64 {
         target_stream_decode(&input, &mut rng);
         target_registry_auto(&input);
         target_codec_tags(&input);
+        target_serve_protocol(&input);
         executed += 1;
     }
     executed
@@ -321,6 +414,23 @@ mod tests {
             target_stream_decode(&input, &mut rng);
             target_registry_auto(&input);
             target_codec_tags(&input);
+            target_serve_protocol(&input);
+        }
+    }
+
+    #[test]
+    fn serve_corpus_members_all_decode() {
+        use lcpio_serve::protocol::{Request, Response};
+        let members = serve_protocol_corpus();
+        assert_eq!(members.len(), 10, "6 requests + 4 responses");
+        let requests =
+            members.iter().filter(|m| Request::decode(m).is_ok()).count();
+        let responses =
+            members.iter().filter(|m| Response::decode(m).is_ok()).count();
+        assert_eq!(requests, 6, "every request seed decodes");
+        assert_eq!(responses, 4, "every response seed decodes");
+        for m in &members {
+            target_serve_protocol(m);
         }
     }
 

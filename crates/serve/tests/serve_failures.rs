@@ -1,0 +1,334 @@
+//! Failure injection for the service path: disconnects, forged and
+//! truncated frames, oversized claims, slow-loris stalls, queue-full
+//! admission rejection, and drain-with-in-flight-work — every abnormal
+//! path must end in a typed response or a clean close, never a hang or a
+//! crash.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use lcpio_serve::protocol::{self, status, Op, Request, Response};
+use lcpio_serve::{Client, CompressOptions, Endpoint, FaultPlan, ServeConfig, Server};
+
+fn tcp_server(cfg: ServeConfig) -> (Server, String) {
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".to_string()), cfg).expect("bind");
+    let addr = match server.endpoint() {
+        Endpoint::Tcp(a) => a.clone(),
+        other => panic!("unexpected endpoint {other:?}"),
+    };
+    (server, addr)
+}
+
+fn raw_conn(addr: &str) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    s
+}
+
+/// Read exactly `n` response frames off a raw stream.
+fn read_responses(stream: &mut TcpStream, n: usize) -> Vec<Response> {
+    let mut buf = Vec::new();
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    while out.len() < n {
+        if let Ok(Some(len)) = protocol::frame_len(&buf) {
+            if buf.len() >= len {
+                let frame: Vec<u8> = buf.drain(..len).collect();
+                out.push(Response::decode(&frame).expect("response decode").0);
+                continue;
+            }
+        }
+        let got = stream.read(&mut chunk).expect("read");
+        assert!(got > 0, "connection closed after {} of {} responses", out.len(), n);
+        buf.extend_from_slice(&chunk[..got]);
+    }
+    out
+}
+
+fn sample_field(n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i as f32 * 0.02).sin()).collect()
+}
+
+#[test]
+fn mid_request_disconnect_is_tolerated() {
+    let cfg = ServeConfig {
+        workers: 1,
+        fault: FaultPlan { worker_delay_ms: 150 },
+        ..ServeConfig::default()
+    };
+    let (server, addr) = tcp_server(cfg);
+
+    // Send a whole compress request, then vanish while it is in flight.
+    {
+        let data = sample_field(1024);
+        let req = Request::compress(
+            7,
+            &data,
+            &[1024],
+            lcpio_codec::CodecId::Sz,
+            lcpio_codec::BoundSpec::Absolute(1e-3),
+            lcpio_core::PolicyKind::Fixed,
+        );
+        let mut s = raw_conn(&addr);
+        s.write_all(&req.encode()).expect("write");
+        // Dropping the stream closes the socket with the response pending.
+    }
+
+    // The server keeps serving; the orphaned request still executes.
+    let t0 = Instant::now();
+    loop {
+        let stats = server.stats();
+        if stats.compress == 1 {
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "orphaned request never completed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut client = Client::connect_tcp(&addr).expect("second connection");
+    assert!(client.ping().expect("ping after disconnect"));
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn forged_magic_gets_typed_error_then_close() {
+    let (server, addr) = tcp_server(ServeConfig::default());
+    let mut s = raw_conn(&addr);
+    s.write_all(b"NOPE\x01\x00\x00\x00garbage").expect("write");
+    let resp = &read_responses(&mut s, 1)[0];
+    assert_eq!(resp.status, status::MALFORMED);
+    assert!(resp.message.contains("magic"), "{}", resp.message);
+    // After a frame whose boundary can't be trusted, the server closes.
+    let mut rest = Vec::new();
+    assert_eq!(s.read_to_end(&mut rest).expect("EOF"), 0);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn truncated_tlv_in_sound_frame_keeps_connection_usable() {
+    let (server, addr) = tcp_server(ServeConfig::default());
+    let mut s = raw_conn(&addr);
+
+    // Outer lengths are consistent (frame boundary knowable), but the TLV
+    // block inside is cut short: value claims 5 bytes, 2 present.
+    let mut frame = b"LCRQ\x01\x00".to_vec();
+    frame.push(4); // header length
+    frame.extend_from_slice(&[0x01, 5, 0xAA, 0xBB]);
+    frame.push(0); // payload length
+    s.write_all(&frame).expect("write");
+    let resp = &read_responses(&mut s, 1)[0];
+    assert_eq!(resp.status, status::MALFORMED);
+
+    // Same connection, well-formed follow-up: still served.
+    s.write_all(&Request::control(9, Op::Ping).encode()).expect("write");
+    let resp = &read_responses(&mut s, 1)[0];
+    assert_eq!(resp.status, status::OK);
+    assert_eq!(resp.id, 9);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn oversized_claims_are_limit_errors() {
+    // Forged header length beyond the protocol ceiling.
+    {
+        let (server, addr) = tcp_server(ServeConfig::default());
+        let mut s = raw_conn(&addr);
+        let mut frame = b"LCRQ\x01\x00".to_vec();
+        // varint for MAX_HEADER_LEN + 1
+        let mut v = (protocol::MAX_HEADER_LEN + 1) as u64;
+        while v >= 0x80 {
+            frame.push((v as u8 & 0x7f) | 0x80);
+            v >>= 7;
+        }
+        frame.push(v as u8);
+        s.write_all(&frame).expect("write");
+        let resp = &read_responses(&mut s, 1)[0];
+        assert_eq!(resp.status, status::LIMIT);
+        let mut rest = Vec::new();
+        assert_eq!(s.read_to_end(&mut rest).expect("EOF"), 0);
+        server.shutdown();
+        server.wait();
+    }
+    // Payload larger than the server's configured admission cap.
+    {
+        let cfg = ServeConfig { max_payload: 4096, ..ServeConfig::default() };
+        let (server, addr) = tcp_server(cfg);
+        let mut s = raw_conn(&addr);
+        let data = sample_field(4096); // 16 KiB > 4 KiB cap
+        let req = Request::compress(
+            3,
+            &data,
+            &[4096],
+            lcpio_codec::CodecId::Sz,
+            lcpio_codec::BoundSpec::Absolute(1e-3),
+            lcpio_core::PolicyKind::Fixed,
+        );
+        s.write_all(&req.encode()).expect("write");
+        let resp = &read_responses(&mut s, 1)[0];
+        assert_eq!(resp.status, status::LIMIT);
+        assert!(resp.message.contains("payload cap"), "{}", resp.message);
+        server.shutdown();
+        server.wait();
+    }
+}
+
+#[test]
+fn slow_loris_partial_header_hits_read_timeout() {
+    let cfg = ServeConfig { read_timeout: Duration::from_millis(200), ..ServeConfig::default() };
+    let (server, addr) = tcp_server(cfg);
+    let mut s = raw_conn(&addr);
+    // Dribble out a frame prefix and then stall forever.
+    s.write_all(b"LCRQ\x01").expect("write");
+    let t0 = Instant::now();
+    let mut rest = Vec::new();
+    // The server must close the connection (EOF), not wait for the rest.
+    assert_eq!(s.read_to_end(&mut rest).expect("EOF"), 0);
+    assert!(rest.is_empty(), "no response is owed on a frame that never finished");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "slow-loris connection survived far past the read timeout"
+    );
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn queue_full_is_a_typed_busy_error() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        fault: FaultPlan { worker_delay_ms: 500 },
+        ..ServeConfig::default()
+    };
+    let (server, addr) = tcp_server(cfg);
+    let mut s = raw_conn(&addr);
+    let data = sample_field(512);
+    let mut batch = Vec::new();
+    for id in 1..=3u64 {
+        batch.extend_from_slice(
+            &Request::compress(
+                id,
+                &data,
+                &[512],
+                lcpio_codec::CodecId::Sz,
+                lcpio_codec::BoundSpec::Absolute(1e-3),
+                lcpio_core::PolicyKind::Fixed,
+            )
+            .encode(),
+        );
+    }
+    // One write: the worker is pinned for 500 ms per request, the queue
+    // holds one, so of three pipelined requests at least one must be
+    // rejected with the typed busy status — and responses still arrive in
+    // request order.
+    s.write_all(&batch).expect("write");
+    let resps = read_responses(&mut s, 3);
+    assert_eq!(resps.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+    let busy = resps.iter().filter(|r| r.status == status::BUSY).count();
+    let ok = resps.iter().filter(|r| r.status == status::OK).count();
+    assert!(busy >= 1, "expected at least one BUSY rejection, got {resps:?}");
+    assert_eq!(busy + ok, 3, "unexpected statuses in {resps:?}");
+    for r in &resps {
+        if r.status == status::BUSY {
+            assert!(r.message.contains("retry"), "{}", r.message);
+        }
+    }
+    server.shutdown();
+    let stats = server.wait();
+    assert_eq!(stats.busy_rejected as usize, busy);
+}
+
+#[test]
+fn drain_completes_in_flight_work_and_rejects_new_requests() {
+    let cfg = ServeConfig {
+        workers: 1,
+        fault: FaultPlan { worker_delay_ms: 300 },
+        ..ServeConfig::default()
+    };
+    let (server, addr) = tcp_server(cfg);
+    let mut s = raw_conn(&addr);
+    let data = sample_field(512);
+    let compress = |id: u64| {
+        Request::compress(
+            id,
+            &data,
+            &[512],
+            lcpio_codec::CodecId::Sz,
+            lcpio_codec::BoundSpec::Absolute(1e-3),
+            lcpio_core::PolicyKind::Fixed,
+        )
+        .encode()
+    };
+    // Pipelined in one write: slow compress, shutdown, another compress.
+    let mut batch = compress(1);
+    batch.extend_from_slice(&Request::control(2, Op::Shutdown).encode());
+    batch.extend_from_slice(&compress(3));
+    s.write_all(&batch).expect("write");
+
+    // In-flight work completes and flushes before the drain finishes.
+    let first_two = read_responses(&mut s, 2);
+    assert_eq!(first_two[0].id, 1);
+    assert_eq!(first_two[0].status, status::OK, "{}", first_two[0].message);
+    assert!(!first_two[0].payload.is_empty(), "in-flight compress result was dropped");
+    assert_eq!(first_two[1].id, 2);
+    assert_eq!(first_two[1].status, status::OK);
+
+    // The request behind the shutdown is either rejected with the typed
+    // draining status or the connection closes cleanly — never served.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let third = loop {
+        if let Ok(Some(len)) = protocol::frame_len(&buf) {
+            if buf.len() >= len {
+                break Some(Response::decode(&buf[..len]).expect("decode").0);
+            }
+        }
+        match s.read(&mut chunk) {
+            Ok(0) => break None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break None,
+        }
+    };
+    if let Some(resp) = third {
+        assert_eq!(resp.status, status::SHUTTING_DOWN, "{resp:?}");
+        assert_eq!(resp.id, 3);
+    }
+
+    let stats = server.wait();
+    assert_eq!(stats.compress, 1, "exactly the pre-drain compress ran");
+}
+
+#[test]
+fn unknown_op_and_bad_request_leave_connection_usable() {
+    let (server, addr) = tcp_server(ServeConfig::default());
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    // Dims that do not match the payload: typed BAD_REQUEST.
+    let mut req = Request::compress(
+        5,
+        &sample_field(256),
+        &[256],
+        lcpio_codec::CodecId::Sz,
+        lcpio_codec::BoundSpec::Absolute(1e-3),
+        lcpio_core::PolicyKind::Fixed,
+    );
+    req.dims = vec![999];
+    let resp = client.call(&req).expect("call");
+    assert_eq!(resp.status, status::BAD_REQUEST);
+    assert!(resp.message.contains("dims"), "{}", resp.message);
+
+    // Decompress of bytes that are no known container: typed CODEC error.
+    let resp = client.decompress(b"XXXXnot a container").expect("call");
+    assert_eq!(resp.status, status::CODEC);
+
+    // The same connection still serves real work afterwards.
+    let resp = client
+        .compress(&sample_field(256), &[256], CompressOptions::default())
+        .expect("compress");
+    assert_eq!(resp.status, status::OK);
+    server.shutdown();
+    server.wait();
+}

@@ -30,14 +30,24 @@
 //!            [--policy fixed|heuristic|adaptive] -i in.lcpf -o out.lcs
 //! restart    [--queue-depth D] [--readers R] [--workers W] [--streamed]
 //!            [--policy fixed|heuristic|adaptive] -i in.lcs -o restored.lcpf
+//! serve      (--socket PATH | --tcp HOST:PORT) [--workers N] [--queue-depth D]
+//!            [--codec sz|zfp] [--eb 1e-3] [--policy fixed|heuristic|adaptive]
+//!            [--timeout-ms T] [--drive N [--clients C] [--chunk-elems E]]
 //! ```
 //!
 //! `--policy` selects the per-chunk codec/DVFS policy: `pipeline` plans
 //! every chunk through it (non-fixed wire output carries the per-frame
 //! codec-tag field), `restart` re-prices the modelled read-back energy
-//! under it, and `sweep` highlights its records from the policy axis.
-//! When the flag is absent the kind comes from `LCPIO_POLICY` (default
-//! `fixed`).
+//! under it, `sweep` highlights its records from the policy axis, and
+//! `serve` uses it as the default for requests that carry no `POLICY`
+//! field. When the flag is absent the kind comes from `LCPIO_POLICY`
+//! (default `fixed`).
+//!
+//! `serve` runs the `lcpio-serve` daemon (protocol spec: `PROTOCOL.md`).
+//! Without `--drive` it serves until a client sends a `SHUTDOWN` request;
+//! with `--drive N` it self-drives N mixed-workload requests through the
+//! client driver, prints throughput and latency percentiles, then drains
+//! and exits — the form the walkthrough and CI use.
 //!
 //! Codec dispatch goes through [`lcpio_codec::registry`]: `compress`
 //! resolves the backend by name, `decompress`/`info` sniff the container
@@ -219,12 +229,38 @@ pub enum Command {
         /// Destination field file.
         output: PathBuf,
     },
+    /// Run the compression-service daemon (`lcpio-serve`).
+    Serve {
+        /// Unix socket path (exactly one of `socket`/`tcp`).
+        socket: Option<PathBuf>,
+        /// TCP `host:port` address (exactly one of `socket`/`tcp`).
+        tcp: Option<String>,
+        /// Worker shards (each with its own codec scratch and queue).
+        workers: usize,
+        /// Bounded queue depth per shard (full ⇒ typed `BUSY`).
+        queue_depth: usize,
+        /// Default codec for requests that carry no `CODEC` field.
+        codec: String,
+        /// Default absolute error bound for requests without `BOUND`.
+        eb: f64,
+        /// Default policy for requests that carry no `POLICY` field.
+        policy: PolicyKind,
+        /// Mid-frame read timeout (slow-loris guard), milliseconds.
+        timeout_ms: u64,
+        /// Self-drive this many mixed-workload requests then drain
+        /// (0 = serve until a client `SHUTDOWN`).
+        drive: usize,
+        /// Concurrent driver connections (with `--drive`).
+        clients: usize,
+        /// Elements per driven request chunk (with `--drive`).
+        chunk_elems: usize,
+    },
 }
 
 /// Top-level usage text.
 pub fn usage() -> &'static str {
-    "lcpio-cli <gen|compress|decompress|info|codecs|quality|sweep|tables|tune|dump|pipeline|restart> [options]\n\
-     (`experiment` is an alias for `sweep`; pipeline/restart/sweep accept \
+    "lcpio-cli <gen|compress|decompress|info|codecs|quality|sweep|tables|tune|dump|pipeline|restart|serve> [options]\n\
+     (`experiment` is an alias for `sweep`; pipeline/restart/sweep/serve accept \
      --policy fixed|heuristic|adaptive)\n\
      run `lcpio-cli <command>` with missing options to see its requirements"
 }
@@ -426,6 +462,50 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             input: PathBuf::from(req(&m, &["i", "input"])?),
             output: PathBuf::from(req(&m, &["o", "output"])?),
         }),
+        "serve" => {
+            let socket = m.get("socket").map(PathBuf::from);
+            let tcp = m.get("tcp").cloned();
+            if socket.is_some() == tcp.is_some() {
+                return Err(CliError::Usage(
+                    "serve needs exactly one of --socket PATH or --tcp HOST:PORT".to_string(),
+                ));
+            }
+            Ok(Command::Serve {
+                socket,
+                tcp,
+                workers: parse_nonzero(
+                    m.get("workers").map(String::as_str).unwrap_or("2"),
+                    "workers",
+                )?,
+                queue_depth: parse_nonzero(
+                    m.get("queue-depth").map(String::as_str).unwrap_or("8"),
+                    "queue-depth",
+                )?,
+                codec: m
+                    .get("codec")
+                    .cloned()
+                    .unwrap_or_else(|| "sz".to_string())
+                    .to_ascii_lowercase(),
+                eb: parse_pos_f64(
+                    m.get("eb").map(String::as_str).unwrap_or("1e-3"),
+                    "error bound",
+                )?,
+                policy: parse_policy(&m)?,
+                timeout_ms: parse_nonzero(
+                    m.get("timeout-ms").map(String::as_str).unwrap_or("30000"),
+                    "timeout-ms",
+                )?,
+                drive: parse_num(m.get("drive").map(String::as_str).unwrap_or("0"), "drive")?,
+                clients: parse_nonzero(
+                    m.get("clients").map(String::as_str).unwrap_or("4"),
+                    "clients",
+                )?,
+                chunk_elems: parse_nonzero(
+                    m.get("chunk-elems").map(String::as_str).unwrap_or("16384"),
+                    "chunk-elems",
+                )?,
+            })
+        }
         other => Err(CliError::Usage(format!("unknown command `{other}`\n{}", usage()))),
     }
 }
@@ -501,6 +581,7 @@ fn command_name(cmd: &Command) -> &'static str {
         Command::Dump { .. } => "dump",
         Command::Pipeline { .. } => "pipeline",
         Command::Restart { .. } => "restart",
+        Command::Serve { .. } => "serve",
     }
 }
 
@@ -811,6 +892,104 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 )?;
             }
         }
+        Command::Serve {
+            socket,
+            tcp,
+            workers,
+            queue_depth,
+            codec,
+            eb,
+            policy,
+            timeout_ms,
+            drive,
+            clients,
+            chunk_elems,
+        } => {
+            let default_codec = match codec.as_str() {
+                "sz" => lcpio_codec::CodecId::Sz,
+                "zfp" => lcpio_codec::CodecId::Zfp,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown codec `{other}`; serve accepts sz|zfp"
+                    )))
+                }
+            };
+            let endpoint = match (&socket, &tcp) {
+                (Some(p), None) => lcpio_serve::Endpoint::Unix(p.clone()),
+                (None, Some(a)) => lcpio_serve::Endpoint::Tcp(a.clone()),
+                _ => unreachable!("parse enforces exactly one of --socket/--tcp"),
+            };
+            let cfg = lcpio_serve::ServeConfig {
+                workers,
+                queue_depth,
+                read_timeout: std::time::Duration::from_millis(timeout_ms),
+                default_codec,
+                default_bound: BoundSpec::Absolute(eb),
+                default_policy: policy,
+                ..lcpio_serve::ServeConfig::default()
+            };
+            let server = lcpio_serve::Server::bind(&endpoint, cfg)?;
+            writeln!(
+                out,
+                "serving on {} with {workers} worker shard(s), queue depth {queue_depth}, \
+                 default codec {codec}, policy {}",
+                server.endpoint(),
+                policy.name()
+            )?;
+            if drive > 0 {
+                let wl = lcpio_serve::WorkloadConfig {
+                    requests: drive,
+                    clients,
+                    chunk_elements: chunk_elems,
+                    codec: default_codec,
+                    bound: BoundSpec::Absolute(eb),
+                    policy,
+                    ..Default::default()
+                };
+                let report = lcpio_serve::drive(server.endpoint(), &wl)
+                    .map_err(|e| CliError::Codec(e.to_string()))?;
+                server.shutdown();
+                let stats = server.wait();
+                writeln!(
+                    out,
+                    "drove {} requests ({} ok, {} busy, {} errors) in {:.3} s: \
+                     {:.1} req/s, p50 {} us, p99 {} us",
+                    report.requests,
+                    report.ok,
+                    report.busy,
+                    report.errors,
+                    report.wall_s,
+                    report.req_per_s,
+                    report.p50_us,
+                    report.p99_us
+                )?;
+                writeln!(
+                    out,
+                    "served {} compress, {} decompress, {} info; \
+                     {} payload bytes in, {} out, {:.6} J modeled",
+                    stats.compress,
+                    stats.decompress,
+                    stats.info,
+                    stats.bytes_in,
+                    stats.bytes_out,
+                    stats.energy_uj as f64 / 1e6
+                )?;
+            } else {
+                let stats = server.wait();
+                writeln!(
+                    out,
+                    "drained after {} request(s): {} compress, {} decompress, {} info, \
+                     {} ping; {} busy, {} errors",
+                    stats.requests,
+                    stats.compress,
+                    stats.decompress,
+                    stats.info,
+                    stats.ping,
+                    stats.busy_rejected,
+                    stats.errors
+                )?;
+            }
+        }
     }
     Ok(())
 }
@@ -961,6 +1140,46 @@ mod tests {
         assert!(parse(&argv("gen --dataset nyx")).is_err(), "missing -o");
         assert!(parse(&argv("compress --codec sz --eb nope -i a -o b")).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_endpoint_exclusivity() {
+        let c = parse(&argv("serve --socket /tmp/s.sock")).expect("parse");
+        match c {
+            Command::Serve {
+                socket, tcp, workers, queue_depth, codec, eb, drive, clients, chunk_elems, ..
+            } => {
+                assert_eq!(socket, Some(PathBuf::from("/tmp/s.sock")));
+                assert_eq!(tcp, None);
+                assert_eq!(workers, 2);
+                assert_eq!(queue_depth, 8);
+                assert_eq!(codec, "sz");
+                assert_eq!(eb, 1e-3);
+                assert_eq!(drive, 0);
+                assert_eq!(clients, 4);
+                assert_eq!(chunk_elems, 16384);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Exactly one endpoint: neither and both are usage errors.
+        assert!(parse(&argv("serve")).is_err());
+        assert!(parse(&argv("serve --socket a --tcp 127.0.0.1:0")).is_err());
+        assert!(parse(&argv("serve --tcp 127.0.0.1:0 --workers 0")).is_err());
+    }
+
+    #[test]
+    fn run_serve_self_driven() {
+        let cmd = parse(&argv(
+            "serve --tcp 127.0.0.1:0 --workers 2 --drive 10 --clients 2 --chunk-elems 2048",
+        ))
+        .expect("parse");
+        let mut out = Vec::new();
+        run(cmd, &mut out).expect("run");
+        let transcript = String::from_utf8(out).expect("utf8");
+        assert!(transcript.contains("serving on tcp:127.0.0.1:"), "{transcript}");
+        assert!(transcript.contains("req/s"), "{transcript}");
+        assert!(transcript.contains("p99"), "{transcript}");
+        assert!(transcript.contains("10 requests (10 ok, 0 busy, 0 errors)"), "{transcript}");
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   paper's `P(f) = a·f^b + c` power models.
 //! * [`core`] — the paper's contribution: the experiment pipeline, fitted
 //!   model tables, frequency-tuning rules, and energy-savings analyses.
+//! * [`serve`] — compression as a service: the `LCRQ`/`LCRS` framed
+//!   request protocol (spec: `PROTOCOL.md`), the sharded daemon behind
+//!   `lcpio-cli serve`, its blocking client, and the mixed-workload
+//!   driver.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,7 @@ pub use lcpio_core as core;
 pub use lcpio_datagen as datagen;
 pub use lcpio_fit as fit;
 pub use lcpio_powersim as powersim;
+pub use lcpio_serve as serve;
 pub use lcpio_sz as sz;
 pub use lcpio_wire as wire;
 pub use lcpio_zfp as zfp;

@@ -38,9 +38,9 @@ fn walkthrough_commands_run_as_documented() {
         .expect("read EXPERIMENTS.md");
     let commands = walkthrough_commands(&md);
     assert!(
-        commands.len() >= 6,
-        "the walkthrough should cover gen → pipeline → decode → restart → sweep → fit → tune, \
-         found {} commands",
+        commands.len() >= 7,
+        "the walkthrough should cover gen → pipeline → decode → restart → sweep → fit → tune \
+         → serve, found {} commands",
         commands.len()
     );
 
@@ -61,7 +61,9 @@ fn walkthrough_commands_run_as_documented() {
     }
 
     // The walkthrough's artifacts exist and its claims hold.
-    for artifact in ["nyx.lcpf", "nyx.lcs", "restored.lcpf", "restart.lcpf", "sweep.json"] {
+    for artifact in
+        ["nyx.lcpf", "nyx.lcs", "restored.lcpf", "restart.lcpf", "sweep.json", "serve-metrics.json"]
+    {
         assert!(dir.join(artifact).exists(), "walkthrough must produce {artifact}");
     }
     assert!(
@@ -80,4 +82,18 @@ fn walkthrough_commands_run_as_documented() {
         transcript.contains("combined"),
         "`tune` must print the combined Eqn-3 savings:\n{transcript}"
     );
+    assert!(
+        transcript.contains("req/s") && transcript.contains("p99"),
+        "`serve --drive` must report throughput and tail latency:\n{transcript}"
+    );
+    let metrics =
+        std::fs::read_to_string(dir.join("serve-metrics.json")).expect("read serve metrics");
+    // The counters ride in the trace report, which `--no-default-features`
+    // documents as empty; the file itself must exist either way.
+    if cfg!(feature = "trace") {
+        assert!(
+            metrics.contains("serve.requests") && metrics.contains("serve.energy_uj"),
+            "the serve metrics report must carry the serve.* counters:\n{metrics}"
+        );
+    }
 }
